@@ -1,0 +1,94 @@
+// Regenerates Table II (empirical bus-off times for the six experiments)
+// and Table III (theoretical calculation) — paper Sec. V-C.
+//
+// Table II reference values (ms at 50 kbit/s):
+//   Exp 1 (0x173, restbus):   mu 24.6  sigma 2.64  max 58.6
+//   Exp 2 (0x173, isolated):  mu 24.2  sigma 0.27  max 25.2
+//   Exp 3 (0x064, restbus):   mu 25.1  sigma 1.39  max 38.3
+//   Exp 4 (0x064, isolated):  mu 24.9  sigma 0.45  max 25.2
+//   Exp 5 (0x066 / 0x067):    mu 39.0 / 35.4
+//   Exp 6 (0x050 + 0x051):    mu 24.9  sigma 0.01  max 25.4
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "analysis/experiments.hpp"
+#include "analysis/table.hpp"
+#include "analysis/theory.hpp"
+
+namespace {
+
+using namespace mcan;
+using analysis::fmt;
+
+void print_table2() {
+  analysis::AsciiTable t{{"Exp", "Attacker ID", "Restbus", "Cycles",
+                          "mu (ms)", "sigma (ms)", "Max (ms)",
+                          "Paper mu (ms)"}};
+  const char* paper_mu[7] = {"", "24.6", "24.2", "25.1", "24.9",
+                             "39.0 / 35.4", "24.9"};
+  for (int n = 1; n <= 6; ++n) {
+    const auto spec = analysis::table2_experiment(n);
+    const auto res = analysis::run_experiment(spec);
+    for (const auto& a : res.attackers) {
+      t.add_row({std::to_string(n), analysis::fmt_hex(a.primary_id),
+                 spec.restbus ? "yes" : "no", std::to_string(a.busoff_count),
+                 fmt(a.busoff_ms.mean, 1), fmt(a.busoff_ms.stddev, 2),
+                 fmt(a.busoff_ms.max, 1), paper_mu[n]});
+    }
+  }
+  t.print(std::cout,
+          "Table II: empirical bus-off time, 2 s recordings at 50 kbit/s");
+}
+
+void print_table3() {
+  namespace th = analysis::theory;
+  analysis::AsciiTable t{
+      {"Exp", "Scenario", "t_a (bits)", "t_p (bits)", "Total (bits)"}};
+  t.add_row({"1, 3", "restbus", "35 + s_f*c_ha", "43 + s_f*(c_hp+c_lp)",
+             "sum over 16+16 attempts"});
+  t.add_row({"2, 4, 6", "isolated", fmt(th::kErrorActiveBits, 0),
+             fmt(th::kErrorPassiveBits, 0), fmt(th::isolated_total_bits(), 0)});
+  t.add_row({"5", "higher-priority", fmt(th::kErrorActiveBits, 0),
+             "43 + s_f_a*z_lp",
+             fmt(th::exp5_hp_total_bits({}, 52.0), 0) + " (no interrupts)"});
+  t.add_row({"5", "lower-priority", "35 + s_f_a*z_ha", "43 + s_f_a*z_hp",
+             fmt(th::exp5_lp_total_bits({}, {}, 52.0), 0) + " (no interrupts)"});
+  t.print(std::cout, "\nTable III: theoretical bus-off time calculation");
+
+  analysis::AsciiTable b{{"Quantity", "Bits", "ms @50 kbit/s"}};
+  const sim::BusSpeed speed{50'000};
+  b.add_row({"best-case cycle (1 dominant bit injected)",
+             fmt(16 * (th::kBestErrorActiveBits + th::kBestErrorPassiveBits), 0),
+             fmt(speed.bits_to_ms(
+                     16 * (th::kBestErrorActiveBits + th::kBestErrorPassiveBits)),
+                 1)});
+  b.add_row({"worst-case cycle (6 dominant bits injected)",
+             fmt(th::isolated_total_bits(), 0),
+             fmt(speed.bits_to_ms(th::isolated_total_bits()), 1)});
+  b.add_row({"deadline budget (10 ms class, scaled)",
+             fmt(th::deadline_budget_bits(100.0, 50e3), 0),
+             fmt(100.0, 1)});
+  b.print(std::cout, "\nDerived bounds:");
+}
+
+void BM_Experiment(benchmark::State& state) {
+  const auto spec =
+      analysis::table2_experiment(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto res = analysis::run_experiment(spec);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_Experiment)->DenseRange(1, 6)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table2();
+  print_table3();
+  std::cout << "\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

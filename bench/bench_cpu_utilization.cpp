@@ -1,0 +1,118 @@
+// Regenerates the CPU-utilization study of Sec. V-D.
+//
+// Paper anchors:
+//   * load scales with bus speed (40 % @125 kbit/s -> 80 % @250 kbit/s
+//     on the Arduino Due),
+//   * load depends on the MCU (NXP S32K144: 44 % @500 kbit/s),
+//   * load depends on FSM complexity (full ~40 % vs light ~30 % at
+//     125 kbit/s on the Due).
+// The cycle model and its calibration are documented in mcu/profile.hpp.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "core/cpu_model.hpp"
+#include "mcu/profile.hpp"
+#include "restbus/vehicles.hpp"
+
+namespace {
+
+using namespace mcan;
+using analysis::fmt;
+using analysis::fmt_pct;
+
+core::IvnConfig veh_d_ivn() {
+  return core::IvnConfig{restbus::vehicle_matrix(restbus::Vehicle::D, 1)
+                             .ecu_ids()};
+}
+
+void print_speed_sweep() {
+  const auto ivn = veh_d_ivn();
+  const auto due = mcu::arduino_due();
+  analysis::AsciiTable t{{"Bus speed", "Idle load", "Active load",
+                          "Combined", "Paper anchor"}};
+  for (const double speed : {50e3, 125e3, 250e3, 500e3}) {
+    const auto est = core::estimate_cpu(ivn, ivn.highest(),
+                                        core::Scenario::Full, due, speed);
+    std::string anchor = "-";
+    if (speed == 125e3) anchor = "~40%";
+    if (speed == 250e3) anchor = "~80% (implied)";
+    if (speed == 500e3) anchor = "unreliable on Due";
+    t.add_row({fmt(speed / 1e3, 0) + " kbit/s",
+               fmt_pct(est.load.idle_load), fmt_pct(est.load.active_load),
+               fmt_pct(est.load.combined_load), anchor});
+  }
+  t.print(std::cout,
+          "Sec. V-D: CPU load vs bus speed (Arduino Due, full scenario, "
+          "Veh. D bus 1)");
+}
+
+void print_mcu_sweep() {
+  const auto ivn = veh_d_ivn();
+  analysis::AsciiTable t{{"MCU", "Clock", "Bus speed", "Active load",
+                          "Paper anchor"}};
+  struct Row {
+    mcu::McuProfile profile;
+    double speed;
+    const char* anchor;
+  };
+  const Row rows[] = {
+      {mcu::arduino_due(), 125e3, "~40%"},
+      {mcu::nxp_s32k144(), 500e3, "~44%"},
+      {mcu::sam_v71(), 500e3, "-"},
+      {mcu::spc58ec(), 1000e3, "up to 1 Mbit/s (Sec. VI-B)"},
+  };
+  for (const auto& r : rows) {
+    const auto est = core::estimate_cpu(ivn, ivn.highest(),
+                                        core::Scenario::Full, r.profile,
+                                        r.speed);
+    t.add_row({r.profile.name, fmt(r.profile.clock_hz / 1e6, 0) + " MHz",
+               fmt(r.speed / 1e3, 0) + " kbit/s",
+               fmt_pct(est.load.active_load), r.anchor});
+  }
+  t.print(std::cout, "\nSec. V-D / VI-B: CPU load vs MCU:");
+}
+
+void print_scenario_sweep() {
+  analysis::AsciiTable t{{"Bus", "|E|", "Full FSM nodes", "Full load",
+                          "Light FSM nodes", "Light load"}};
+  const auto due = mcu::arduino_due();
+  for (const auto& m : restbus::all_vehicle_matrices()) {
+    const core::IvnConfig ivn{m.ecu_ids()};
+    const auto full = core::estimate_cpu(ivn, ivn.highest(),
+                                         core::Scenario::Full, due, 125e3);
+    const auto light = core::estimate_cpu(ivn, ivn.highest(),
+                                          core::Scenario::Light, due, 125e3);
+    t.add_row({m.bus_name(), std::to_string(ivn.ecus().size()),
+               std::to_string(full.fsm_nodes), fmt_pct(full.load.active_load),
+               std::to_string(light.fsm_nodes),
+               fmt_pct(light.load.active_load)});
+  }
+  t.print(std::cout,
+          "\nSec. V-D: full vs light scenario across the eight vehicle "
+          "buses (Due @125 kbit/s; paper: ~40% vs ~30%):");
+}
+
+void BM_CpuEstimate(benchmark::State& state) {
+  const auto ivn = veh_d_ivn();
+  const auto due = mcu::arduino_due();
+  for (auto _ : state) {
+    auto est = core::estimate_cpu(ivn, ivn.highest(), core::Scenario::Full,
+                                  due, 125e3);
+    benchmark::DoNotOptimize(est);
+  }
+}
+BENCHMARK(BM_CpuEstimate);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_speed_sweep();
+  print_mcu_sweep();
+  print_scenario_sweep();
+  std::cout << "\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

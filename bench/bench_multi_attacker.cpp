@@ -1,0 +1,65 @@
+// Regenerates the >2-attacker analysis of Sec. V-C: total bus-off time for
+// A = 1..4 simultaneous attackers (paper: A=3 -> 3515 bits, A=4 -> 4660
+// bits; A >= 5 would render the bus inoperable against the deadline budget).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "analysis/experiments.hpp"
+#include "analysis/table.hpp"
+#include "analysis/theory.hpp"
+
+namespace {
+
+using namespace mcan;
+using analysis::fmt;
+
+void print_sweep() {
+  analysis::AsciiTable t{{"Attackers", "Total bus-off (bits)",
+                          "Total (ms @50k)", "Paper (bits)",
+                          "Within deadline budget?"}};
+  const char* paper[5] = {"", "~1248", "~2400", "3515", "4660"};
+  const sim::BusSpeed speed{50'000};
+  // Deadline budget: the 10 ms high-priority class at 500 kbit/s scales to
+  // 100 ms at 50 kbit/s = 5000 bits.
+  const double budget = analysis::theory::deadline_budget_bits(100.0, 50e3);
+  for (int a = 1; a <= 4; ++a) {
+    const auto res = analysis::run_experiment(analysis::multi_attacker_spec(a));
+    const double total = res.first_cycle_total_bits;
+    t.add_row({std::to_string(a), fmt(total, 0),
+               fmt(speed.bits_to_ms(total), 1), paper[a],
+               total <= budget ? "yes" : "NO"});
+  }
+  t.print(std::cout,
+          "Sec. V-C: total bus-off time vs number of attackers "
+          "(first joint cycle)");
+  std::cout << "Deadline budget: " << fmt(budget, 0)
+            << " bits; extrapolating the sweep, A >= 5 exceeds it — the "
+               "paper's operability limit.\n";
+
+  // Per-attacker means for the A = 2 case (the Exp. 5 columns).
+  const auto res5 = analysis::run_experiment(analysis::table2_experiment(5));
+  analysis::AsciiTable t5{{"Attacker", "mu (ms)", "Paper mu (ms)"}};
+  t5.add_row({"0x066", fmt(res5.attackers[0].busoff_ms.mean, 1), "39.0"});
+  t5.add_row({"0x067", fmt(res5.attackers[1].busoff_ms.mean, 1), "35.4"});
+  t5.print(std::cout, "\nExp. 5 per-attacker means:");
+}
+
+void BM_MultiAttacker(benchmark::State& state) {
+  const auto spec = analysis::multi_attacker_spec(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto res = analysis::run_experiment(spec);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_MultiAttacker)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_sweep();
+  std::cout << "\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Regenerates the MichiCAN-vs-Parrot comparison threaded through Secs. V-C
+// and V-E: bus-off time (Parrot reacts only after the first complete attack
+// instance) and bus load during the defense (Parrot floods towards 100 %;
+// the paper computes 125/128 = 97.7 %, and "at least 2x" MichiCAN's).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "analysis/busoff_meter.hpp"
+#include "analysis/table.hpp"
+#include "attack/attacker.hpp"
+#include "baseline/parrot.hpp"
+#include "can/bus.hpp"
+#include "core/michican_node.hpp"
+#include "restbus/vehicles.hpp"
+
+namespace {
+
+using namespace mcan;
+using analysis::fmt;
+using analysis::fmt_pct;
+
+struct DefenseOutcome {
+  double busoff_bits{};        // first malicious SOF -> attacker bus-off
+  double busy_during_defense{};
+  int defender_tec{};
+  std::uint64_t defender_frames{};
+  std::uint64_t spoofs_accepted{};  // complete malicious frames on the bus
+  bool attacker_offed{};
+};
+
+DefenseOutcome run_michican() {
+  can::WiredAndBus bus{sim::BusSpeed{50'000}};
+  const core::IvnConfig ivn{
+      restbus::vehicle_matrix(restbus::Vehicle::D, 1).ecu_ids()};
+  core::MichiCanNodeConfig cfg;
+  cfg.own_id = 0x173;
+  core::MichiCanNode def{"defender", ivn, cfg};
+  def.attach_to(bus);
+  can::BitController quiet{"quiet"};  // a benign ECU providing ACKs
+  quiet.attach_to(bus);
+  auto acfg = attack::Attacker::spoof(0x173);
+  acfg.persistent = false;
+  attack::Attacker atk{"attacker", acfg};
+  atk.attach_to(bus);
+
+  bus.run(6000);
+  DefenseOutcome out;
+  const auto* start = bus.log().first(sim::EventKind::FrameTxStart, 0,
+                                      "attacker");
+  const auto* off = bus.log().first(sim::EventKind::BusOff, 0, "attacker");
+  out.attacker_offed = off != nullptr;
+  if (start != nullptr && off != nullptr) {
+    out.busoff_bits = static_cast<double>(off->at - start->at);
+    out.busy_during_defense = bus.trace().busy_fraction(start->at, off->at);
+  }
+  out.defender_tec = def.controller().tec();
+  out.defender_frames = def.controller().stats().frames_sent;
+  out.spoofs_accepted = atk.node().stats().frames_sent;
+  return out;
+}
+
+DefenseOutcome run_parrot() {
+  can::WiredAndBus bus{sim::BusSpeed{50'000}};
+  baseline::ParrotConfig pcfg;
+  pcfg.own_id = 0x173;
+  baseline::ParrotNode def{"parrot", pcfg};
+  def.attach_to(bus);
+  can::BitController quiet{"quiet"};  // a benign ECU providing ACKs
+  quiet.attach_to(bus);
+  auto acfg = attack::Attacker::spoof(0x173);
+  acfg.persistent = false;
+  attack::Attacker atk{"attacker", acfg};
+  atk.attach_to(bus);
+
+  bus.run(12'000);
+  DefenseOutcome out;
+  const auto* start = bus.log().first(sim::EventKind::FrameTxStart, 0,
+                                      "attacker");
+  const auto* off = bus.log().first(sim::EventKind::BusOff, 0, "attacker");
+  out.attacker_offed = off != nullptr;
+  if (start != nullptr && off != nullptr) {
+    out.busoff_bits = static_cast<double>(off->at - start->at);
+    out.busy_during_defense = bus.trace().busy_fraction(start->at, off->at);
+  }
+  out.defender_tec = def.node().tec();
+  out.defender_frames = def.node().stats().frames_sent +
+                        def.node().stats().tx_errors;  // frames put on wire
+  out.spoofs_accepted = atk.node().stats().frames_sent;
+  return out;
+}
+
+void print_comparison() {
+  const auto mc = run_michican();
+  const auto pr = run_parrot();
+  const sim::BusSpeed speed{50'000};
+
+  analysis::AsciiTable t{{"Metric", "MichiCAN", "Parrot", "Paper"}};
+  t.add_row({"attacker bused off", mc.attacker_offed ? "yes" : "no",
+             pr.attacker_offed ? "yes" : "no", "both yes"});
+  t.add_row({"bus-off time (bits)", fmt(mc.busoff_bits, 0),
+             fmt(pr.busoff_bits, 0), "Parrot slower (2nd instance)"});
+  t.add_row({"bus-off time (ms @50k)", fmt(speed.bits_to_ms(mc.busoff_bits), 1),
+             fmt(speed.bits_to_ms(pr.busoff_bits), 1), "-"});
+  t.add_row({"bus load during defense", fmt_pct(mc.busy_during_defense),
+             fmt_pct(pr.busy_during_defense), "~97.7% for Parrot, >=2x MichiCAN"});
+  t.add_row({"defender frames on the wire", std::to_string(mc.defender_frames),
+             std::to_string(pr.defender_frames), "MichiCAN: 0"});
+  t.add_row({"defender TEC after defense", std::to_string(mc.defender_tec),
+             std::to_string(pr.defender_tec), "MichiCAN: 0"});
+  t.add_row({"complete spoofed frames accepted",
+             std::to_string(mc.spoofs_accepted),
+             std::to_string(pr.spoofs_accepted),
+             "Parrot: >= 1 (first instance)"});
+  t.print(std::cout,
+          "Secs. V-C/V-E: MichiCAN vs Parrot against a persistent 0x173 "
+          "spoofing flood");
+}
+
+void BM_MichiCanDefense(benchmark::State& state) {
+  for (auto _ : state) {
+    auto out = run_michican();
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_MichiCanDefense)->Unit(benchmark::kMillisecond);
+
+void BM_ParrotDefense(benchmark::State& state) {
+  for (auto _ : state) {
+    auto out = run_parrot();
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_ParrotDefense)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_comparison();
+  std::cout << "\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Deadline/schedulability analysis backing Secs. V-C and V-E: CAN
+// response-time analysis (Davis et al., the paper's reference [49]) of the
+// vehicle matrices, with and without the blocking imposed by a MichiCAN
+// counterattack sequence.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "analysis/theory.hpp"
+#include "restbus/schedulability.hpp"
+#include "restbus/vehicles.hpp"
+
+namespace {
+
+using namespace mcan;
+using analysis::fmt;
+using analysis::fmt_pct;
+
+void print_analysis() {
+  const double attack_bits = analysis::theory::isolated_total_bits();
+
+  analysis::AsciiTable t{{"Bus", "Util.", "Max R (ms)", "Schedulable",
+                          "Max R under attack", "Still schedulable"}};
+  for (const auto& m : restbus::all_vehicle_matrices()) {
+    const auto clean =
+        restbus::response_time_analysis(m, {.bits_per_second = 500e3});
+    const auto attacked = restbus::response_time_analysis(
+        m, {.bits_per_second = 500e3, .attack_blocking_bits = attack_bits});
+    double rmax = 0, rmax_atk = 0;
+    for (const auto& r : clean.results) rmax = std::max(rmax, r.response_ms);
+    for (const auto& r : attacked.results) {
+      rmax_atk = std::max(rmax_atk, r.response_ms);
+    }
+    t.add_row({m.bus_name(), fmt_pct(clean.total_utilization),
+               fmt(rmax, 2), clean.all_schedulable ? "yes" : "NO",
+               fmt(rmax_atk, 2), attacked.all_schedulable ? "yes" : "NO"});
+  }
+  t.print(std::cout,
+          "Response-time analysis at 500 kbit/s: clean vs with a full "
+          "1248-bit counterattack as extra blocking (Sec. V-E: the spike "
+          "must fit every deadline class):");
+
+  // The Sec. V-C scaling argument: the same spike on slower buses.
+  analysis::AsciiTable s{{"Bus speed", "Spike (ms)", "10 ms class",
+                          "100 ms class", "500 ms class"}};
+  for (const double bps : {500e3, 250e3, 125e3, 50e3}) {
+    const double spike_ms = attack_bits / bps * 1e3;
+    auto verdict = [&](double deadline) {
+      return spike_ms <= deadline ? std::string("absorbs it")
+                                  : std::string("MISSES");
+    };
+    s.add_row({fmt(bps / 1e3, 0) + " kbit/s", fmt(spike_ms, 1),
+               verdict(10), verdict(100), verdict(500)});
+  }
+  s.print(std::cout,
+          "\nCounterattack spike vs deadline classes across bus speeds:");
+}
+
+void BM_Rta(benchmark::State& state) {
+  const auto m = restbus::vehicle_matrix(restbus::Vehicle::D, 1);
+  for (auto _ : state) {
+    auto rep = restbus::response_time_analysis(m, {.bits_per_second = 500e3});
+    benchmark::DoNotOptimize(rep);
+  }
+}
+BENCHMARK(BM_Rta);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_analysis();
+  std::cout << "\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Fleet deployment demo: the whole Veh. D powertrain network protected by
+// MichiCAN under the three deployment policies of Sec. IV-A, under a live
+// DoS attack — protection vs network-wide CPU cost.
+#include <iomanip>
+#include <iostream>
+
+#include "attack/attacker.hpp"
+#include "core/fleet.hpp"
+#include "mcu/profile.hpp"
+#include "restbus/vehicles.hpp"
+
+namespace {
+
+using namespace mcan;
+
+struct Outcome {
+  std::size_t full{}, light{};
+  bool eradicated{};
+  std::uint64_t counterattacks{};
+  double total_cpu{};
+  std::uint64_t frames{};
+};
+
+Outcome run(core::DeploymentPolicy policy) {
+  can::WiredAndBus bus{sim::BusSpeed{125'000}};
+  const auto matrix = restbus::vehicle_matrix(restbus::Vehicle::D, 1);
+  core::FleetConfig cfg;
+  cfg.policy = policy;
+  core::Fleet fleet{matrix, bus, cfg};
+
+  auto acfg = attack::Attacker::targeted_dos(0x064);
+  acfg.persistent = false;
+  attack::Attacker attacker{"attacker", acfg};
+  attacker.attach_to(bus);
+
+  bus.run_ms(1000.0);
+
+  Outcome out;
+  out.full = fleet.full_nodes();
+  out.light = fleet.light_nodes();
+  out.eradicated = attacker.node().is_bus_off();
+  out.counterattacks = fleet.total_counterattacks();
+  out.total_cpu = fleet.total_cpu_load(mcu::arduino_due(), 125e3);
+  out.frames = fleet.total_frames_sent();
+  return out;
+}
+
+const char* name(core::DeploymentPolicy p) {
+  switch (p) {
+    case core::DeploymentPolicy::AllFull: return "all-full";
+    case core::DeploymentPolicy::Split: return "split (E1 light, E2 full)";
+    case core::DeploymentPolicy::DetectionOnly: return "detection-only";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Veh. D powertrain bus, 37 MichiCAN ECUs, DoS attacker on "
+               "0x064, 1 s at 125 kbit/s\n\n"
+            << std::left << std::setw(28) << "policy" << std::setw(12)
+            << "full/light" << std::setw(12) << "eradicated" << std::setw(16)
+            << "counterattacks" << std::setw(16) << "sum CPU (Due)"
+            << "frames\n"
+            << std::string(92, '-') << "\n";
+  bool all_ok = true;
+  for (const auto policy :
+       {core::DeploymentPolicy::AllFull, core::DeploymentPolicy::Split,
+        core::DeploymentPolicy::DetectionOnly}) {
+    const auto o = run(policy);
+    std::cout << std::setw(28) << name(policy) << std::setw(12)
+              << (std::to_string(o.full) + "/" + std::to_string(o.light))
+              << std::setw(12) << (o.eradicated ? "yes" : "NO")
+              << std::setw(16) << o.counterattacks << std::setw(16)
+              << std::fixed << std::setprecision(1) << o.total_cpu * 100.0
+              << o.frames << "\n";
+    if (policy != core::DeploymentPolicy::DetectionOnly && !o.eradicated) {
+      all_ok = false;
+    }
+  }
+  std::cout
+      << "\nThe split deployment keeps full DoS eradication while halving "
+         "the number of ECUs that pay for the full FSM (Sec. IV-A); note "
+         "the detection-only row: alarms without eradication leave the "
+         "flood in charge — zero application frames delivered.\n";
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,147 @@
+// michican_cli — drive the library from the command line.
+//
+//   michican_cli experiment <1..6> [seed] [duration_ms]
+//       run one of the paper's Table II experiments and print the outcome
+//   michican_cli sweep [max_attackers]
+//       multi-attacker total-bus-off sweep (Sec. V-C)
+//   michican_cli latency [num_fsms]
+//       detection-latency study (Sec. V-B)
+//   michican_cli rta <bus_index 0..7> [attack_blocking_bits]
+//       response-time analysis of a vehicle bus, optionally under attack
+//   michican_cli dbc <bus_index 0..7>
+//       print a vehicle matrix in DBC-subset format
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "analysis/experiments.hpp"
+#include "analysis/latency.hpp"
+#include "analysis/table.hpp"
+#include "restbus/dbc.hpp"
+#include "restbus/schedulability.hpp"
+#include "restbus/vehicles.hpp"
+
+namespace {
+
+using namespace mcan;
+using analysis::fmt;
+
+int usage() {
+  std::cerr << "usage: michican_cli experiment <1..6> [seed] [duration_ms]\n"
+            << "       michican_cli sweep [max_attackers]\n"
+            << "       michican_cli latency [num_fsms]\n"
+            << "       michican_cli rta <bus 0..7> [attack_blocking_bits]\n"
+            << "       michican_cli dbc <bus 0..7>\n";
+  return 2;
+}
+
+int cmd_experiment(int number, std::uint64_t seed, double duration_ms) {
+  auto spec = analysis::table2_experiment(number);
+  spec.seed = seed;
+  spec.duration_ms = duration_ms;
+  const auto res = analysis::run_experiment(spec);
+
+  analysis::AsciiTable t{{"Attacker", "Cycles", "mu (ms)", "sigma (ms)",
+                          "Max (ms)", "Final state"}};
+  for (const auto& a : res.attackers) {
+    t.add_row({analysis::fmt_hex(a.primary_id),
+               std::to_string(a.busoff_count), fmt(a.busoff_ms.mean, 1),
+               fmt(a.busoff_ms.stddev, 2), fmt(a.busoff_ms.max, 1),
+               a.ended_bus_off ? "bus-off" : "active"});
+  }
+  t.print(std::cout, "Experiment " + std::to_string(number) + " (" +
+                         spec.label + ", seed " + std::to_string(seed) +
+                         ", " + fmt(duration_ms, 0) + " ms):");
+  std::cout << "counterattacks: " << res.counterattacks
+            << ", mean detection bit: " << fmt(res.mean_detection_bit, 1)
+            << ", defender TEC: " << res.defender_tec
+            << ", bus busy: " << analysis::fmt_pct(res.busy_fraction) << "\n";
+  return 0;
+}
+
+int cmd_sweep(int max_attackers) {
+  analysis::AsciiTable t{{"Attackers", "Total bus-off (bits)", "ms @50k"}};
+  const sim::BusSpeed speed{50'000};
+  for (int a = 1; a <= max_attackers; ++a) {
+    auto spec = analysis::multi_attacker_spec(a);
+    spec.duration_ms = 3000;
+    const auto res = analysis::run_experiment(spec);
+    t.add_row({std::to_string(a), fmt(res.first_cycle_total_bits, 0),
+               fmt(speed.bits_to_ms(res.first_cycle_total_bits), 1)});
+  }
+  t.print(std::cout, "Multi-attacker sweep:");
+  return 0;
+}
+
+int cmd_latency(int num_fsms) {
+  analysis::LatencyStudyConfig cfg;
+  cfg.num_fsms = num_fsms;
+  cfg.verify_fsms = std::min(num_fsms, 200);
+  const auto res = analysis::run_latency_study(cfg);
+  std::cout << "FSMs: " << res.fsms_built
+            << ", mean detection bit: " << fmt(res.mean_detection_bit, 2)
+            << ", detection rate: "
+            << analysis::fmt_pct(res.detection_rate, 2)
+            << ", false positives: "
+            << analysis::fmt_pct(res.false_positive_rate, 2) << "\n";
+  return 0;
+}
+
+int cmd_rta(int bus_index, double attack_bits) {
+  const auto matrices = restbus::all_vehicle_matrices();
+  const auto& m = matrices[static_cast<std::size_t>(bus_index)];
+  restbus::RtaConfig cfg;
+  cfg.attack_blocking_bits = attack_bits;
+  const auto rep = restbus::response_time_analysis(m, cfg);
+  analysis::AsciiTable t{{"ID", "T (ms)", "R (ms)", "D (ms)", "OK?"}};
+  for (const auto& r : rep.results) {
+    t.add_row({analysis::fmt_hex(r.message.id), fmt(r.message.period_ms, 0),
+               fmt(r.response_ms, 2), fmt(r.deadline_ms, 0),
+               r.schedulable ? "yes" : "NO"});
+  }
+  t.print(std::cout, m.bus_name() + " response-time analysis (attack blocking " +
+                         fmt(attack_bits, 0) + " bits):");
+  std::cout << "utilization: " << analysis::fmt_pct(rep.total_utilization)
+            << ", all schedulable: " << (rep.all_schedulable ? "yes" : "NO")
+            << "\n";
+  return rep.all_schedulable ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "experiment" && argc >= 3) {
+      const int n = std::atoi(argv[2]);
+      if (n < 1 || n > 6) return usage();
+      const auto seed =
+          argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42ull;
+      const double dur = argc > 4 ? std::atof(argv[4]) : 2000.0;
+      return cmd_experiment(n, seed, dur);
+    }
+    if (cmd == "sweep") {
+      return cmd_sweep(argc > 2 ? std::atoi(argv[2]) : 4);
+    }
+    if (cmd == "latency") {
+      return cmd_latency(argc > 2 ? std::atoi(argv[2]) : 10'000);
+    }
+    if (cmd == "rta" && argc >= 3) {
+      const int bus = std::atoi(argv[2]);
+      if (bus < 0 || bus > 7) return usage();
+      return cmd_rta(bus, argc > 3 ? std::atof(argv[3]) : 0.0);
+    }
+    if (cmd == "dbc" && argc >= 3) {
+      const int bus = std::atoi(argv[2]);
+      if (bus < 0 || bus > 7) return usage();
+      std::cout << restbus::to_dbc(
+          restbus::all_vehicle_matrices()[static_cast<std::size_t>(bus)]);
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,40 @@
+// Multi-attacker stress demo (Sec. V-C, "experiments with more than two
+// attackers"): sweeps A = 1..5 simultaneous DoS attackers and reports the
+// total time until all of them are bused off, against the deadline budget
+// that decides whether the bus stays operable.
+#include <iomanip>
+#include <iostream>
+
+#include "analysis/experiments.hpp"
+#include "analysis/theory.hpp"
+
+int main() {
+  using namespace mcan;
+
+  std::cout << "A | total bus-off (bits) | ms @50 kbit/s | operable?\n"
+            << "--+----------------------+---------------+----------\n";
+  const sim::BusSpeed speed{50'000};
+  // The 10 ms deadline class at 500 kbit/s scales to 100 ms at 50 kbit/s.
+  const double budget = analysis::theory::deadline_budget_bits(100.0, 50e3);
+
+  bool fifth_breaks = false;
+  for (int a = 1; a <= 5; ++a) {
+    auto spec = analysis::multi_attacker_spec(a);
+    spec.duration_ms = 3000;
+    const auto res = analysis::run_experiment(spec);
+    const double total = res.first_cycle_total_bits;
+    const bool ok = total > 0 && total <= budget;
+    if (a == 5 && !ok) fifth_breaks = true;
+    std::cout << a << " | " << std::setw(20) << std::fixed
+              << std::setprecision(0) << total << " | " << std::setw(13)
+              << std::setprecision(1) << speed.bits_to_ms(total) << " | "
+              << (ok ? "yes" : "NO — deadline budget exceeded") << "\n";
+  }
+  std::cout << "\npaper reference: A=3 -> 3515 bits, A=4 -> 4660 bits, "
+               "A>=5 renders the bus inoperable.\n";
+  std::cout << (fifth_breaks
+                    ? "reproduced: the fifth attacker breaks the budget.\n"
+                    : "note: the fifth attacker stayed within budget in "
+                      "this run.\n");
+  return 0;
+}

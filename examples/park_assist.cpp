@@ -1,0 +1,154 @@
+// On-vehicle scenario of Sec. V-F, simulated: a targeted DoS against the
+// ParkSense park-assist system of a 2017 Chrysler Pacifica Hybrid.
+//
+// The paper extracted the relevant IDs from an OpenDBC communication matrix
+// (lowest ParkSense ID: 0x260) and injected CAN ID 0x25F from the OBD-II
+// port — one priority level above, so every ParkSense frame loses
+// arbitration forever and the dashboard shows "PARKSENSE UNAVAILABLE
+// SERVICE REQUIRED".  Plugging an Arduino Due running MichiCAN into the
+// same OBD-II splitter eradicates the attack within 32 transmission
+// attempts and the feature recovers.
+//
+// Here the vehicle side is a small cluster of ParkSense ECUs (IDs 0x260,
+// 0x264, 0x268) plus a body-computer "dashboard" that declares the feature
+// unavailable when no ParkSense frame arrives for 200 ms.
+#include <iostream>
+
+#include "attack/attacker.hpp"
+#include "can/bus.hpp"
+#include "can/periodic.hpp"
+#include "core/michican_node.hpp"
+#include "restbus/signals.hpp"
+
+namespace {
+
+using namespace mcan;
+
+// The distance signal inside the ParkSense frames, DBC-style
+// (SG_ ObstacleDistance : 0|12@1+ (0.01,0) [0|40.95] "m" BodyComputer).
+const restbus::SignalDef kDistance = [] {
+  restbus::SignalDef s;
+  s.name = "ObstacleDistance";
+  s.start_bit = 0;
+  s.length = 12;
+  s.scale = 0.01;
+  s.unit = "m";
+  return s;
+}();
+
+struct Dashboard {
+  sim::BitTime last_seen{0};
+  bool unavailable{false};
+  int outages{0};
+  double timeout_bits;
+  double last_distance_m{0};
+
+  explicit Dashboard(double timeout) : timeout_bits(timeout) {}
+
+  void on_frame(const can::CanFrame& f, sim::BitTime now) {
+    if (f.id >= 0x260 && f.id <= 0x268) {
+      last_seen = now;
+      last_distance_m = restbus::decode_signal(f, kDistance);
+      if (unavailable) {
+        std::cout << "[" << now << "] dashboard: ParkSense restored ("
+                  << last_distance_m << " m)\n";
+        unavailable = false;
+      }
+    }
+  }
+  void tick(sim::BitTime now) {
+    if (!unavailable &&
+        static_cast<double>(now - last_seen) > timeout_bits) {
+      std::cout << "[" << now
+                << "] dashboard: PARKSENSE UNAVAILABLE SERVICE REQUIRED\n";
+      unavailable = true;
+      ++outages;
+    }
+  }
+};
+
+int run_scenario(bool with_michican) {
+  std::cout << "\n=== scenario " << (with_michican ? "WITH" : "WITHOUT")
+            << " MichiCAN on the OBD-II splitter ===\n";
+  can::WiredAndBus bus{sim::BusSpeed{50'000}};
+
+  // ParkSense sensor ECUs broadcasting every 20 ms.
+  const can::CanId ids[] = {0x260, 0x264, 0x268};
+  std::vector<std::unique_ptr<can::BitController>> sensors;
+  for (const auto id : ids) {
+    auto ecu = std::make_unique<can::BitController>(
+        "parksense_" + std::to_string(id));
+    ecu->attach_to(bus);
+    // Each sensor reports an obstacle distance via the DBC signal.
+    can::CanFrame frame;
+    frame.id = id;
+    frame.dlc = 4;
+    restbus::encode_signal(frame, kDistance,
+                           1.50 + 0.25 * static_cast<double>(id - 0x260));
+    can::attach_periodic(*ecu, frame, bus.speed().ms_to_bits(20.0),
+                         static_cast<double>(id));
+    sensors.push_back(std::move(ecu));
+  }
+
+  // The body computer watching the feature (200 ms timeout).
+  can::BitController body{"body_computer"};
+  body.attach_to(bus);
+  Dashboard dash{bus.speed().ms_to_bits(200.0)};
+  body.set_rx_callback(
+      [&](const can::CanFrame& f, sim::BitTime t) { dash.on_frame(f, t); });
+  body.add_app([&](sim::BitTime now, can::BitController&) { dash.tick(now); });
+
+  // The IVN as known to MichiCAN (OpenDBC-style matrix).
+  const core::IvnConfig ivn{{0x260, 0x264, 0x268, 0x2A0}};
+
+  // Optionally, the Arduino-Due-with-MichiCAN on the OBD-II splitter.
+  std::unique_ptr<core::MichiCanNode> guard;
+  if (with_michican) {
+    core::MichiCanNodeConfig cfg;
+    cfg.own_id = 0x2A0;  // the dongle guards the whole range below its ID
+    guard = std::make_unique<core::MichiCanNode>("michican_dongle", ivn, cfg);
+    guard->attach_to(bus);
+  }
+
+  bus.run_ms(300.0);  // healthy operation
+
+  // The attack device on the OBD-II port: periodic injection of 0x25F.
+  std::cout << "[" << bus.now() << "] attacker: injecting CAN ID 0x25F\n";
+  auto acfg = attack::Attacker::targeted_dos(0x25F);
+  attack::Attacker attacker{"obd_attacker", acfg};
+  attacker.attach_to(bus);
+
+  bus.run_ms(1500.0);
+
+  std::cout << "--- results ---\n"
+            << "last decoded distance:    " << dash.last_distance_m
+            << " m\n"
+            << "ParkSense outages:        " << dash.outages << "\n"
+            << "feature currently:        "
+            << (dash.unavailable ? "UNAVAILABLE" : "available") << "\n"
+            << "attacker bus-off events:  "
+            << bus.log().count(sim::EventKind::BusOff, "obd_attacker") << "\n"
+            << "attacker frames accepted: "
+            << attacker.node().stats().frames_sent << "\n";
+  if (guard) {
+    std::cout << "dongle counterattacks:    "
+              << guard->monitor().stats().counterattacks << "\n"
+              << "dongle TEC:               " << guard->controller().tec()
+              << "\n";
+  }
+  return dash.unavailable ? 1 : 0;
+}
+
+}  // namespace
+
+int main() {
+  const int without_guard = run_scenario(false);
+  const int with_guard = run_scenario(true);
+  std::cout << "\nsummary: without MichiCAN the DoS "
+            << (without_guard ? "DISABLED ParkSense" : "failed (unexpected)")
+            << "; with MichiCAN the feature "
+            << (with_guard == 0 ? "stayed available" : "was lost (unexpected)")
+            << ".\n";
+  // Success = attack works without the guard and fails with it.
+  return (without_guard == 1 && with_guard == 0) ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+#include "analysis/busoff_meter.hpp"
+
+namespace mcan::analysis {
+
+using sim::EventKind;
+
+std::vector<BusOffCycle> busoff_cycles(const sim::EventLog& log,
+                                       std::string_view attacker_node) {
+  std::vector<BusOffCycle> cycles;
+  bool in_cycle = false;
+  BusOffCycle current;
+  for (const auto& e : log.events()) {
+    if (e.node != attacker_node) continue;
+    switch (e.kind) {
+      case EventKind::FrameTxStart:
+        if (!in_cycle) {
+          in_cycle = true;
+          current = {};
+          current.attack_start = e.at;
+        }
+        ++current.retransmissions;
+        break;
+      case EventKind::BusOff:
+        if (in_cycle) {
+          current.bus_off = e.at;
+          current.duration_bits =
+              static_cast<double>(e.at - current.attack_start);
+          cycles.push_back(current);
+          in_cycle = false;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return cycles;
+}
+
+std::vector<double> busoff_durations_bits(const sim::EventLog& log,
+                                          std::string_view attacker_node) {
+  std::vector<double> out;
+  for (const auto& c : busoff_cycles(log, attacker_node)) {
+    out.push_back(c.duration_bits);
+  }
+  return out;
+}
+
+sim::Summary busoff_summary_ms(const sim::EventLog& log,
+                               std::string_view attacker_node,
+                               sim::BusSpeed speed) {
+  auto bits = busoff_durations_bits(log, attacker_node);
+  for (auto& b : bits) b = speed.bits_to_ms(b);
+  return sim::summarize(bits);
+}
+
+}  // namespace mcan::analysis

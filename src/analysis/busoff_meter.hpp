@@ -1,0 +1,39 @@
+// Bus-off time measurement (paper Sec. V-C): the time from the first bit of
+// a malicious CAN message to the attacker's bus-off entry, extracted from
+// the protocol event log — the simulator's stand-in for the testbed's
+// logic-analyzer measurements.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "sim/event_log.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace mcan::analysis {
+
+struct BusOffCycle {
+  sim::BitTime attack_start{};  // SOF of the cycle's first malicious frame
+  sim::BitTime bus_off{};       // attacker entered bus-off
+  double duration_bits{};
+  int retransmissions{};        // FrameTxStart count within the cycle
+};
+
+/// All completed bus-off cycles of `attacker_node` found in the log.  A
+/// cycle starts at the first FrameTxStart after the previous BusOff (or at
+/// the first FrameTxStart overall) and ends at the next BusOff.
+[[nodiscard]] std::vector<BusOffCycle> busoff_cycles(
+    const sim::EventLog& log, std::string_view attacker_node);
+
+/// Durations in bits, ready for summarize().
+[[nodiscard]] std::vector<double> busoff_durations_bits(
+    const sim::EventLog& log, std::string_view attacker_node);
+
+/// Duration summary converted to milliseconds at a bus speed (Table II
+/// reports ms at 50 kbit/s).
+[[nodiscard]] sim::Summary busoff_summary_ms(const sim::EventLog& log,
+                                             std::string_view attacker_node,
+                                             sim::BusSpeed speed);
+
+}  // namespace mcan::analysis

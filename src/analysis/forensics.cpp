@@ -1,0 +1,120 @@
+#include "analysis/forensics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace mcan::analysis {
+
+using sim::EventKind;
+
+double NodeForensics::destruction_ratio() const {
+  if (frames_attempted == 0) return 0.0;
+  const auto destroyed = frames_attempted - std::min(frames_completed,
+                                                     frames_attempted);
+  return static_cast<double>(destroyed) /
+         static_cast<double>(frames_attempted);
+}
+
+const NodeForensics* ForensicsReport::find(std::string_view node) const {
+  for (const auto& n : nodes) {
+    if (n.node == node) return &n;
+  }
+  return nullptr;
+}
+
+ForensicsReport analyze(const sim::EventLog& log) {
+  ForensicsReport report;
+  std::map<std::string, NodeForensics> by_node;
+  std::vector<double> detection_bits;
+
+  // Episode tracking: counterattacked CAN ID -> open episode index.
+  // Map attacker node -> the ID it is currently being confined for (the
+  // bus-off event carries the node, not always the same id field).
+  std::map<std::uint32_t, std::size_t> open_by_id;
+
+  for (const auto& e : log.events()) {
+    auto& n = by_node[e.node];
+    n.node = e.node;
+    switch (e.kind) {
+      case EventKind::FrameTxStart: ++n.frames_attempted; break;
+      case EventKind::FrameTxSuccess: ++n.frames_completed; break;
+      case EventKind::TxError:
+        ++n.tx_errors;
+        ++n.tx_error_types[static_cast<can::ErrorType>(e.a)];
+        break;
+      case EventKind::RxError: ++n.rx_errors; break;
+      case EventKind::ArbitrationLost: ++n.arbitration_losses; break;
+      case EventKind::BusOff: {
+        ++n.bus_offs;
+        // Close the open episode for the ID this node was retransmitting.
+        const auto it = open_by_id.find(e.id);
+        if (it != open_by_id.end()) {
+          auto& ep = report.episodes[it->second];
+          ep.bus_off = e.at;
+          ep.eradicated = true;
+          open_by_id.erase(it);
+        }
+        break;
+      }
+      case EventKind::BusOffRecovered: ++n.recoveries; break;
+      case EventKind::OverloadFrame: ++n.overloads; break;
+      case EventKind::AttackDetected:
+        ++report.total_attacks_detected;
+        detection_bits.push_back(static_cast<double>(e.a));
+        break;
+      case EventKind::CounterattackStart: {
+        ++report.total_counterattacks;
+        const auto it = open_by_id.find(e.id);
+        if (it == open_by_id.end()) {
+          AttackEpisode ep;
+          ep.attacker_id = e.id;
+          ep.first_detection = e.at;
+          ep.counterattacks = 1;
+          open_by_id[e.id] = report.episodes.size();
+          report.episodes.push_back(ep);
+        } else {
+          ++report.episodes[it->second].counterattacks;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  report.nodes.reserve(by_node.size());
+  for (auto& [name, n] : by_node) report.nodes.push_back(std::move(n));
+  report.detection_bit_positions = sim::summarize(detection_bits);
+  return report;
+}
+
+std::string ForensicsReport::to_string() const {
+  std::ostringstream os;
+  os << "=== forensics report ===\n"
+     << "attacks detected: " << total_attacks_detected
+     << ", counterattacks: " << total_counterattacks
+     << ", mean detection bit: " << detection_bit_positions.mean << "\n";
+  os << "episodes (" << episodes.size() << "):\n";
+  for (const auto& ep : episodes) {
+    os << "  id 0x" << std::hex << ep.attacker_id << std::dec
+       << " first detected at bit " << ep.first_detection << ", "
+       << ep.counterattacks << " counterattacks, "
+       << (ep.eradicated
+               ? "bused off at bit " + std::to_string(ep.bus_off)
+               : std::string{"NOT eradicated"})
+       << "\n";
+  }
+  os << "nodes:\n";
+  for (const auto& n : nodes) {
+    os << "  " << n.node << ": " << n.frames_completed << "/"
+       << n.frames_attempted << " frames, tx_err " << n.tx_errors
+       << ", rx_err " << n.rx_errors << ", arb_loss "
+       << n.arbitration_losses << ", bus_off " << n.bus_offs
+       << ", destroyed " << static_cast<int>(n.destruction_ratio() * 100)
+       << "%\n";
+  }
+  return os.str();
+}
+
+}  // namespace mcan::analysis

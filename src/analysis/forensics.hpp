@@ -1,0 +1,60 @@
+// Post-incident forensics: reconstruct what happened on the bus from the
+// protocol event log — the analysis a security engineer would run on a
+// recording after MichiCAN fired (and what the paper's authors do by hand
+// when explaining Fig. 6).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "can/types.hpp"
+#include "sim/event_log.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace mcan::analysis {
+
+/// Per-node digest of an incident recording.
+struct NodeForensics {
+  std::string node;
+  std::uint64_t frames_attempted{};   // FrameTxStart events
+  std::uint64_t frames_completed{};   // FrameTxSuccess events
+  std::uint64_t tx_errors{};
+  std::uint64_t rx_errors{};
+  std::uint64_t arbitration_losses{};
+  std::uint64_t bus_offs{};
+  std::uint64_t recoveries{};
+  std::uint64_t overloads{};
+  std::map<can::ErrorType, std::uint64_t> tx_error_types;
+  /// Destroyed-attempt ratio: 1 - completed/attempted (1.0 for a fully
+  /// suppressed attacker, ~0 for a healthy ECU).
+  [[nodiscard]] double destruction_ratio() const;
+};
+
+/// One detected attack episode: from the first counterattacked frame to
+/// the attacker's bus-off (or the end of the log).
+struct AttackEpisode {
+  std::uint32_t attacker_id{};       // CAN ID under counterattack
+  sim::BitTime first_detection{};
+  sim::BitTime bus_off{};            // 0 if never confined
+  std::uint64_t counterattacks{};
+  bool eradicated{};
+};
+
+struct ForensicsReport {
+  std::vector<NodeForensics> nodes;           // alphabetical by node name
+  std::vector<AttackEpisode> episodes;        // chronological
+  std::uint64_t total_counterattacks{};
+  std::uint64_t total_attacks_detected{};
+  sim::Summary detection_bit_positions;       // over AttackDetected events
+
+  [[nodiscard]] const NodeForensics* find(std::string_view node) const;
+  /// Human-readable multi-line summary.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Digest a whole event log.
+[[nodiscard]] ForensicsReport analyze(const sim::EventLog& log);
+
+}  // namespace mcan::analysis

@@ -1,0 +1,32 @@
+// Minimal ASCII table renderer for the bench binaries that regenerate the
+// paper's tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mcan::analysis {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header separator.
+  void print(std::ostream& os, const std::string& title = {}) const;
+
+  [[nodiscard]] std::string to_string(const std::string& title = {}) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting helper for table cells.
+[[nodiscard]] std::string fmt(double value, int precision = 2);
+[[nodiscard]] std::string fmt_hex(unsigned value);
+[[nodiscard]] std::string fmt_pct(double fraction, int precision = 1);
+
+}  // namespace mcan::analysis

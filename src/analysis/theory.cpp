@@ -1,0 +1,58 @@
+#include "analysis/theory.hpp"
+
+namespace mcan::analysis::theory {
+namespace {
+
+int at(const std::vector<int>& v, std::size_t i) {
+  return i < v.size() ? v[i] : 0;
+}
+
+}  // namespace
+
+double isolated_total_bits() {
+  return kRetransmissionsPerPhase * (kErrorActiveBits + kErrorPassiveBits);
+}
+
+double t_active(int c_ha, double s_f) {
+  return kErrorActiveBits + s_f * c_ha;
+}
+
+double t_passive(int c_hp, int c_lp, double s_f) {
+  return kErrorPassiveBits + s_f * (c_hp + c_lp);
+}
+
+double restbus_total_bits(const std::vector<int>& c_ha,
+                          const std::vector<int>& c_hp_plus_lp, double s_f) {
+  double total = 0;
+  for (std::size_t i = 0; i < kRetransmissionsPerPhase; ++i) {
+    total += t_active(at(c_ha, i), s_f);
+    total += t_passive(at(c_hp_plus_lp, i), 0, s_f);
+  }
+  return total;
+}
+
+double exp5_hp_total_bits(const std::vector<int>& z_lp,
+                          double s_f_attacker) {
+  double total = kRetransmissionsPerPhase * kErrorActiveBits;  // 560
+  for (std::size_t i = 0; i < kRetransmissionsPerPhase; ++i) {
+    total += kErrorPassiveBits + s_f_attacker * at(z_lp, i);
+  }
+  return total;
+}
+
+double exp5_lp_total_bits(const std::vector<int>& z_ha,
+                          const std::vector<int>& z_hp,
+                          double s_f_attacker) {
+  double total = 0;
+  for (std::size_t i = 0; i < kRetransmissionsPerPhase; ++i) {
+    total += kErrorActiveBits + s_f_attacker * at(z_ha, i);
+    total += kErrorPassiveBits + s_f_attacker * at(z_hp, i);
+  }
+  return total;
+}
+
+double deadline_budget_bits(double deadline_ms, double bits_per_second) {
+  return deadline_ms * 1e-3 * bits_per_second;
+}
+
+}  // namespace mcan::analysis::theory

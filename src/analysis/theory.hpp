@@ -1,0 +1,59 @@
+// Closed-form bus-off time calculations (paper Table III and Sec. V-C).
+//
+// Worst-case single attacker (MichiCAN injects 6 dominant bits):
+//   error-active  retransmission: t_a = 35 bits
+//   error-passive retransmission: t_p = 43 bits (8-bit suspend on top)
+//   isolated total: 16 * (t_a + t_p) = 1248 bits.
+// Benign (or rival-attacker) frames of length s_f can interrupt individual
+// retransmissions, extending the respective terms.
+#pragma once
+
+#include <vector>
+
+namespace mcan::analysis::theory {
+
+inline constexpr double kErrorActiveBits = 35.0;   // worst case, Sec. V-C
+inline constexpr double kErrorPassiveBits = 43.0;
+inline constexpr double kBestErrorActiveBits = 30.0;
+inline constexpr double kBestErrorPassiveBits = 38.0;
+inline constexpr int kRetransmissionsPerPhase = 16;
+inline constexpr double kAvgFrameBits = 125.0;  // s_f, paper Sec. V-C
+
+/// Isolated attacker (Exps. 2, 4, 6): 16 * (35 + 43) = 1248 bits.
+[[nodiscard]] double isolated_total_bits();
+
+/// Error-active retransmission extended by c_ha interrupting higher-priority
+/// frames: t_a = 35 + s_f * c_ha  (Table III row 1).
+[[nodiscard]] double t_active(int c_ha, double s_f = kAvgFrameBits);
+
+/// Error-passive retransmission extended by (c_hp + c_lp) interrupting
+/// frames: t_p = 43 + s_f * (c_hp + c_lp).
+[[nodiscard]] double t_passive(int c_hp, int c_lp,
+                               double s_f = kAvgFrameBits);
+
+/// Restbus case (Exps. 1, 3): sum of per-retransmission times with given
+/// interruption counts per attempt (vectors of length 16; shorter vectors
+/// are zero-padded).
+[[nodiscard]] double restbus_total_bits(const std::vector<int>& c_ha,
+                                        const std::vector<int>& c_hp_plus_lp,
+                                        double s_f = kAvgFrameBits);
+
+/// Exp. 5 higher-priority attacker: its 16 active retransmissions run
+/// uninterrupted (560 bits) but each passive one can be interleaved with
+/// z_lp lower-priority rival frames: 560 + sum(43 + s_f_a * z_lp_i).
+[[nodiscard]] double exp5_hp_total_bits(const std::vector<int>& z_lp,
+                                        double s_f_attacker);
+
+/// Exp. 5 lower-priority attacker: both phases can be interrupted by the
+/// higher-priority rival.
+[[nodiscard]] double exp5_lp_total_bits(const std::vector<int>& z_ha,
+                                        const std::vector<int>& z_hp,
+                                        double s_f_attacker);
+
+/// The deadline argument of Sec. V-C: a bus-off sequence must fit within
+/// the tightest message deadline (10 ms => 5000 bits at 500 kbit/s, 500
+/// bits at 50 kbit/s scaled accordingly).
+[[nodiscard]] double deadline_budget_bits(double deadline_ms,
+                                          double bits_per_second);
+
+}  // namespace mcan::analysis::theory

@@ -1,0 +1,78 @@
+// Attacker ECUs per the paper's threat model (Sec. III): a remotely
+// compromised ECU that can send arbitrary CAN frames through its
+// *spec-compliant* protocol controller — it cannot violate the protocol,
+// which is precisely the property MichiCAN's counterattack exploits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "can/bus.hpp"
+#include "can/controller.hpp"
+#include "can/frame.hpp"
+#include "sim/rng.hpp"
+
+namespace mcan::attack {
+
+/// Attack flavours from the paper (Sec. III / Fig. 2).
+enum class AttackKind : std::uint8_t {
+  Spoofing,        // fabricate a legitimate ECU's ID (Def. IV.1)
+  TraditionalDos,  // lowest-priority ID (0x000) blocks everyone
+  TargetedDos,     // an ID just below the victim's silences it selectively
+  Miscellaneous,   // ID above the highest legitimate one (harmless)
+  Alternating,     // Exp. 6: one ECU toggling between two IDs
+};
+
+struct AttackerConfig {
+  std::vector<can::CanId> ids;   // IDs to inject (rotated round-robin)
+  bool extended{false};          // inject 29-bit (CAN 2.0B) frames
+  std::uint8_t dlc{8};
+  /// Injection period in bit times; 0 = continuous flood (a frame is
+  /// enqueued whenever the transmit queue runs dry).
+  double period_bits{0.0};
+  /// Fresh random payload per injected frame (drives the stuff-bit variance
+  /// behind Table II's non-zero sigma); false = fixed zero payload.
+  bool random_payload{true};
+  /// Keep attacking after bus-off recovery (persistent attacker, Sec. V-E).
+  bool persistent{true};
+  /// Abort pending mailboxes on bus-off (real controllers do); required for
+  /// Exp. 6 where the *other* queued ID transmits after recovery.
+  bool clear_queue_on_bus_off{false};
+  std::uint64_t seed{1};
+};
+
+/// A compromised ECU driving one of the attack patterns.
+class Attacker {
+ public:
+  Attacker(std::string name, AttackerConfig cfg);
+
+  void attach_to(can::WiredAndBus& bus) { ctrl_.attach_to(bus); }
+
+  [[nodiscard]] can::BitController& node() noexcept { return ctrl_; }
+  [[nodiscard]] const can::BitController& node() const noexcept {
+    return ctrl_;
+  }
+  [[nodiscard]] std::uint64_t frames_injected() const noexcept {
+    return injected_;
+  }
+
+  /// Convenience factories for the paper's experiments.
+  static AttackerConfig spoof(can::CanId victim_id);
+  static AttackerConfig traditional_dos();
+  static AttackerConfig targeted_dos(can::CanId id);
+  static AttackerConfig miscellaneous(can::CanId id);
+  static AttackerConfig alternating(can::CanId a, can::CanId b);
+
+ private:
+  void pump(sim::BitTime now);
+
+  AttackerConfig cfg_;
+  can::BitController ctrl_;
+  sim::Rng rng_;
+  std::size_t next_id_{0};
+  double next_due_{0.0};
+  std::uint64_t injected_{0};
+};
+
+}  // namespace mcan::attack

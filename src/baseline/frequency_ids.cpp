@@ -1,0 +1,66 @@
+#include "baseline/frequency_ids.hpp"
+
+#include <algorithm>
+
+namespace mcan::baseline {
+
+FrequencyIds::FrequencyIds(std::string name, FrequencyIdsConfig cfg)
+    : cfg_(cfg), ctrl_(name + "/rx"), name_(std::move(name)) {
+  ctrl_.set_rx_callback([this](const can::CanFrame& f, sim::BitTime now) {
+    on_frame(f, now);
+  });
+  ctrl_.add_app([this](sim::BitTime now, can::BitController&) {
+    if (static_cast<double>(now - window_start_) >= cfg_.window_bits) {
+      roll_window(now);
+    }
+  });
+}
+
+void FrequencyIds::attach_to(can::WiredAndBus& bus) {
+  ctrl_.attach_to(bus);
+  log_ = &bus.log();
+}
+
+void FrequencyIds::on_frame(const can::CanFrame& frame, sim::BitTime now) {
+  ++frames_observed_;
+  ++window_counts_[frame.id];
+  if (!trained()) return;
+
+  if (cfg_.alarm_on_unknown && !trained_counts_.contains(frame.id)) {
+    raise_alarm(now);
+    return;
+  }
+  const auto it = trained_counts_.find(frame.id);
+  if (it != trained_counts_.end() &&
+      static_cast<double>(window_counts_[frame.id]) >
+          cfg_.rate_factor * static_cast<double>(std::max<std::uint64_t>(
+                                 it->second, 1))) {
+    raise_alarm(now);
+  }
+}
+
+void FrequencyIds::roll_window(sim::BitTime now) {
+  if (!trained()) {
+    // Training: remember the largest per-window count seen for each ID.
+    for (const auto& [id, count] : window_counts_) {
+      trained_counts_[id] = std::max(trained_counts_[id], count);
+    }
+    ++windows_seen_;
+  }
+  window_counts_.clear();
+  window_start_ = now;
+}
+
+void FrequencyIds::raise_alarm(sim::BitTime now) {
+  if (alarms_ == 0) {
+    first_alarm_ = now;
+    frames_until_alarm_ = frames_observed_;
+    if (log_ != nullptr) {
+      log_->push({now, name_, sim::EventKind::AttackDetected, 0, -1, 0,
+                  "frequency-IDS alarm"});
+    }
+  }
+  ++alarms_;
+}
+
+}  // namespace mcan::baseline

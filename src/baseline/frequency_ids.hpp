@@ -1,0 +1,72 @@
+// Frequency-based intrusion detection baseline — the "IDS [15]-[17]" row of
+// Table I, modelled after sliding-window frequency analysis (Ohira et al.).
+//
+// The IDS is application-level and passive: it sees only *complete* frames,
+// learns per-ID arrival rates during a training phase, and raises an alarm
+// when a window shows an unknown ID or a rate explosion.  It demonstrates
+// the two structural limits the paper contrasts MichiCAN against:
+//   * no real-time capability — detection needs at least one full window of
+//     completed frames, long after the first malicious bit, and
+//   * no eradication — the alarm changes nothing on the bus; the DoS keeps
+//     starving every victim.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "can/bus.hpp"
+#include "can/controller.hpp"
+#include "sim/types.hpp"
+
+namespace mcan::baseline {
+
+struct FrequencyIdsConfig {
+  double window_bits{5000};   // sliding-window length
+  double rate_factor{3.0};    // alarm when count > factor * trained count
+  int training_windows{4};    // windows observed before detection starts
+  bool alarm_on_unknown{true};
+};
+
+class FrequencyIds {
+ public:
+  FrequencyIds(std::string name, FrequencyIdsConfig cfg);
+
+  void attach_to(can::WiredAndBus& bus);
+
+  [[nodiscard]] bool trained() const noexcept {
+    return windows_seen_ >= cfg_.training_windows;
+  }
+  [[nodiscard]] std::uint64_t alarms() const noexcept { return alarms_; }
+  [[nodiscard]] bool alarmed() const noexcept { return alarms_ > 0; }
+  /// Bit time of the first alarm (0 when none was raised).
+  [[nodiscard]] sim::BitTime first_alarm() const noexcept {
+    return first_alarm_;
+  }
+  /// Complete frames observed before the first alarm fired.
+  [[nodiscard]] std::uint64_t frames_until_alarm() const noexcept {
+    return frames_until_alarm_;
+  }
+  [[nodiscard]] can::BitController& node() noexcept { return ctrl_; }
+
+ private:
+  void on_frame(const can::CanFrame& frame, sim::BitTime now);
+  void roll_window(sim::BitTime now);
+  void raise_alarm(sim::BitTime now);
+
+  FrequencyIdsConfig cfg_;
+  can::BitController ctrl_;
+  sim::EventLog* log_{nullptr};
+  std::string name_;
+
+  std::map<can::CanId, std::uint64_t> trained_counts_;  // max per window
+  std::map<can::CanId, std::uint64_t> window_counts_;
+  sim::BitTime window_start_{0};
+  int windows_seen_{0};
+  std::uint64_t frames_observed_{0};
+  std::uint64_t alarms_{0};
+  sim::BitTime first_alarm_{0};
+  std::uint64_t frames_until_alarm_{0};
+};
+
+}  // namespace mcan::baseline

@@ -1,0 +1,67 @@
+// Parrot baseline (Dagan & Wool, ESCAR 2016) — the paper's closest prior
+// work and the comparison target of Secs. V-C and V-E.
+//
+// Parrot is application-level: an ECU can only observe *complete* frames.
+// When it receives a frame carrying its own CAN ID (that it did not send),
+// it knows it is being spoofed — but the first instance is already on the
+// bus, so Parrot arms itself and counterattacks from the *second* instance
+// on, by flooding the bus with same-ID, all-dominant-payload frames.  A
+// flood frame that SOF-aligns with the attacker's next transmission wins
+// every payload collision (0x00 bytes are dominant), forcing bit errors on
+// the attacker until it is bused off.
+//
+// The costs MichiCAN eliminates (paper Table I / Sec. V-E):
+//   * one full attack instance passes unharmed before any reaction,
+//   * the flood drives the bus load towards 100 % while active,
+//   * the defender transmits real frames, so its own TEC suffers from the
+//     collision error frames — it nearly buses itself off.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "can/bus.hpp"
+#include "can/controller.hpp"
+#include "can/frame.hpp"
+
+namespace mcan::baseline {
+
+struct ParrotConfig {
+  can::CanId own_id{};
+  std::uint8_t dlc{8};  // flood frames use this DLC with all-zero payload
+  /// Stop flooding after this many bits without another spoofed instance
+  /// (the attacker is presumed bused off or gone).
+  double disarm_after_bits{600};
+};
+
+class ParrotNode {
+ public:
+  ParrotNode(std::string name, ParrotConfig cfg);
+
+  void attach_to(can::WiredAndBus& bus);
+
+  [[nodiscard]] can::BitController& node() noexcept { return ctrl_; }
+  [[nodiscard]] const can::BitController& node() const noexcept {
+    return ctrl_;
+  }
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+  [[nodiscard]] std::uint64_t spoofs_seen() const noexcept {
+    return spoofs_seen_;
+  }
+  [[nodiscard]] std::uint64_t flood_frames() const noexcept {
+    return floods_;
+  }
+
+ private:
+  void pump(sim::BitTime now);
+
+  ParrotConfig cfg_;
+  can::BitController ctrl_;
+  bool armed_{false};
+  sim::BitTime last_spoof_{0};
+  std::uint64_t prev_tx_errors_{0};
+  std::uint64_t spoofs_seen_{0};
+  std::uint64_t floods_{0};
+};
+
+}  // namespace mcan::baseline

@@ -1,0 +1,163 @@
+#include "can/bitstream.hpp"
+
+#include <cassert>
+
+#include "can/crc15.hpp"
+
+namespace mcan::can {
+
+using sim::BitLevel;
+
+int stuffed_region_length(int dlc, bool rtr, bool extended) noexcept {
+  const int data_bits = rtr ? 0 : 8 * dlc;
+  if (extended) {
+    // SOF + base ID + SRR + IDE + ext ID + RTR + r1 + r0 + DLC + data + CRC
+    return 1 + kIdBits + 1 + 1 + 18 + 1 + 1 + 1 + 4 + data_bits + kCrcBits;
+  }
+  // SOF + ID + RTR + IDE + r0 + DLC + data + CRC
+  return 1 + kIdBits + 1 + 1 + 1 + 4 + data_bits + kCrcBits;
+}
+
+int unstuffed_frame_length(int dlc, bool rtr, bool extended) noexcept {
+  // stuffed region + CRC delimiter + ACK slot + ACK delimiter + 7 EOF bits
+  return stuffed_region_length(dlc, rtr, extended) + 1 + 1 + 1 + 7;
+}
+
+Field field_at(int unstuffed_pos, int dlc, bool rtr, bool extended) noexcept {
+  assert(unstuffed_pos >= 0 && dlc >= 0 && dlc <= 8);
+  const int data_bits = rtr ? 0 : 8 * dlc;
+  if (unstuffed_pos == kPosSof) return Field::Sof;
+  if (unstuffed_pos <= kPosIdLast) return Field::Id;
+  int pos;
+  if (extended) {
+    if (unstuffed_pos == kPosSrr) return Field::Srr;
+    if (unstuffed_pos == kPosIde) return Field::Ide;
+    if (unstuffed_pos <= kPosExtIdLast) return Field::ExtId;
+    if (unstuffed_pos == kPosRtrExt) return Field::Rtr;
+    if (unstuffed_pos == kPosR1) return Field::R1;
+    if (unstuffed_pos == kPosR0Ext) return Field::R0;
+    if (unstuffed_pos <= kPosDlcLastExt) return Field::Dlc;
+    pos = unstuffed_pos - kPosDataFirstExt;
+  } else {
+    if (unstuffed_pos == kPosRtr) return Field::Rtr;
+    if (unstuffed_pos == kPosIde) return Field::Ide;
+    if (unstuffed_pos == kPosR0) return Field::R0;
+    if (unstuffed_pos <= kPosDlcLast) return Field::Dlc;
+    pos = unstuffed_pos - kPosDataFirst;
+  }
+  if (pos < data_bits) return Field::Data;
+  pos -= data_bits;
+  if (pos < kCrcBits) return Field::Crc;
+  pos -= kCrcBits;
+  switch (pos) {
+    case 0: return Field::CrcDelim;
+    case 1: return Field::AckSlot;
+    case 2: return Field::AckDelim;
+    default: return Field::Eof;
+  }
+}
+
+std::vector<std::uint8_t> unstuffed_bits(const CanFrame& frame) {
+  assert(frame.valid());
+  std::vector<std::uint8_t> bits;
+  bits.reserve(static_cast<std::size_t>(
+      unstuffed_frame_length(frame.dlc, frame.rtr, frame.extended)));
+
+  bits.push_back(0);  // SOF
+  if (frame.extended) {
+    for (int i = kExtIdBits - 1; i >= 18; --i) {  // 11 base ID bits
+      bits.push_back(static_cast<std::uint8_t>((frame.id >> i) & 1));
+    }
+    bits.push_back(1);  // SRR
+    bits.push_back(1);  // IDE (recessive: extended format)
+    for (int i = 17; i >= 0; --i) {  // 18 extension bits
+      bits.push_back(static_cast<std::uint8_t>((frame.id >> i) & 1));
+    }
+    bits.push_back(frame.rtr ? 1 : 0);  // RTR
+    bits.push_back(0);                  // r1
+    bits.push_back(0);                  // r0
+  } else {
+    for (int i = kIdBits - 1; i >= 0; --i) {
+      bits.push_back(static_cast<std::uint8_t>((frame.id >> i) & 1));
+    }
+    bits.push_back(frame.rtr ? 1 : 0);  // RTR
+    bits.push_back(0);                  // IDE
+    bits.push_back(0);                  // r0
+  }
+  for (int i = 3; i >= 0; --i) {
+    bits.push_back(static_cast<std::uint8_t>((frame.dlc >> i) & 1));
+  }
+  if (!frame.rtr) {
+    for (int byte = 0; byte < frame.dlc; ++byte) {
+      for (int i = 7; i >= 0; --i) {
+        bits.push_back(static_cast<std::uint8_t>(
+            (frame.data[static_cast<std::size_t>(byte)] >> i) & 1));
+      }
+    }
+  }
+  const std::uint16_t crc = crc15({bits.data(), bits.size()});
+  for (int i = kCrcBits - 1; i >= 0; --i) {
+    bits.push_back(static_cast<std::uint8_t>((crc >> i) & 1));
+  }
+  bits.push_back(1);  // CRC delimiter
+  bits.push_back(1);  // ACK slot (transmitter drives recessive)
+  bits.push_back(1);  // ACK delimiter
+  for (int i = 0; i < 7; ++i) bits.push_back(1);  // EOF
+  return bits;
+}
+
+std::vector<TxBit> wire_bits(const CanFrame& frame) {
+  const auto raw = unstuffed_bits(frame);
+  const int stuffed_end =
+      stuffed_region_length(frame.dlc, frame.rtr, frame.extended);
+
+  std::vector<TxBit> out;
+  out.reserve(raw.size() + raw.size() / 4);
+
+  BitLevel run_level = BitLevel::Recessive;
+  int run = 0;
+  for (int pos = 0; pos < static_cast<int>(raw.size()); ++pos) {
+    const auto level = sim::from_bit(raw[static_cast<std::size_t>(pos)]);
+    const Field field =
+        field_at(pos, frame.dlc, frame.rtr, frame.extended);
+    out.push_back({level, field, pos, /*is_stuff=*/false});
+
+    if (pos < stuffed_end) {
+      if (run > 0 && level == run_level) {
+        ++run;
+      } else {
+        run_level = level;
+        run = 1;
+      }
+      if (run == 5) {
+        // Insert a stuff bit of the opposite level.  It is only emitted if
+        // the next real bit is still inside the stuffed region OR this was
+        // the last bit of the region (stuff bit after the final CRC bit is
+        // never needed: the CRC delimiter is recessive and unstuffed).
+        if (pos + 1 < stuffed_end) {
+          const auto stuffed = sim::invert(level);
+          out.push_back({stuffed, field, pos, /*is_stuff=*/true});
+          run_level = stuffed;
+          run = 1;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Destuffer::Result Destuffer::feed(BitLevel level) noexcept {
+  if (have_last_ && level == last_) {
+    ++run_;
+    if (run_ >= 6) return Result::StuffError;
+    return Result::DataBit;
+  }
+  // Level change: if the previous run had length 5, this is a stuff bit.
+  const bool stuff = have_last_ && run_ == 5;
+  last_ = level;
+  run_ = 1;
+  have_last_ = true;
+  return stuff ? Result::StuffBit : Result::DataBit;
+}
+
+}  // namespace mcan::can

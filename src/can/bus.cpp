@@ -1,0 +1,18 @@
+#include "can/bus.hpp"
+
+namespace mcan::can {
+
+void WiredAndBus::step() {
+  for (auto* n : nodes_) n->tick(now_);
+
+  auto level = sim::BitLevel::Recessive;
+  for (auto* n : nodes_) level = sim::wired_and(level, n->tx_level());
+
+  trace_.sample(level);
+  last_ = level;
+
+  for (auto* n : nodes_) n->on_bus_bit(level);
+  ++now_;
+}
+
+}  // namespace mcan::can

@@ -1,0 +1,57 @@
+// The shared medium: a wired-AND bus stepped at nominal bit-time
+// granularity, with a logic-analyzer trace and a protocol event log.
+#pragma once
+
+#include <vector>
+
+#include "can/node.hpp"
+#include "sim/event_log.hpp"
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+
+namespace mcan::can {
+
+class WiredAndBus {
+ public:
+  explicit WiredAndBus(sim::BusSpeed speed = {}) : speed_(speed) {}
+
+  /// Attach a node.  The bus does not own nodes; callers must keep them
+  /// alive for the bus's lifetime.
+  void attach(CanNode& node) { nodes_.push_back(&node); }
+
+  /// Advance one nominal bit time.
+  void step();
+
+  /// Advance `bits` bit times.
+  void run(sim::BitTime bits) {
+    for (sim::BitTime i = 0; i < bits; ++i) step();
+  }
+
+  /// Advance until `ms` milliseconds of bus time have elapsed.
+  void run_ms(double ms) {
+    run(static_cast<sim::BitTime>(speed_.ms_to_bits(ms)));
+  }
+
+  [[nodiscard]] sim::BitTime now() const noexcept { return now_; }
+  [[nodiscard]] sim::BusSpeed speed() const noexcept { return speed_; }
+
+  [[nodiscard]] sim::LogicAnalyzer& trace() noexcept { return trace_; }
+  [[nodiscard]] const sim::LogicAnalyzer& trace() const noexcept {
+    return trace_;
+  }
+  [[nodiscard]] sim::EventLog& log() noexcept { return log_; }
+  [[nodiscard]] const sim::EventLog& log() const noexcept { return log_; }
+
+  /// Resolved level of the most recent bit (recessive before any step).
+  [[nodiscard]] sim::BitLevel last_level() const noexcept { return last_; }
+
+ private:
+  sim::BusSpeed speed_;
+  std::vector<CanNode*> nodes_;
+  sim::BitTime now_{0};
+  sim::BitLevel last_{sim::BitLevel::Recessive};
+  sim::LogicAnalyzer trace_;
+  sim::EventLog log_;
+};
+
+}  // namespace mcan::can

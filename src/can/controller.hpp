@@ -1,0 +1,207 @@
+// A complete, bit-level CAN 2.0A controller.
+//
+// This is the data-link layer a real ECU's (integrated) CAN controller
+// implements: SOF detection and hard synchronization, bit-by-bit arbitration
+// over the wired-AND bus, bit stuffing/destuffing, CRC-15 generation and
+// checking, acknowledgement, active/passive error signalling, the error
+// delimiter, intermission, suspend transmission for error-passive
+// transmitters, automatic retransmission, and fault confinement with bus-off
+// and recovery after 128 sequences of 11 recessive bits.
+//
+// Both legitimate ECUs and attackers are built from this class: the paper's
+// threat model requires the attacker to go through a spec-compliant protocol
+// controller, which is precisely what MichiCAN's counterattack exploits.
+//
+// Overload frames are implemented per ISO 11898-1: a dominant level during
+// the first two intermission bits or at the last EOF bit triggers a
+// six-dominant overload flag plus delimiter without touching the error
+// counters (at most two consecutive overload frames; a dominant level at
+// the third intermission bit is SOF).  Compliant nodes never create
+// overload conditions themselves; fault injection can.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "can/bitstream.hpp"
+#include "can/bus.hpp"
+#include "can/fault.hpp"
+#include "can/frame.hpp"
+#include "can/node.hpp"
+#include "sim/event_log.hpp"
+#include "sim/types.hpp"
+
+namespace mcan::can {
+
+class BitController : public CanNode {
+ public:
+  struct Config {
+    bool auto_retransmit{true};   // retransmit after errors/arbitration loss
+    bool auto_recover{true};      // leave bus-off after 128 * 11 recessive
+    bool ack_enabled{true};       // acknowledge valid frames
+    bool clear_queue_on_bus_off{false};
+    std::size_t tx_queue_capacity{64};
+  };
+
+  struct Stats {
+    std::uint64_t frames_sent{};
+    std::uint64_t frames_received{};
+    std::uint64_t tx_errors{};
+    std::uint64_t rx_errors{};
+    std::uint64_t arbitration_losses{};
+    std::uint64_t bus_off_entries{};
+    std::uint64_t recoveries{};
+    std::uint64_t dropped_frames{};  // enqueue on full queue
+    std::uint64_t overload_frames{};
+  };
+
+  explicit BitController(std::string name);
+  BitController(std::string name, Config cfg);
+
+  /// Attach to a bus (registers the node and wires up the event log).
+  void attach_to(WiredAndBus& bus);
+
+  /// Wire up the event log only — used when this controller is embedded in
+  /// a composite node (e.g. a MichiCAN ECU) that attaches to the bus itself.
+  void set_event_sink(sim::EventLog* log) noexcept { log_ = log; }
+
+  /// Queue a frame for transmission.  Returns false (and counts a drop)
+  /// when the TX queue is full.
+  bool enqueue(const CanFrame& frame);
+
+  /// Application hook run once per bit time before bus arbitration;
+  /// used by periodic senders and attack strategies.
+  void add_app(std::function<void(sim::BitTime, BitController&)> app);
+
+  /// Called for every complete, valid frame received from the bus.
+  void set_rx_callback(std::function<void(const CanFrame&, sim::BitTime)> cb);
+
+  /// Called after each successful own transmission.
+  void set_tx_callback(std::function<void(const CanFrame&, sim::BitTime)> cb);
+
+  // --- queries ------------------------------------------------------------
+  [[nodiscard]] ErrorState error_state() const noexcept {
+    return fault_.state();
+  }
+  [[nodiscard]] int tec() const noexcept { return fault_.tec(); }
+  [[nodiscard]] int rec() const noexcept { return fault_.rec(); }
+  [[nodiscard]] bool is_bus_off() const noexcept {
+    return phase_ == Phase::BusOff;
+  }
+  /// True while this controller is the active transmitter of the frame
+  /// currently on the bus (it has won or is still in arbitration).
+  [[nodiscard]] bool is_transmitting() const noexcept {
+    return phase_ == Phase::Transmit;
+  }
+  [[nodiscard]] std::optional<CanId> active_tx_id() const noexcept;
+  [[nodiscard]] std::size_t queue_depth() const noexcept { return txq_.size(); }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] sim::BitTime now() const noexcept { return now_; }
+
+  /// Fault injection / test setup: force the error counters.
+  void force_error_counters(int tec, int rec) { fault_.set_counters(tec, rec); }
+
+  // --- CanNode ------------------------------------------------------------
+  void tick(sim::BitTime now) override;
+  [[nodiscard]] sim::BitLevel tx_level() override { return drive_; }
+  void on_bus_bit(sim::BitLevel bus) override;
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+ private:
+  enum class Phase : std::uint8_t {
+    Integrating,   // wait for 11 recessive bits before participating
+    Idle,          // bus idle, may start transmitting
+    Transmit,      // driving a frame (includes arbitration)
+    Receive,       // sampling someone else's frame
+    ActiveFlag,    // sending 6 dominant bits
+    PassiveFlag,   // sending 6 recessive bits, waiting for 6 equal levels
+    OverloadFlag,  // sending a 6-dominant overload flag (no error counted)
+    ErrorDelim,    // waiting for / counting the 8-bit error/overload
+                   // delimiter
+    Intermission,  // 3-bit inter-frame space
+    Suspend,       // 8-bit suspend window (error-passive transmitter)
+    BusOff,
+  };
+
+  struct RxEngine {
+    std::vector<std::uint8_t> bits;  // unstuffed values, SOF at index 0
+    Destuffer destuff;
+    int dlc{-1};  // parsed DLC code (clamped to 8), -1 until known
+    bool rtr{false};
+    bool ext{false};  // extended format, decided by the IDE bit
+    bool crc_ok{false};
+
+    void reset();
+    [[nodiscard]] int stuffed_len() const noexcept;
+    [[nodiscard]] CanFrame to_frame() const;
+  };
+
+  void log_event(sim::EventKind kind, std::uint32_t id = 0, std::int64_t a = 0,
+                 std::int64_t b = 0, std::string detail = {});
+
+  void start_transmit_next_bit();
+  void start_receive_with_sof();
+  void feed_rx(sim::BitLevel bus);
+  void accept_rx_frame();
+  void handle_transmit_bit(sim::BitLevel bus);
+  void complete_transmission();
+  void lose_arbitration(sim::BitLevel current_bus);
+  void begin_error(bool as_transmitter, ErrorType type, bool tec_exception);
+  void begin_overload();
+  void apply_error_counter_change(bool as_transmitter, ErrorType type,
+                                  bool tec_exception);
+  void enter_error_delim();
+  void enter_intermission();
+  void enter_bus_off();
+  void after_intermission();
+  void check_state_transition(ErrorState before);
+
+  std::string name_;
+  Config cfg_;
+  sim::EventLog* log_{nullptr};
+  sim::BitTime now_{0};
+
+  Phase phase_{Phase::Integrating};
+  sim::BitLevel drive_{sim::BitLevel::Recessive};
+  FaultConfinement fault_;
+  Stats stats_;
+
+  std::deque<CanFrame> txq_;
+  std::vector<TxBit> txbits_;
+  std::size_t txpos_{0};
+  sim::BitTime tx_start_{0};
+
+  RxEngine rx_;
+
+  int integrate_count_{0};
+  int flag_bits_left_{0};
+  // passive flag tracking
+  int passive_run_{0};
+  sim::BitLevel passive_run_level_{sim::BitLevel::Recessive};
+  bool passive_saw_dominant_{false};
+  bool pending_ack_exception_{false};
+  // error delimiter tracking
+  bool delim_seen_recessive_{false};
+  int delim_recessive_left_{0};
+  int delim_dominant_run_{0};
+  bool was_transmitter_{false};
+  bool delim_after_overload_{false};
+  int consecutive_overloads_{0};
+  // intermission / suspend
+  int intermission_left_{0};
+  int suspend_left_{0};
+  bool suspend_pending_{false};
+  // bus-off recovery
+  int busoff_recessive_run_{0};
+  int busoff_idle_seqs_{0};
+
+  std::vector<std::function<void(sim::BitTime, BitController&)>> apps_;
+  std::function<void(const CanFrame&, sim::BitTime)> rx_cb_;
+  std::function<void(const CanFrame&, sim::BitTime)> tx_cb_;
+};
+
+}  // namespace mcan::can

@@ -1,0 +1,11 @@
+#include "can/crc15.hpp"
+
+namespace mcan::can {
+
+std::uint16_t crc15(std::span<const std::uint8_t> bits) noexcept {
+  Crc15 crc;
+  for (auto b : bits) crc.feed(b);
+  return crc.value();
+}
+
+}  // namespace mcan::can

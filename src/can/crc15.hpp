@@ -1,0 +1,36 @@
+// CRC-15/CAN: x^15 + x^14 + x^10 + x^8 + x^7 + x^4 + x^3 + 1 (0x4599).
+//
+// Computed over the unstuffed bit sequence from SOF through the end of the
+// data field, exactly as ISO 11898-1 specifies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace mcan::can {
+
+inline constexpr std::uint16_t kCrc15Poly = 0x4599;
+inline constexpr int kCrcBits = 15;
+
+class Crc15 {
+ public:
+  /// Feed one bit (0 or 1), MSB-first order of the frame.
+  constexpr void feed(int bit) noexcept {
+    const auto in = static_cast<std::uint16_t>(bit & 1);
+    const auto msb = static_cast<std::uint16_t>((reg_ >> 14) & 1);
+    reg_ = static_cast<std::uint16_t>((reg_ << 1) & 0x7FFF);
+    if ((in ^ msb) != 0) reg_ ^= kCrc15Poly;
+  }
+
+  [[nodiscard]] constexpr std::uint16_t value() const noexcept { return reg_; }
+
+  constexpr void reset() noexcept { reg_ = 0; }
+
+ private:
+  std::uint16_t reg_{0};
+};
+
+/// CRC of a whole bit sequence (each element 0 or 1).
+[[nodiscard]] std::uint16_t crc15(std::span<const std::uint8_t> bits) noexcept;
+
+}  // namespace mcan::can

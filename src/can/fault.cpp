@@ -1,0 +1,4 @@
+#include "can/fault.hpp"
+
+// Header-only today; this TU anchors the target and keeps room for
+// out-of-line growth (e.g. configurable thresholds for CAN FD).

@@ -1,0 +1,73 @@
+// CAN fault confinement: transmit/receive error counters and the
+// error-active / error-passive / bus-off state machine (paper Fig. 1b).
+//
+// Rules implemented (ISO 11898-1 §10.11, numbering as in the standard):
+//  - transmitter detects an error           -> TEC += 8
+//      exception A: an error-passive transmitter detecting an ACK error
+//      that sees no dominant bit while sending its passive error flag does
+//      not increment TEC (prevents a lone node from busing itself off);
+//      exception B: a stuff error during arbitration on a stuff bit that
+//      was sent recessive but monitored dominant does not change TEC.
+//  - receiver detects an error              -> REC += 1
+//  - receiver sees a dominant bit as the first bit after sending its error
+//    flag                                   -> REC += 8
+//  - each additional run of 8 consecutive dominant bits after an error flag
+//                                           -> TEC += 8 / REC += 8
+//  - successful transmission                -> TEC -= 1 (floor 0)
+//  - successful reception                   -> REC -= 1 (if 1..127),
+//                                              REC = 127 if REC > 127
+//  - TEC > 127 or REC > 127 -> error-passive; TEC and REC <= 127 -> active
+//  - TEC >= 256 -> bus-off; recovery resets both counters to 0.
+#pragma once
+
+#include <cstdint>
+
+#include "can/types.hpp"
+
+namespace mcan::can {
+
+class FaultConfinement {
+ public:
+  [[nodiscard]] int tec() const noexcept { return tec_; }
+  [[nodiscard]] int rec() const noexcept { return rec_; }
+
+  [[nodiscard]] ErrorState state() const noexcept {
+    if (tec_ >= 256) return ErrorState::BusOff;
+    if (tec_ > 127 || rec_ > 127) return ErrorState::ErrorPassive;
+    return ErrorState::ErrorActive;
+  }
+
+  void on_transmitter_error() noexcept { tec_ += 8; }
+  void on_receiver_error() noexcept { rec_ += 1; }
+  void on_dominant_after_error_flag_tx() noexcept { tec_ += 8; }
+  void on_dominant_after_error_flag_rx() noexcept { rec_ += 8; }
+
+  void on_tx_success() noexcept {
+    if (tec_ > 0) --tec_;
+  }
+  void on_rx_success() noexcept {
+    if (rec_ > 127) {
+      rec_ = 127;
+    } else if (rec_ > 0) {
+      --rec_;
+    }
+  }
+
+  /// Bus-off recovery (after 128 * 11 recessive bits on the bus).
+  void reset() noexcept {
+    tec_ = 0;
+    rec_ = 0;
+  }
+
+  /// Force counters (tests and fault-injection only).
+  void set_counters(int tec, int rec) noexcept {
+    tec_ = tec;
+    rec_ = rec;
+  }
+
+ private:
+  int tec_{0};
+  int rec_{0};
+};
+
+}  // namespace mcan::can

@@ -1,0 +1,120 @@
+#include "can/frame.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace mcan::can {
+
+std::string_view to_string(ErrorType t) noexcept {
+  switch (t) {
+    case ErrorType::Bit: return "bit";
+    case ErrorType::Stuff: return "stuff";
+    case ErrorType::Form: return "form";
+    case ErrorType::Ack: return "ack";
+    case ErrorType::Crc: return "crc";
+  }
+  return "?";
+}
+
+std::string_view to_string(ErrorState s) noexcept {
+  switch (s) {
+    case ErrorState::ErrorActive: return "error-active";
+    case ErrorState::ErrorPassive: return "error-passive";
+    case ErrorState::BusOff: return "bus-off";
+  }
+  return "?";
+}
+
+std::string_view to_string(Field f) noexcept {
+  switch (f) {
+    case Field::Sof: return "SOF";
+    case Field::Id: return "ID";
+    case Field::Srr: return "SRR";
+    case Field::ExtId: return "extID";
+    case Field::Rtr: return "RTR";
+    case Field::Ide: return "IDE";
+    case Field::R1: return "r1";
+    case Field::R0: return "r0";
+    case Field::Dlc: return "DLC";
+    case Field::Data: return "DATA";
+    case Field::Crc: return "CRC";
+    case Field::CrcDelim: return "CRCdel";
+    case Field::AckSlot: return "ACK";
+    case Field::AckDelim: return "ACKdel";
+    case Field::Eof: return "EOF";
+  }
+  return "?";
+}
+
+CanFrame CanFrame::make(CanId id, std::initializer_list<std::uint8_t> bytes) {
+  assert(is_valid_id(id) && bytes.size() <= 8);
+  CanFrame f;
+  f.id = id;
+  f.dlc = static_cast<std::uint8_t>(bytes.size());
+  std::copy(bytes.begin(), bytes.end(), f.data.begin());
+  return f;
+}
+
+CanFrame CanFrame::make_pattern(CanId id, std::uint8_t dlc,
+                                std::uint64_t pattern) {
+  assert(is_valid_id(id) && dlc <= 8);
+  CanFrame f;
+  f.id = id;
+  f.dlc = dlc;
+  for (int i = 0; i < dlc; ++i) {
+    f.data[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(pattern >> (8 * (7 - i)));
+  }
+  return f;
+}
+
+CanFrame CanFrame::make_remote(CanId id, std::uint8_t dlc) {
+  assert(is_valid_id(id) && dlc <= 8);
+  CanFrame f;
+  f.id = id;
+  f.rtr = true;
+  f.dlc = dlc;
+  return f;
+}
+
+CanFrame CanFrame::make_ext(CanId id,
+                            std::initializer_list<std::uint8_t> bytes) {
+  assert(is_valid_ext_id(id) && bytes.size() <= 8);
+  CanFrame f;
+  f.id = id;
+  f.extended = true;
+  f.dlc = static_cast<std::uint8_t>(bytes.size());
+  std::copy(bytes.begin(), bytes.end(), f.data.begin());
+  return f;
+}
+
+bool operator==(const CanFrame& a, const CanFrame& b) noexcept {
+  if (a.id != b.id || a.extended != b.extended || a.rtr != b.rtr ||
+      a.dlc != b.dlc) {
+    return false;
+  }
+  if (a.rtr) return true;
+  return std::equal(a.data.begin(), a.data.begin() + a.dlc, b.data.begin());
+}
+
+std::string CanFrame::to_string() const {
+  std::ostringstream os;
+  os << "0x" << std::hex << id << std::dec;
+  if (extended) os << " (ext)";
+  if (rtr) {
+    os << " RTR dlc=" << int{dlc};
+  } else {
+    os << " [" << int{dlc} << "]";
+    os << std::hex;
+    for (int i = 0; i < dlc; ++i) {
+      os << ' ';
+      const int byte = data[static_cast<std::size_t>(i)];
+      if (byte < 16) os << '0';
+      os << byte;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mcan::can

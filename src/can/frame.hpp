@@ -1,0 +1,51 @@
+// CAN 2.0A data-frame model (Fig. 1a of the paper).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "can/types.hpp"
+
+namespace mcan::can {
+
+/// A CAN frame as the application sees it (ID, RTR, DLC, payload) — either
+/// CAN 2.0A (11-bit ID) or CAN 2.0B extended (29-bit ID).  Trailer fields
+/// (CRC, ACK, EOF) are derived on the wire.
+struct CanFrame {
+  CanId id{};
+  bool extended{false};                  // 29-bit identifier (CAN 2.0B)
+  bool rtr{false};                       // remote frames carry no data
+  std::uint8_t dlc{};                    // 0..8 payload bytes
+  std::array<std::uint8_t, 8> data{};    // only the first `dlc` bytes matter
+
+  [[nodiscard]] bool valid() const noexcept {
+    return (extended ? is_valid_ext_id(id) : is_valid_id(id)) && dlc <= 8;
+  }
+
+  [[nodiscard]] std::span<const std::uint8_t> payload() const noexcept {
+    return {data.data(), rtr ? 0u : dlc};
+  }
+
+  /// Convenience factory for a data frame.
+  [[nodiscard]] static CanFrame make(CanId id,
+                                     std::initializer_list<std::uint8_t> bytes);
+
+  /// Data frame with `dlc` bytes drawn from a 64-bit pattern (MSB first).
+  [[nodiscard]] static CanFrame make_pattern(CanId id, std::uint8_t dlc,
+                                             std::uint64_t pattern);
+
+  /// Remote frame (no payload on the wire, DLC still encodes a length code).
+  [[nodiscard]] static CanFrame make_remote(CanId id, std::uint8_t dlc = 0);
+
+  /// Extended (29-bit ID) data frame.
+  [[nodiscard]] static CanFrame make_ext(
+      CanId id, std::initializer_list<std::uint8_t> bytes);
+
+  friend bool operator==(const CanFrame& a, const CanFrame& b) noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace mcan::can

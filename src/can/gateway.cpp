@@ -1,0 +1,43 @@
+#include "can/gateway.hpp"
+
+#include <algorithm>
+
+namespace mcan::can {
+
+GatewayNode::GatewayNode(std::string name, Filter a_to_b, Filter b_to_a)
+    : name_(std::move(name)),
+      filter_ab_(std::move(a_to_b)),
+      filter_ba_(std::move(b_to_a)),
+      a_(name_ + "/a"),
+      b_(name_ + "/b") {
+  a_.set_rx_callback([this](const CanFrame& f, sim::BitTime) {
+    if (!filter_ab_ || !filter_ab_(f)) return;
+    if (b_.enqueue(f)) {
+      ++fwd_ab_;
+    } else {
+      ++dropped_;
+    }
+  });
+  b_.set_rx_callback([this](const CanFrame& f, sim::BitTime) {
+    if (!filter_ba_ || !filter_ba_(f)) return;
+    if (a_.enqueue(f)) {
+      ++fwd_ba_;
+    } else {
+      ++dropped_;
+    }
+  });
+}
+
+void GatewayNode::attach_to(WiredAndBus& bus_a, WiredAndBus& bus_b) {
+  a_.attach_to(bus_a);
+  b_.attach_to(bus_b);
+}
+
+GatewayNode::Filter forward_ids(std::vector<CanId> ids) {
+  std::sort(ids.begin(), ids.end());
+  return [ids = std::move(ids)](const CanFrame& f) {
+    return std::binary_search(ids.begin(), ids.end(), f.id);
+  };
+}
+
+}  // namespace mcan::can

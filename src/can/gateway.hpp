@@ -1,0 +1,55 @@
+// A store-and-forward CAN gateway bridging two buses.
+//
+// Each evaluation vehicle in the paper has two CAN buses (Sec. V-A); a
+// central gateway ECU forwards selected IDs between them.  Security-wise a
+// gateway is a containment boundary: a DoS flood on one bus only reaches
+// the other if the gateway forwards the flooded ID — which it never does
+// for IDs outside its routing table.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "can/bus.hpp"
+#include "can/controller.hpp"
+
+namespace mcan::can {
+
+class GatewayNode {
+ public:
+  /// Routing predicate: return true to forward a frame arriving on one
+  /// side to the other side.
+  using Filter = std::function<bool(const CanFrame&)>;
+
+  GatewayNode(std::string name, Filter a_to_b, Filter b_to_a);
+
+  void attach_to(WiredAndBus& bus_a, WiredAndBus& bus_b);
+
+  [[nodiscard]] BitController& side_a() noexcept { return a_; }
+  [[nodiscard]] BitController& side_b() noexcept { return b_; }
+  [[nodiscard]] std::uint64_t forwarded_a_to_b() const noexcept {
+    return fwd_ab_;
+  }
+  [[nodiscard]] std::uint64_t forwarded_b_to_a() const noexcept {
+    return fwd_ba_;
+  }
+  /// Frames matching the filter that were dropped because the egress
+  /// queue was full (e.g. the target bus is saturated by an attack).
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  std::string name_;
+  Filter filter_ab_;
+  Filter filter_ba_;
+  BitController a_;
+  BitController b_;
+  std::uint64_t fwd_ab_{0};
+  std::uint64_t fwd_ba_{0};
+  std::uint64_t dropped_{0};
+};
+
+/// Convenience filter: forward exactly the IDs in `ids`.
+[[nodiscard]] GatewayNode::Filter forward_ids(std::vector<CanId> ids);
+
+}  // namespace mcan::can

@@ -1,0 +1,33 @@
+// Interface between the wired-AND bus and anything attached to it.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sim/types.hpp"
+
+namespace mcan::can {
+
+/// A device attached to the CAN bus.  Once per nominal bit time the bus
+/// calls, in order: tick() (application work), tx_level() (the level this
+/// node drives), then on_bus_bit() with the resolved wired-AND level
+/// (the sample point).  Decisions made in on_bus_bit(t) take effect on the
+/// level driven at t+1, matching real controllers that change their output
+/// at the next bit boundary after the sample point.
+class CanNode {
+ public:
+  virtual ~CanNode() = default;
+
+  /// Application hook, called before levels are collected for this bit.
+  virtual void tick(sim::BitTime /*now*/) {}
+
+  /// Level this node drives onto the bus for the current bit time.
+  [[nodiscard]] virtual sim::BitLevel tx_level() = 0;
+
+  /// Resolved bus level for the current bit time (the sample).
+  virtual void on_bus_bit(sim::BitLevel bus) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+}  // namespace mcan::can

@@ -1,0 +1,43 @@
+#include "can/periodic.hpp"
+
+namespace mcan::can {
+
+PeriodicSender::PeriodicSender(CanFrame frame, double period_bits,
+                               double phase_bits, PayloadMode mode,
+                               sim::Rng rng)
+    : frame_(frame),
+      period_bits_(period_bits),
+      next_due_(phase_bits),
+      mode_(mode),
+      rng_(rng) {}
+
+void PeriodicSender::operator()(sim::BitTime now, BitController& ctrl) {
+  if (static_cast<double>(now) < next_due_) return;
+  next_due_ += period_bits_;
+  ++cycles_;
+
+  switch (mode_) {
+    case PayloadMode::Fixed:
+      break;
+    case PayloadMode::Counter:
+      if (frame_.dlc > 0) {
+        ++frame_.data[static_cast<std::size_t>(frame_.dlc - 1)];
+      }
+      break;
+    case PayloadMode::Random:
+      for (int i = 0; i < frame_.dlc; ++i) {
+        frame_.data[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(rng_.uniform(0, 255));
+      }
+      break;
+  }
+  ctrl.enqueue(frame_);
+}
+
+void attach_periodic(BitController& ctrl, const CanFrame& frame,
+                     double period_bits, double phase_bits, PayloadMode mode,
+                     sim::Rng rng) {
+  ctrl.add_app(PeriodicSender{frame, period_bits, phase_bits, mode, rng});
+}
+
+}  // namespace mcan::can

@@ -1,0 +1,108 @@
+// Basic CAN 2.0A protocol types.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mcan::can {
+
+/// CAN identifier: 11-bit (CAN 2.0A) or 29-bit (CAN 2.0B extended).
+/// Lower value = higher priority.
+using CanId = std::uint32_t;
+
+inline constexpr CanId kMaxStdId = 0x7FF;        // 11-bit space: 0..2047
+inline constexpr CanId kMaxExtId = 0x1FFF'FFFF;  // 29-bit space
+inline constexpr int kIdBits = 11;
+inline constexpr int kExtIdBits = 29;
+
+[[nodiscard]] constexpr bool is_valid_id(CanId id) noexcept {
+  return id <= kMaxStdId;
+}
+[[nodiscard]] constexpr bool is_valid_ext_id(CanId id) noexcept {
+  return id <= kMaxExtId;
+}
+
+/// Base (11-bit) part of a 29-bit extended identifier — the bits that
+/// compete with standard IDs during the first arbitration phase.
+[[nodiscard]] constexpr CanId ext_base(CanId ext_id) noexcept {
+  return ext_id >> 18;
+}
+
+/// The five CAN error types (paper Sec. II-B).  MichiCAN exploits Bit and
+/// Stuff errors; the controller implements all of them.
+enum class ErrorType : std::uint8_t {
+  Bit,    // monitored level differs from transmitted level
+  Stuff,  // six consecutive bits of equal level in a stuffed field
+  Form,   // fixed-format field (delimiter/EOF) violated
+  Ack,    // no receiver acknowledged the frame
+  Crc,    // CRC mismatch at a receiver
+};
+
+[[nodiscard]] std::string_view to_string(ErrorType t) noexcept;
+
+/// Fault-confinement states (paper Fig. 1b).
+enum class ErrorState : std::uint8_t {
+  ErrorActive,   // TEC <= 127 and REC <= 127: sends active (dominant) flags
+  ErrorPassive,  // TEC or REC > 127: sends passive (recessive) flags
+  BusOff,        // TEC >= 256: no participation until recovery
+};
+
+[[nodiscard]] std::string_view to_string(ErrorState s) noexcept;
+
+/// Frame fields in wire order.
+enum class Field : std::uint8_t {
+  Sof,       // 1 dominant bit
+  Id,        // 11 base ID bits, MSB first
+  Srr,       // extended only: substitute remote request, recessive
+  Ide,       // dominant in standard frames, recessive in extended
+  ExtId,     // extended only: 18 more ID bits
+  Rtr,       // 1 bit (dominant for data frames)
+  R1,        // extended only: reserved, dominant
+  R0,        // 1 dominant reserved bit
+  Dlc,       // 4 bits, MSB first
+  Data,      // 0..64 bits
+  Crc,       // 15 bits
+  CrcDelim,  // 1 recessive bit
+  AckSlot,   // transmitter sends recessive, receivers assert dominant
+  AckDelim,  // 1 recessive bit
+  Eof,       // 7 recessive bits
+};
+
+[[nodiscard]] std::string_view to_string(Field f) noexcept;
+
+// Unstuffed bit positions of the fixed-layout frame head (SOF = position 0).
+// Standard (CAN 2.0A) layout:
+inline constexpr int kPosSof = 0;
+inline constexpr int kPosIdFirst = 1;
+inline constexpr int kPosIdLast = 11;
+inline constexpr int kPosRtr = 12;
+inline constexpr int kPosIde = 13;
+inline constexpr int kPosR0 = 14;
+inline constexpr int kPosDlcFirst = 15;
+inline constexpr int kPosDlcLast = 18;
+inline constexpr int kPosDataFirst = 19;
+// Extended (CAN 2.0B) layout: SOF, 11 base ID bits, then
+inline constexpr int kPosSrr = 12;       // recessive
+// IDE at position 13 (shared with the standard layout; recessive here)
+inline constexpr int kPosExtIdFirst = 14;
+inline constexpr int kPosExtIdLast = 31;
+inline constexpr int kPosRtrExt = 32;
+inline constexpr int kPosR1 = 33;
+inline constexpr int kPosR0Ext = 34;
+inline constexpr int kPosDlcFirstExt = 35;
+inline constexpr int kPosDlcLastExt = 38;
+inline constexpr int kPosDataFirstExt = 39;
+
+/// Arbitration field = ID(s) plus RTR: unstuffed positions 1..12 for
+/// standard frames, 1..32 for extended ones (SRR and IDE arbitrate too —
+/// this is how a standard frame beats an extended frame with the same base
+/// ID).  A node that transmits recessive but monitors dominant on a
+/// *non-stuff* bit here has lost arbitration, not erred.
+[[nodiscard]] constexpr bool in_arbitration(int unstuffed_pos,
+                                            bool extended = false) noexcept {
+  return unstuffed_pos >= kPosIdFirst &&
+         unstuffed_pos <= (extended ? kPosRtrExt : kPosRtr);
+}
+
+}  // namespace mcan::can

@@ -1,0 +1,115 @@
+#include "core/fleet.hpp"
+
+#include <algorithm>
+
+#include "can/periodic.hpp"
+#include "core/cpu_model.hpp"
+#include "sim/rng.hpp"
+
+namespace mcan::core {
+
+Fleet::Fleet(const restbus::CommMatrix& matrix, can::WiredAndBus& bus,
+             FleetConfig cfg)
+    : ivn_(matrix.ecu_ids()) {
+  sim::Rng rng{cfg.seed};
+  const double bits_per_ms =
+      static_cast<double>(bus.speed().bits_per_second) / 1e3;
+
+  for (const auto& m : matrix.messages()) {
+    MichiCanNodeConfig node_cfg;
+    node_cfg.own_id = m.id;
+    switch (cfg.policy) {
+      case DeploymentPolicy::AllFull:
+        node_cfg.scenario = Scenario::Full;
+        break;
+      case DeploymentPolicy::Split:
+        node_cfg.scenario = ivn_.in_light_subset(m.id) ? Scenario::Light
+                                                       : Scenario::Full;
+        break;
+      case DeploymentPolicy::DetectionOnly:
+        node_cfg.scenario = Scenario::Full;
+        node_cfg.monitor.prevention_enabled = false;
+        break;
+    }
+    auto node = std::make_unique<MichiCanNode>("ecu_" + m.name, ivn_,
+                                               node_cfg);
+    node->attach_to(bus);
+    if (node_cfg.scenario == Scenario::Light) {
+      ++light_;
+    } else {
+      ++full_;
+    }
+
+    if (cfg.with_app_traffic) {
+      can::CanFrame frame;
+      frame.id = m.id;
+      frame.dlc = m.dlc;
+      const double period = m.period_ms * bits_per_ms;
+      const double phase = static_cast<double>(
+          rng.uniform(0, static_cast<std::uint64_t>(period)));
+      can::attach_periodic(node->controller(), frame, period, phase,
+                           cfg.payload, rng.fork());
+    }
+    nodes_.push_back(std::move(node));
+  }
+}
+
+MichiCanNode* Fleet::find(can::CanId id) noexcept {
+  for (auto& n : nodes_) {
+    if (n->own_id() == id) return n.get();
+  }
+  return nullptr;
+}
+
+std::uint64_t Fleet::total_counterattacks() const {
+  std::uint64_t n = 0;
+  for (const auto& node : nodes_) n += node->monitor().stats().counterattacks;
+  return n;
+}
+
+std::uint64_t Fleet::total_attacks_detected() const {
+  std::uint64_t n = 0;
+  for (const auto& node : nodes_) {
+    n += node->monitor().stats().attacks_detected;
+  }
+  return n;
+}
+
+bool Fleet::any_defender_bus_off() const {
+  for (const auto& node : nodes_) {
+    if (node->controller().is_bus_off() ||
+        node->controller().stats().bus_off_entries > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t Fleet::total_frames_sent() const {
+  std::uint64_t n = 0;
+  for (const auto& node : nodes_) n += node->controller().stats().frames_sent;
+  return n;
+}
+
+int Fleet::max_defender_tec() const {
+  int worst = 0;
+  for (const auto& node : nodes_) {
+    worst = std::max(worst, node->controller().tec());
+  }
+  return worst;
+}
+
+double Fleet::total_cpu_load(const mcu::McuProfile& mcu,
+                             double bus_bits_per_s,
+                             double busy_fraction) const {
+  double total = 0;
+  for (const auto& node : nodes_) {
+    total += measured_cpu(node->monitor().stats(), node->fsm().node_count(),
+                          mcu, bus_bits_per_s)
+                 .active_load *
+             busy_fraction;
+  }
+  return total;
+}
+
+}  // namespace mcan::core

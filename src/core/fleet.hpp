@@ -1,0 +1,75 @@
+// Network-wide MichiCAN deployment (paper Sec. IV-A).
+//
+// MichiCAN is distributed: every ECU can run it.  The paper describes two
+// deployment shapes and a cost argument:
+//   * full scenario — every ECU runs the complete detection FSM (maximum
+//     redundancy: even with |𝔼|-1 failed defenders one still catches
+//     every attack),
+//   * split (light) scenario — 𝔼 is halved; the lower-ID half 𝔼₁ only
+//     guards its own IDs (spoofing) while the upper half 𝔼₂ runs the full
+//     FSM, halving the network-wide CPU bill without losing DoS coverage.
+// The Fleet builds one MichiCAN node per communication-matrix ID, wires up
+// the periodic application traffic, and aggregates health/cost metrics.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "can/bus.hpp"
+#include "can/periodic.hpp"
+#include "core/michican_node.hpp"
+#include "mcu/profile.hpp"
+#include "restbus/comm_matrix.hpp"
+
+namespace mcan::core {
+
+enum class DeploymentPolicy : std::uint8_t {
+  AllFull,        // every ECU runs the full FSM
+  Split,          // lower half light, upper half full (Sec. IV-A)
+  DetectionOnly,  // all full FSMs, prevention disabled (IDS-like)
+};
+
+struct FleetConfig {
+  DeploymentPolicy policy{DeploymentPolicy::Split};
+  /// Attach each node's periodic application message from the matrix.
+  bool with_app_traffic{true};
+  can::PayloadMode payload{can::PayloadMode::Counter};
+  std::uint64_t seed{0xF1EE7};
+};
+
+class Fleet {
+ public:
+  Fleet(const restbus::CommMatrix& matrix, can::WiredAndBus& bus,
+        FleetConfig cfg = {});
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const std::vector<std::unique_ptr<MichiCanNode>>& nodes()
+      const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] MichiCanNode* find(can::CanId id) noexcept;
+
+  // --- aggregate health ----------------------------------------------------
+  [[nodiscard]] std::uint64_t total_counterattacks() const;
+  [[nodiscard]] std::uint64_t total_attacks_detected() const;
+  [[nodiscard]] bool any_defender_bus_off() const;
+  [[nodiscard]] std::uint64_t total_frames_sent() const;
+  [[nodiscard]] int max_defender_tec() const;
+
+  // --- cost model ------------------------------------------------------------
+  /// Sum of per-node active CPU loads on the given MCU (the network-wide
+  /// cost the split policy halves).
+  [[nodiscard]] double total_cpu_load(const mcu::McuProfile& mcu,
+                                      double bus_bits_per_s,
+                                      double busy_fraction = 0.4) const;
+  [[nodiscard]] std::size_t full_nodes() const noexcept { return full_; }
+  [[nodiscard]] std::size_t light_nodes() const noexcept { return light_; }
+
+ private:
+  IvnConfig ivn_;
+  std::vector<std::unique_ptr<MichiCanNode>> nodes_;
+  std::size_t full_{0};
+  std::size_t light_{0};
+};
+
+}  // namespace mcan::core

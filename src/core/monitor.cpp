@@ -1,0 +1,196 @@
+#include "core/monitor.hpp"
+
+#include "can/bitstream.hpp"
+
+namespace mcan::core {
+
+using sim::BitLevel;
+using sim::BitTime;
+using sim::EventKind;
+
+BitMonitor::BitMonitor(const DetectionFsm& fsm, mcu::PioController& pio,
+                       MonitorConfig cfg)
+    : fsm_(&fsm), pio_(&pio), cfg_(cfg), runner_(fsm) {
+  pio_->enable_rx_tap();
+}
+
+void BitMonitor::set_extended_fsm(const DetectionFsm* ext_fsm) {
+  ext_fsm_ = ext_fsm;
+  if (ext_fsm_ != nullptr) {
+    ext_runner_.emplace(*ext_fsm_);
+  } else {
+    ext_runner_.reset();
+  }
+}
+
+void BitMonitor::end_frame() {
+  in_frame_ = false;
+  attacking_ = false;
+  flagged_ = false;
+  ext_mode_ = false;
+  cnt_sof_ = 0;
+  if (pio_->tx_mux_enabled()) pio_->disable_tx_mux();
+}
+
+void BitMonitor::on_bit(BitTime now, BitLevel value) {
+  if (!in_frame_) {
+    ++stats_.idle_bits;
+    if (sim::is_recessive(value)) {
+      ++cnt_sof_;
+      return;
+    }
+    if (cnt_sof_ < 11) {
+      // Dominant without a preceding idle period: we are mid-frame or
+      // mid-error-sequence; keep waiting for the bus to go idle.
+      cnt_sof_ = 0;
+      return;
+    }
+    // Hard sync: this falling edge is a SOF.
+    cnt_sof_ = 0;
+    in_frame_ = true;
+    pos_ = 0;
+    destuff_.reset();
+    (void)destuff_.feed(value);  // SOF, a dominant data bit
+    runner_.reset();
+    if (ext_runner_) ext_runner_->reset();
+    ext_mode_ = false;
+    flagged_ = false;
+    observed_id_ = 0;
+    ++stats_.frames_observed;
+    return;
+  }
+
+  // --- counterattack window: count raw bits, stuffing is moot -------------
+  if (attacking_) {
+    ++stats_.track_bits;
+    if (--attack_bits_left_ <= 0) {
+      pio_->disable_tx_mux();
+      if (log_ != nullptr) {
+        log_->push({now, node_name_, EventKind::CounterattackEnd,
+                    observed_id_, pos_, 0, {}});
+      }
+      // Algorithm 1 lines 16-19: done with this frame; wait for idle.
+      end_frame();
+    }
+    return;
+  }
+
+  // --- normal in-frame processing ------------------------------------------
+  switch (destuff_.feed(value)) {
+    case can::Destuffer::Result::StuffError:
+      // Someone's error frame is in progress (possibly triggered by another
+      // defender).  Abort and resynchronize at the next idle period.
+      end_frame();
+      return;
+    case can::Destuffer::Result::StuffBit:
+      ++stats_.track_bits;
+      return;
+    case can::Destuffer::Result::DataBit:
+      break;
+  }
+
+  ++pos_;  // unstuffed position of this bit (SOF was 0)
+
+  if (pos_ >= can::kPosIdFirst && pos_ <= can::kPosIdLast) {
+    observed_id_ = (observed_id_ << 1) |
+                   static_cast<std::uint32_t>(sim::to_bit(value));
+    if (ext_runner_) (void)ext_runner_->step(sim::to_bit(value));
+    if (!runner_.decided()) {
+      ++stats_.fsm_bits;
+      if (auto d = runner_.step(sim::to_bit(value)); d && d->malicious) {
+        // Flag only: whether the frame is our own transmission can only be
+        // judged once arbitration is over (we might still lose it to the
+        // attacker), so the suppression check happens at the arm position.
+        flagged_ = true;
+      }
+    } else {
+      ++stats_.track_bits;
+    }
+    return;
+  }
+
+  if (pos_ == can::kPosIde && sim::is_recessive(value)) {
+    // Extended frame: the standard-FSM verdict over the base bits does not
+    // apply (a legitimate 11-bit ID used as the *base* of a 29-bit frame is
+    // still a different message).  Switch to the 29-bit FSM if configured;
+    // otherwise stay passive for this frame.
+    ext_mode_ = true;
+    flagged_ = false;
+    ++stats_.track_bits;
+    if (!ext_runner_) {
+      end_frame();
+    }
+    return;
+  }
+
+  if (ext_mode_ && pos_ >= can::kPosExtIdFirst &&
+      pos_ <= can::kPosExtIdLast) {
+    observed_id_ = (observed_id_ << 1) |
+                   static_cast<std::uint32_t>(sim::to_bit(value));
+    if (ext_runner_ && !ext_runner_->decided()) {
+      ++stats_.fsm_bits;
+      if (auto d = ext_runner_->step(sim::to_bit(value));
+          d && d->malicious) {
+        flagged_ = true;
+      }
+    } else {
+      ++stats_.track_bits;
+    }
+    // A 29-bit verdict may also arrive before the extension bits do.
+    if (ext_runner_ && ext_runner_->decided() &&
+        ext_runner_->decision().malicious) {
+      flagged_ = true;
+    }
+    return;
+  }
+
+  ++stats_.track_bits;
+  // Arm position: Algorithm 1 arms at the RTR bit (pos 12).  When extended
+  // frames are guarded, a standard-FSM flag must wait one more bit for the
+  // IDE sample to confirm the format (otherwise the counterattack would hit
+  // the IDE bit of what turns out to be an extended frame); extended frames
+  // arm at their RTR bit (pos 32).
+  const int arm_pos = ext_mode_ ? can::kPosRtrExt
+                      : (ext_fsm_ != nullptr ? can::kPosIde
+                                             : cfg_.attack_arm_pos);
+  if (pos_ == arm_pos && flagged_) {
+    flagged_ = false;  // Algorithm 1 line 21: start_counterattack <- false
+    if (self_transmitting_ && self_transmitting_()) {
+      // Arbitration is over and we are the transmitter: the frame on the
+      // bus is our own legitimate message.
+      ++stats_.suppressed_self;
+    } else {
+      const auto decided_at = ext_mode_
+                                  ? ext_runner_->decision().bit_position
+                                  : runner_.decision().bit_position;
+      ++stats_.attacks_detected;
+      stats_.detection_bit_sum += static_cast<std::uint64_t>(decided_at);
+      if (log_ != nullptr) {
+        log_->push({now, node_name_, EventKind::AttackDetected, observed_id_,
+                    decided_at, 0, {}});
+      }
+      if (cfg_.prevention_enabled) {
+        // RTR sampled; pull CAN_TX low from the next bit on.
+        attacking_ = true;
+        attack_bits_left_ = cfg_.attack_bits;
+        ++stats_.counterattacks;
+        pio_->enable_tx_mux();
+        pio_->write_tx(BitLevel::Dominant);
+        if (log_ != nullptr) {
+          log_->push({now, node_name_, EventKind::CounterattackStart,
+                      observed_id_, decided_at, 0, {}});
+        }
+        return;
+      }
+    }
+  }
+  if (!attacking_ && pos_ >= (ext_mode_ ? 39 : 19)) {
+    // Algorithm 1 disables tracking at frame position 20 (1-based) and
+    // returns to SOF watching; stuffing guarantees no 11-recessive run
+    // inside the rest of the frame, so the next SOF is found reliably.
+    // Extended frames are tracked through their DLC field (position 39).
+    end_frame();
+  }
+}
+
+}  // namespace mcan::core

@@ -1,0 +1,110 @@
+// The Algorithm-1 bit monitor: MichiCAN's per-bit interrupt handler.
+//
+// Once synchronized (hard sync on the SOF falling edge after >= 11 recessive
+// bits), the handler runs once per bit time:
+//   * destuffs the incoming stream and feeds ID bits to the detection FSM,
+//   * on a malicious verdict arms the counterattack,
+//   * at the RTR bit enables CAN_TX multiplexing and pulls the bus dominant,
+//   * releases the bus again after the DLC field (paper: enable at frame
+//     position 13, disable at position 20, 1-based counting incl. SOF),
+//   * afterwards returns to SOF-watching (the stuffing rule guarantees no
+//     11-recessive run inside a frame, so the next SOF is found reliably).
+//
+// The handler never transmits a frame of its own: the defender's TEC is
+// untouched by the counterattack (paper Sec. IV-E).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "can/bitstream.hpp"
+#include "can/types.hpp"
+#include "core/fsm.hpp"
+#include "mcu/pinmux.hpp"
+#include "sim/event_log.hpp"
+#include "sim/types.hpp"
+
+namespace mcan::core {
+
+struct MonitorConfig {
+  /// Unstuffed frame position at which the counterattack is armed
+  /// (0-based; 12 = RTR, matching Algorithm 1's cnt == 13).
+  int attack_arm_pos{12};
+  /// Raw bits the bus is pulled dominant once armed (paper: 6 dominant bits
+  /// guarantee an error; the Algorithm-1 window covers 7).
+  int attack_bits{7};
+  /// Master switch: detection continues, prevention is skipped when false.
+  bool prevention_enabled{true};
+};
+
+struct MonitorStats {
+  std::uint64_t frames_observed{};
+  std::uint64_t attacks_detected{};
+  std::uint64_t counterattacks{};
+  std::uint64_t suppressed_self{};  // own transmissions skipped
+  // Per-path handler invocation counts for the CPU model (Sec. V-D).
+  std::uint64_t idle_bits{};
+  std::uint64_t fsm_bits{};
+  std::uint64_t track_bits{};
+  std::uint64_t detection_bit_sum{};  // sum of decision bit positions
+};
+
+class BitMonitor {
+ public:
+  BitMonitor(const DetectionFsm& fsm, mcu::PioController& pio,
+             MonitorConfig cfg);
+
+  /// Enable extended-frame (CAN 2.0B) detection: a 29-bit FSM that takes
+  /// over when the IDE bit samples recessive.  Without one, extended
+  /// frames are treated as benign (the paper's CAN 2.0A scope).
+  void set_extended_fsm(const DetectionFsm* ext_fsm);
+
+  /// True while this node itself transmits the current frame: MichiCAN must
+  /// not counterattack its own (legitimate) ID.
+  void set_self_transmitting(std::function<bool()> cb) {
+    self_transmitting_ = std::move(cb);
+  }
+
+  void set_event_log(sim::EventLog* log, std::string node_name) {
+    log_ = log;
+    node_name_ = std::move(node_name);
+  }
+
+  /// The per-bit interrupt handler (Algorithm 1).  `value` is the level
+  /// read from CAN_RX via the PIO register.
+  void on_bit(sim::BitTime now, sim::BitLevel value);
+
+  [[nodiscard]] const MonitorStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] bool counterattack_active() const noexcept {
+    return attacking_;
+  }
+  [[nodiscard]] const DetectionFsm& fsm() const noexcept { return *fsm_; }
+
+ private:
+  void end_frame();
+
+  const DetectionFsm* fsm_;
+  mcu::PioController* pio_;
+  MonitorConfig cfg_;
+  std::function<bool()> self_transmitting_;
+  sim::EventLog* log_{nullptr};
+  std::string node_name_{"michican"};
+
+  // Algorithm-1 state
+  bool in_frame_{false};
+  int cnt_sof_{0};          // consecutive recessive bits while idle
+  int pos_{0};              // unstuffed position within the frame
+  can::Destuffer destuff_;
+  DetectionFsm::Runner runner_;
+  const DetectionFsm* ext_fsm_{nullptr};
+  std::optional<DetectionFsm::Runner> ext_runner_;
+  bool ext_mode_{false};    // current frame uses the extended format
+  bool flagged_{false};     // start_counterattack
+  bool attacking_{false};
+  int attack_bits_left_{0};
+  std::uint32_t observed_id_{0};
+  MonitorStats stats_;
+};
+
+}  // namespace mcan::core

@@ -1,0 +1,41 @@
+#include "mcu/bit_timer.hpp"
+
+#include <cmath>
+
+namespace mcan::mcu {
+
+double BitTimer::sample_time_bits(int k) const {
+  // The SOF handler runs for sync_latency_us, then arms the timer to fire
+  // (sample_point * bit_time - fudge) later; every subsequent interrupt
+  // fires one *local* bit time apart.  Local time runs (1 + drift) faster
+  // or slower than transmitter time.
+  const double scale = 1.0 + cfg_.drift_ppm * 1e-6;
+  const double first_fire_us =
+      cfg_.sync_latency_us +
+      (cfg_.sample_point * cfg_.bit_time_us - cfg_.fudge_factor_us);
+  // The first fire lands at the 70 % point of the SOF bit (skipped), the
+  // k-th sample then falls k local bit times later, inside bit cell k.
+  const double local_us =
+      first_fire_us + static_cast<double>(k) * cfg_.bit_time_us;
+  return local_us * scale / cfg_.bit_time_us;
+}
+
+double BitTimer::sample_offset_within_bit(int k) const {
+  // Bit k occupies [k, k+1) in transmitter bit-time units (bit 0 is SOF).
+  return sample_time_bits(k) - static_cast<double>(k);
+}
+
+bool BitTimer::sample_safe(int k, double lo, double hi) const {
+  const double jitter_bits = cfg_.jitter_us / cfg_.bit_time_us;
+  const double off = sample_offset_within_bit(k);
+  return off - jitter_bits >= lo && off + jitter_bits <= hi;
+}
+
+int BitTimer::max_safe_bits(int limit, double lo, double hi) const {
+  for (int k = 1; k <= limit; ++k) {
+    if (!sample_safe(k, lo, hi)) return k - 1;
+  }
+  return limit;
+}
+
+}  // namespace mcan::mcu

@@ -1,0 +1,58 @@
+// Software bit-timing / synchronization model (paper Sec. IV-C).
+//
+// MichiCAN replicates a CAN controller's synchronization in software: a hard
+// sync is performed on the SOF falling edge (first falling edge after >= 11
+// recessive bits), then a timer interrupt fires once per nominal bit time,
+// aimed at the 70 % sample point.  Two imperfections must be modelled:
+//   (i)  oscillator drift: the MCU clock and the transmitter clock differ by
+//        some ppm, so sample points wander within the bit cell, and
+//   (ii) a constant software delay at the SOF handler (FSM/counter resets),
+//        compensated by firing the first interrupt a constant "fudge factor"
+//        earlier.
+// The model computes where within each bit cell the k-th sample lands and
+// how many bits can be sampled before the sample point leaves a safe window
+// — demonstrating *why* per-frame hard sync is required.
+#pragma once
+
+namespace mcan::mcu {
+
+struct TimingConfig {
+  double bit_time_us{2.0};        // nominal bit time (500 kbit/s -> 2 us)
+  double sample_point{0.70};      // target sample position within the cell
+  double drift_ppm{100.0};        // relative clock error vs the transmitter
+  double sync_latency_us{0.15};   // SOF-edge handler work before re-arming
+  double fudge_factor_us{0.15};   // constant early-fire compensation
+  double jitter_us{0.02};         // per-interrupt dispatch jitter (peak)
+};
+
+class BitTimer {
+ public:
+  explicit BitTimer(TimingConfig cfg) : cfg_(cfg) {}
+
+  /// Position of the k-th sample (k = 1 is the first CAN-ID bit after SOF)
+  /// measured in transmitter time, in units of bit times from the SOF edge.
+  [[nodiscard]] double sample_time_bits(int k) const;
+
+  /// Offset of the k-th sample within its intended bit cell, 0..1
+  /// (0.70 is ideal; outside [lo, hi] the read value cannot be trusted).
+  [[nodiscard]] double sample_offset_within_bit(int k) const;
+
+  /// True if the k-th sample lies inside [lo, hi] of its bit cell even with
+  /// worst-case jitter.
+  [[nodiscard]] bool sample_safe(int k, double lo = 0.3,
+                                 double hi = 0.95) const;
+
+  /// Largest n such that samples 1..n are all safe.  Returns `limit` if the
+  /// whole range is safe.  With a per-frame hard sync, n only needs to cover
+  /// one frame (~130 bits); without it, drift accumulates across frames and
+  /// sampling eventually fails — quantifying the need for resynchronization.
+  [[nodiscard]] int max_safe_bits(int limit = 100'000, double lo = 0.3,
+                                  double hi = 0.95) const;
+
+  [[nodiscard]] const TimingConfig& config() const noexcept { return cfg_; }
+
+ private:
+  TimingConfig cfg_;
+};
+
+}  // namespace mcan::mcu

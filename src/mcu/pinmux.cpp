@@ -1,0 +1,3 @@
+#include "mcu/pinmux.hpp"
+
+// Header-only today; this TU anchors the library target.

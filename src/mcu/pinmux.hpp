@@ -1,0 +1,65 @@
+// PIO pin-multiplexing model (paper Sec. IV-B, Fig. 4a).
+//
+// Modern MCUs let software re-route the CAN_RX/CAN_TX pins from the
+// integrated CAN controller to GPIO at runtime.  MichiCAN needs read access
+// to CAN_RX permanently and write access to CAN_TX only while a
+// counterattack is running; afterwards the multiplexing is disabled again so
+// the integrated controller can acknowledge frames normally.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace mcan::mcu {
+
+class PioController {
+ public:
+  /// Route CAN_RX to a GPIO read register (done once at boot).
+  void enable_rx_tap() noexcept { rx_tap_ = true; }
+  [[nodiscard]] bool rx_tap_enabled() const noexcept { return rx_tap_; }
+
+  /// Latch the most recent bus level into the read register.
+  void latch_rx(sim::BitLevel level) noexcept { rx_reg_ = level; }
+
+  /// Direct register read of CAN_RX (paper Alg. 1 line 2: register access,
+  /// no library call).
+  [[nodiscard]] sim::BitLevel read_rx() const noexcept { return rx_reg_; }
+
+  /// Multiplex CAN_TX to GPIO (counterattack only).
+  void enable_tx_mux() noexcept {
+    if (!tx_mux_) ++tx_mux_toggles_;
+    tx_mux_ = true;
+  }
+  /// Release CAN_TX back to the integrated controller.  The GPIO stops
+  /// driving, so the line floats recessive from our side.
+  void disable_tx_mux() noexcept {
+    if (tx_mux_) ++tx_mux_toggles_;
+    tx_mux_ = false;
+    tx_drive_ = sim::BitLevel::Recessive;
+  }
+  [[nodiscard]] bool tx_mux_enabled() const noexcept { return tx_mux_; }
+
+  /// Drive CAN_TX (only honoured while the mux is enabled).
+  void write_tx(sim::BitLevel level) noexcept {
+    if (tx_mux_) tx_drive_ = level;
+  }
+
+  /// Level this GPIO contributes to the bus wired-AND.
+  [[nodiscard]] sim::BitLevel tx_contribution() const noexcept {
+    return tx_mux_ ? tx_drive_ : sim::BitLevel::Recessive;
+  }
+
+  [[nodiscard]] std::uint64_t tx_mux_toggles() const noexcept {
+    return tx_mux_toggles_;
+  }
+
+ private:
+  bool rx_tap_{false};
+  bool tx_mux_{false};
+  sim::BitLevel rx_reg_{sim::BitLevel::Recessive};
+  sim::BitLevel tx_drive_{sim::BitLevel::Recessive};
+  std::uint64_t tx_mux_toggles_{0};
+};
+
+}  // namespace mcan::mcu

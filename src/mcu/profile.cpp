@@ -1,0 +1,90 @@
+#include "mcu/profile.hpp"
+
+#include <cmath>
+
+namespace mcan::mcu {
+namespace {
+
+double log2ceil(int n) {
+  if (n <= 1) return 0.0;
+  return std::ceil(std::log2(static_cast<double>(n)));
+}
+
+}  // namespace
+
+McuProfile arduino_due() {
+  // SAM3X8E: Cortex-M3 @ 84 MHz, high NVIC + flash wait-state cost per ISR
+  // (the paper notes the Due's unusually expensive interrupt entry/exit).
+  return {"Arduino Due (SAM3X8E)", 84e6, 110, 1.0, 12.0, 0.5e6};
+}
+
+McuProfile nxp_s32k144() {
+  // Cortex-M4F @ 112 MHz with flash accelerator: cheaper ISRs, small
+  // table-walk penalty.  Runs MichiCAN at 500 kbit/s per Sec. VI-B.
+  return {"NXP S32K144", 112e6, 28, 0.65, 4.0, 1e6};
+}
+
+McuProfile sam_v71() {
+  // Cortex-M7 @ 150 MHz (Kulandaivel et al. survey; Sec. VI-B).
+  return {"Microchip SAM V71", 150e6, 24, 0.55, 2.5, 1e6};
+}
+
+McuProfile spc58ec() {
+  // STMicro SPC58EC, e200z4 @ 180 MHz automotive part.
+  return {"STMicro SPC58EC", 180e6, 26, 0.50, 2.5, 1e6};
+}
+
+const std::vector<McuProfile>& all_profiles() {
+  static const std::vector<McuProfile> profiles{
+      arduino_due(), nxp_s32k144(), sam_v71(), spc58ec()};
+  return profiles;
+}
+
+double handler_time_us(const McuProfile& mcu, double path_ops, int fsm_nodes,
+                       bool in_frame) {
+  double cycles = mcu.irq_overhead_cycles + mcu.op_scale * path_ops;
+  if (in_frame) cycles += mcu.flash_penalty_per_log2 * log2ceil(fsm_nodes);
+  return cycles / mcu.clock_hz * 1e6;
+}
+
+double utilization(const McuProfile& mcu, double path_ops, int fsm_nodes,
+                   bool in_frame, double bus_bits_per_s) {
+  const double bit_us = 1e6 / bus_bits_per_s;
+  return handler_time_us(mcu, path_ops, fsm_nodes, in_frame) / bit_us;
+}
+
+CpuLoadBreakdown cpu_load(const McuProfile& mcu, const HandlerPathOps& ops,
+                          int fsm_nodes, double mean_fsm_bits,
+                          double frame_bits, double busy_fraction,
+                          double bus_bits_per_s) {
+  CpuLoadBreakdown out;
+  const double bit_us = 1e6 / bus_bits_per_s;
+
+  const double idle_us =
+      handler_time_us(mcu, ops.idle, fsm_nodes, /*in_frame=*/false);
+  out.idle_load = idle_us / bit_us;
+
+  // An average frame: `mean_fsm_bits` bits with the FSM running, tracking
+  // until the counterattack bookkeeping ends at bit 20, a cheap tail for
+  // the rest, plus two pin toggles per (malicious) frame amortized away —
+  // benign traffic dominates, so toggles are excluded here.
+  const double fsm_bits = std::min(mean_fsm_bits, frame_bits);
+  const double track_bits =
+      std::max(0.0, std::min(frame_bits, 20.0) - fsm_bits);
+  const double tail_bits = std::max(0.0, frame_bits - fsm_bits - track_bits);
+
+  const double us_fsm =
+      handler_time_us(mcu, ops.track + ops.fsm_extra, fsm_nodes, true);
+  const double us_track = handler_time_us(mcu, ops.track, fsm_nodes, true);
+  const double us_tail = handler_time_us(mcu, ops.tail, fsm_nodes, true);
+
+  out.handler_avg_us =
+      (fsm_bits * us_fsm + track_bits * us_track + tail_bits * us_tail) /
+      frame_bits;
+  out.active_load = out.handler_avg_us / bit_us;
+  out.combined_load =
+      busy_fraction * out.active_load + (1.0 - busy_fraction) * out.idle_load;
+  return out;
+}
+
+}  // namespace mcan::mcu

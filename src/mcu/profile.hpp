@@ -1,0 +1,85 @@
+// MCU profiles and the interrupt-handler cycle-cost model (paper Sec. V-D).
+//
+// The paper measures MichiCAN's CPU utilization with an external cycle
+// counter (ESP8266).  Without the hardware, we model the Algorithm-1 handler
+// cost per invocation as
+//
+//     cycles = irq_overhead                       (entry + exit)
+//            + op_scale * path_ops                (the handler body)
+//            + flash_penalty * ceil(log2(fsm_nodes + 1))   (in-frame only)
+//
+// where `path_ops` depends on which branch of Algorithm 1 runs (idle
+// SOF-watch, in-frame tracking, FSM-active, counterattack toggles), and the
+// flash term models the wait-state/cache cost of walking larger FSM tables
+// — the paper's observation that "a larger FSM increases clock cycle usage".
+//
+// Calibration anchors from Sec. V-D (documented in EXPERIMENTS.md):
+//   * Arduino Due (84 MHz), 125 kbit/s, full scenario:  ~40 % CPU
+//   * Arduino Due (84 MHz), 125 kbit/s, light scenario: ~30 % CPU
+//   * NXP S32K144 (112 MHz), 500 kbit/s, full scenario: ~44 % CPU
+// The Due's high interrupt entry/exit overhead relative to other MCUs is
+// documented in the DUEZoo measurements the paper cites [66].
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcan::mcu {
+
+struct McuProfile {
+  std::string name;
+  double clock_hz{84e6};
+  double irq_overhead_cycles{110};  // entry + exit
+  double op_scale{1.0};             // pipeline/flash efficiency factor
+  double flash_penalty_per_log2{9}; // extra cycles per log2(FSM nodes)
+  /// Highest bus speed the vendor qualifies the part's CAN IP for.
+  double max_bus_speed{1e6};
+};
+
+/// Abstract operation counts for each Algorithm-1 path (in "op" units that
+/// `op_scale` converts to cycles on a given MCU).
+struct HandlerPathOps {
+  double idle{18};          // lines 24-28: SOF watch during bus idle
+  double track{80};         // lines 3-19 without the FSM (stuffing, array)
+  double fsm_extra{30};     // line 12: one FSM transition
+  double tail{55};          // in-frame after bit 20 (counter + stuff only)
+  double pin_toggle{12};    // enable/disable CAN_TX multiplexing
+};
+
+// --- Presets (Sec. V-A / VI-B hardware) -----------------------------------
+[[nodiscard]] McuProfile arduino_due();    // Atmel SAM3X8E, Cortex-M3 84 MHz
+[[nodiscard]] McuProfile nxp_s32k144();    // Cortex-M4F 112 MHz
+[[nodiscard]] McuProfile sam_v71();        // Cortex-M7 150 MHz
+[[nodiscard]] McuProfile spc58ec();        // e200z4 180 MHz
+[[nodiscard]] const std::vector<McuProfile>& all_profiles();
+
+/// Handler execution time in microseconds for a path on a profile.
+[[nodiscard]] double handler_time_us(const McuProfile& mcu, double path_ops,
+                                     int fsm_nodes, bool in_frame);
+
+/// Per-bit CPU utilization for one handler path at a given bus speed.
+[[nodiscard]] double utilization(const McuProfile& mcu, double path_ops,
+                                 int fsm_nodes, bool in_frame,
+                                 double bus_bits_per_s);
+
+struct CpuLoadBreakdown {
+  double idle_load{};      // handler share of a bit time during bus idle
+  double active_load{};    // average share during frame processing
+  double combined_load{};  // weighted by bus busy fraction
+  double handler_avg_us{}; // mean in-frame handler execution time
+};
+
+/// Full Sec. V-D style CPU model for a deployment:
+///   fsm_nodes      — size of the detection FSM,
+///   mean_fsm_bits  — average number of bits the FSM runs per frame,
+///   frame_bits     — average frame length on the wire (~125 with stuffing),
+///   busy_fraction  — fraction of bus time occupied by frames (~0.4 typical).
+[[nodiscard]] CpuLoadBreakdown cpu_load(const McuProfile& mcu,
+                                        const HandlerPathOps& ops,
+                                        int fsm_nodes, double mean_fsm_bits,
+                                        double frame_bits,
+                                        double busy_fraction,
+                                        double bus_bits_per_s);
+
+}  // namespace mcan::mcu

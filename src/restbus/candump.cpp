@@ -1,0 +1,128 @@
+#include "restbus/candump.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+namespace mcan::restbus {
+
+std::string to_candump_line(const CandumpEntry& e) {
+  char buf[128];
+  const auto& f = e.frame;
+  int n = std::snprintf(buf, sizeof buf, "(%.6f) %s %0*X#", e.t_seconds,
+                        e.interface.c_str(), f.extended ? 8 : 3, f.id);
+  std::string out{buf, static_cast<std::size_t>(n)};
+  if (f.rtr) {
+    out += 'R';
+    return out;
+  }
+  for (int i = 0; i < f.dlc; ++i) {
+    std::snprintf(buf, sizeof buf, "%02X",
+                  f.data[static_cast<std::size_t>(i)]);
+    out += buf;
+  }
+  return out;
+}
+
+std::string to_candump(const std::vector<CandumpEntry>& trace) {
+  std::string out;
+  for (const auto& e : trace) {
+    out += to_candump_line(e);
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<CandumpEntry> parse_candump(std::string_view text) {
+  std::vector<CandumpEntry> out;
+  std::istringstream in{std::string{text}};
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    auto fail = [&](const char* what) {
+      throw std::runtime_error("candump line " + std::to_string(lineno) +
+                               ": " + what + ": " + line);
+    };
+    CandumpEntry e;
+    std::istringstream ls{line};
+    std::string ts, payload;
+    if (!(ls >> ts >> e.interface >> payload)) fail("malformed line");
+    if (ts.size() < 3 || ts.front() != '(' || ts.back() != ')') {
+      fail("malformed timestamp");
+    }
+    e.t_seconds = std::stod(ts.substr(1, ts.size() - 2));
+
+    const auto hash = payload.find('#');
+    if (hash == std::string::npos) fail("missing '#'");
+    const auto id_str = payload.substr(0, hash);
+    auto data_str = payload.substr(hash + 1);
+    if (id_str.empty() || id_str.size() > 8) fail("bad identifier");
+    e.frame.id = static_cast<can::CanId>(std::stoul(id_str, nullptr, 16));
+    e.frame.extended = id_str.size() > 3;
+    if (e.frame.extended ? !can::is_valid_ext_id(e.frame.id)
+                         : !can::is_valid_id(e.frame.id)) {
+      fail("identifier out of range");
+    }
+    if (!data_str.empty() && (data_str[0] == 'R' || data_str[0] == 'r')) {
+      e.frame.rtr = true;
+      if (data_str.size() > 1) {
+        e.frame.dlc = static_cast<std::uint8_t>(data_str[1] - '0');
+      }
+    } else {
+      if (data_str.size() % 2 != 0 || data_str.size() > 16) {
+        fail("bad data length");
+      }
+      e.frame.dlc = static_cast<std::uint8_t>(data_str.size() / 2);
+      for (int i = 0; i < e.frame.dlc; ++i) {
+        e.frame.data[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(std::stoul(
+                data_str.substr(static_cast<std::size_t>(2 * i), 2), nullptr,
+                16));
+      }
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+CandumpRecorder::CandumpRecorder(std::string interface)
+    : interface_(std::move(interface)), rx_("candump/" + interface_) {
+  rx_.set_rx_callback([this](const can::CanFrame& f, sim::BitTime now) {
+    trace_.push_back(
+        {static_cast<double>(now) * bit_seconds_, interface_, f});
+  });
+}
+
+void CandumpRecorder::attach_to(can::WiredAndBus& bus) {
+  bit_seconds_ = 1.0 / bus.speed().bits_per_second;
+  rx_.attach_to(bus);
+}
+
+void attach_candump_replay(can::BitController& ctrl,
+                           std::vector<CandumpEntry> trace,
+                           sim::BusSpeed speed, double time_scale) {
+  std::sort(trace.begin(), trace.end(),
+            [](const CandumpEntry& a, const CandumpEntry& b) {
+              return a.t_seconds < b.t_seconds;
+            });
+  const double t0 = trace.empty() ? 0.0 : trace.front().t_seconds;
+  auto pending = std::make_shared<std::vector<CandumpEntry>>(std::move(trace));
+  auto next = std::make_shared<std::size_t>(0);
+  const double bps = speed.bits_per_second;
+  ctrl.add_app([pending, next, t0, bps, time_scale](sim::BitTime now,
+                                                    can::BitController& c) {
+    while (*next < pending->size()) {
+      const auto& e = (*pending)[*next];
+      const double due_bits = (e.t_seconds - t0) * time_scale * bps;
+      if (static_cast<double>(now) < due_bits) break;
+      c.enqueue(e.frame);
+      ++*next;
+    }
+  });
+}
+
+}  // namespace mcan::restbus

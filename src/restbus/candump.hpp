@@ -1,0 +1,63 @@
+// SocketCAN candump-format trace I/O (the paper replays recorded vehicle
+// traffic via PCAN-USB + SocketCAN, Sec. V-A/V-C).
+//
+// Line format, as produced by `candump -L`:
+//   (1436509052.249713) can0 123#DEADBEEF
+//   (1436509052.449813) can0 00000042#11        (8 hex digits = extended)
+//   (1436509052.650013) can0 2A0#R              (remote frame)
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "can/controller.hpp"
+#include "can/frame.hpp"
+#include "sim/types.hpp"
+
+namespace mcan::restbus {
+
+struct CandumpEntry {
+  double t_seconds{};
+  std::string interface{"can0"};
+  can::CanFrame frame;
+};
+
+/// One candump -L line for a frame.
+[[nodiscard]] std::string to_candump_line(const CandumpEntry& e);
+
+/// Serialize a whole trace.
+[[nodiscard]] std::string to_candump(const std::vector<CandumpEntry>& trace);
+
+/// Parse a candump -L document.  Throws std::runtime_error on malformed
+/// lines; blank lines are ignored.
+[[nodiscard]] std::vector<CandumpEntry> parse_candump(std::string_view text);
+
+/// A bus observer that records every completed frame as a candump trace —
+/// the simulator's PCAN logger.
+class CandumpRecorder {
+ public:
+  explicit CandumpRecorder(std::string interface = "can0");
+
+  void attach_to(can::WiredAndBus& bus);
+
+  [[nodiscard]] const std::vector<CandumpEntry>& trace() const noexcept {
+    return trace_;
+  }
+  [[nodiscard]] std::string dump() const { return to_candump(trace_); }
+
+ private:
+  std::string interface_;
+  can::BitController rx_;
+  double bit_seconds_{2e-6};
+  std::vector<CandumpEntry> trace_;
+};
+
+/// Replay a parsed trace onto the bus through a dedicated controller:
+/// each entry is enqueued at its recorded time (scaled by `time_scale`,
+/// e.g. 10 to dilate a 500 kbit/s trace onto a 50 kbit/s bus).
+void attach_candump_replay(can::BitController& ctrl,
+                           std::vector<CandumpEntry> trace,
+                           sim::BusSpeed speed, double time_scale = 1.0);
+
+}  // namespace mcan::restbus

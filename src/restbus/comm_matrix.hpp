@@ -1,0 +1,79 @@
+// Communication matrices: which ECU transmits which CAN ID at which period
+// — the OpenDBC-style knowledge MichiCAN's initial configuration relies on
+// (paper Sec. IV-A), plus the bus-load arithmetic of Sec. V-E.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "can/types.hpp"
+
+namespace mcan::restbus {
+
+struct MessageDef {
+  can::CanId id{};
+  double period_ms{100.0};
+  std::uint8_t dlc{8};
+  std::string name;
+  std::string tx_ecu;  // unique transmitter (paper assumption)
+  /// Relative deadline; the paper quotes 10 ms as the tightest deadline of
+  /// periodic messages in the studied vehicles (Sec. V-C).
+  double deadline_ms{0.0};  // 0 = equal to period
+};
+
+/// Average wire length (bits) of a frame with `dlc` data bytes including
+/// the expected stuffing overhead (~one stuff bit per five stuffed bits) and
+/// the 3-bit inter-frame space — this is the s_f of the paper's bus-load
+/// formula, which quotes 125 bits for a typical 8-byte frame.
+[[nodiscard]] double avg_frame_bits(int dlc);
+
+class CommMatrix {
+ public:
+  CommMatrix() = default;
+  CommMatrix(std::string bus_name, std::vector<MessageDef> messages);
+
+  [[nodiscard]] const std::vector<MessageDef>& messages() const noexcept {
+    return msgs_;
+  }
+  [[nodiscard]] const std::string& bus_name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t size() const noexcept { return msgs_.size(); }
+
+  /// The ordered ECU list 𝔼 for MichiCAN's initial configuration: every
+  /// transmitted CAN ID, sorted ascending.
+  [[nodiscard]] std::vector<can::CanId> ecu_ids() const;
+
+  /// Distinct transmitting ECU names.
+  [[nodiscard]] std::vector<std::string> transmitters() const;
+
+  [[nodiscard]] bool has_id(can::CanId id) const noexcept;
+  [[nodiscard]] const MessageDef* find(can::CanId id) const noexcept;
+
+  /// Analytical bus load b = Σ s_f(m) / (f_baud * p_m)  (paper Sec. V-E).
+  [[nodiscard]] double bus_load(double bits_per_second) const;
+
+  /// Tightest deadline across all messages, in ms.
+  [[nodiscard]] double min_deadline_ms() const;
+
+  /// Scale all periods by a common factor so the analytical bus load hits
+  /// `target_load` at `bits_per_second` — the time dilation used to replay
+  /// a 500 kbit/s vehicle trace onto the 50 kbit/s evaluation bus while
+  /// preserving relative periods (see DESIGN.md substitutions).
+  [[nodiscard]] CommMatrix scaled_to_load(double bits_per_second,
+                                          double target_load) const;
+
+  /// Copy of this matrix without the given ID (used when a separately
+  /// modelled node — e.g. the MichiCAN defender — transmits it itself).
+  [[nodiscard]] CommMatrix without(can::CanId id) const;
+
+  /// Validation per the paper's unique-transmitter assumption: IDs unique,
+  /// periods positive, DLC <= 8.  Returns a description of the first
+  /// violation, or an empty string if valid.
+  [[nodiscard]] std::string validate() const;
+
+ private:
+  std::string name_;
+  std::vector<MessageDef> msgs_;
+};
+
+}  // namespace mcan::restbus

@@ -1,0 +1,33 @@
+// Minimal DBC-subset reader/writer for communication matrices.
+//
+// MichiCAN's initial configuration relies on OpenDBC-style knowledge of
+// which ECU transmits which ID at which period (paper Sec. IV-A).  This
+// module speaks the subset of the Vector DBC format needed for that:
+//
+//   BO_ <decimal id> <NAME>: <dlc> <TX_ECU>
+//   BA_ "GenMsgCycleTime" BO_ <decimal id> <period-ms>;
+//
+// Extended (29-bit) IDs use the DBC convention of setting bit 31 on the
+// numeric identifier.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "restbus/comm_matrix.hpp"
+
+namespace mcan::restbus {
+
+/// Parse a DBC-subset document.  Messages without a GenMsgCycleTime
+/// attribute default to `default_period_ms`.  Throws std::runtime_error on
+/// malformed BO_/BA_ lines; unknown lines are ignored (real DBC files carry
+/// plenty of other sections).
+[[nodiscard]] CommMatrix parse_dbc(std::string_view text,
+                                   std::string bus_name = "dbc",
+                                   double default_period_ms = 100.0);
+
+/// Serialize a matrix to the same subset (BO_ lines plus cycle-time
+/// attributes), parseable by parse_dbc and by common DBC tooling.
+[[nodiscard]] std::string to_dbc(const CommMatrix& matrix);
+
+}  // namespace mcan::restbus

@@ -1,0 +1,51 @@
+// Restbus simulation: replaying a vehicle's communication matrix onto the
+// simulated bus, one controller per transmitting ECU (paper Sec. V-A uses a
+// PCAN-USB interface to replay recorded Veh. D traffic the same way).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "can/bus.hpp"
+#include "can/controller.hpp"
+#include "can/periodic.hpp"
+#include "restbus/comm_matrix.hpp"
+#include "sim/rng.hpp"
+
+namespace mcan::restbus {
+
+struct ReplayConfig {
+  /// Random payloads per cycle (realistic stuff-bit variance).
+  can::PayloadMode payload{can::PayloadMode::Random};
+  /// Randomize initial phases so messages do not all fire at t = 0.
+  bool randomize_phase{true};
+  std::uint64_t seed{0xBEEF};
+};
+
+/// Owns one BitController per transmitter ECU in the matrix, each loaded
+/// with periodic senders for its messages.
+class RestbusSim {
+ public:
+  RestbusSim(const CommMatrix& matrix, can::WiredAndBus& bus,
+             ReplayConfig cfg = {});
+
+  [[nodiscard]] std::size_t ecu_count() const noexcept {
+    return ecus_.size();
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<can::BitController>>& ecus()
+      const noexcept {
+    return ecus_;
+  }
+
+  /// Aggregate statistics over all restbus ECUs.
+  [[nodiscard]] can::BitController::Stats total_stats() const;
+
+  /// True if any restbus ECU was pushed into bus-off (must never happen —
+  /// MichiCAN's counterattack leaves benign nodes untouched).
+  [[nodiscard]] bool any_bus_off() const;
+
+ private:
+  std::vector<std::unique_ptr<can::BitController>> ecus_;
+};
+
+}  // namespace mcan::restbus

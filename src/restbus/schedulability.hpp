@@ -1,0 +1,54 @@
+// CAN response-time (schedulability) analysis following Davis, Burns, Bril
+// & Lukkien, "Controller Area Network (CAN) schedulability analysis:
+// refuted, revisited and revised" — the paper's reference [49] and the
+// source of its 10 ms-deadline argument (Sec. V-C).
+//
+// Classic fixed-priority non-preemptive analysis on the priority-ordered
+// message set: for message i,
+//   * blocking B_i = the longest lower-priority frame that may have just
+//     started (non-preemptive bus),
+//   * the level-i busy period t_i = B_i + sum_{j in hp(i) + {i}}
+//     ceil(t_i / T_j) C_j   (fixpoint),
+//   * for every instance q = 0 .. ceil(t_i/T_i)-1:
+//       w_{i,q} = B_i + q C_i + sum_{j in hp(i)} ceil((w_{i,q} + tau) / T_j) C_j
+//       R_{i,q} = w_{i,q} - q T_i + C_i
+//   * R_i = max_q R_{i,q};   schedulable iff R_i <= D_i.
+//
+// The `attack_blocking_bits` knob adds a one-off blocking term modelling a
+// MichiCAN counterattack sequence occupying the bus (Sec. V-E: the bus-off
+// spike must fit the deadline budget of every message class).
+#pragma once
+
+#include <vector>
+
+#include "restbus/comm_matrix.hpp"
+
+namespace mcan::restbus {
+
+struct RtaConfig {
+  double bits_per_second{500e3};
+  /// Extra blocking from an ongoing counterattack (e.g. 1248 bits for a
+  /// full isolated bus-off sequence); 0 = attack-free analysis.
+  double attack_blocking_bits{0};
+};
+
+struct RtaResult {
+  MessageDef message;
+  double blocking_ms{};       // B_i
+  double queueing_ms{};       // worst w_{i,q} - q T_i
+  double response_ms{};       // R_i
+  double deadline_ms{};       // D_i (period if no explicit deadline)
+  bool schedulable{};
+  int instances_checked{};    // Q_i
+};
+
+struct RtaReport {
+  std::vector<RtaResult> results;  // priority (ID) order
+  bool all_schedulable{};
+  double total_utilization{};
+};
+
+[[nodiscard]] RtaReport response_time_analysis(const CommMatrix& matrix,
+                                               const RtaConfig& cfg);
+
+}  // namespace mcan::restbus

@@ -1,0 +1,67 @@
+// Signal-level encoding/decoding within CAN payloads, DBC-style.
+//
+// The paper's VHAL story (Sec. III, Fig. 3) and its OpenDBC reference rest
+// on exactly this: abstract named signals ("AC fan speed", "vehicle speed")
+// packed into frame payloads with a start bit, length, byte order, scale
+// and offset.  This module implements the standard DBC signal model:
+//
+//   SG_ <name> : <start>|<length>@<1=Intel,0=Motorola><+|-> (scale,offset)
+//       [min|max] "unit" <receivers>
+//
+// Bit addressing follows the DBC convention: bit i of byte b has position
+// b*8 + (i within byte, 7 = MSB).  Intel (little-endian) signals grow
+// towards higher positions starting at the LSB; Motorola (big-endian)
+// signals start at their MSB and descend through the "sawtooth" order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "can/frame.hpp"
+
+namespace mcan::restbus {
+
+enum class ByteOrder : std::uint8_t { Intel, Motorola };
+
+struct SignalDef {
+  std::string name;
+  int start_bit{};   // DBC start bit (LSB for Intel, MSB for Motorola)
+  int length{};      // 1..64 bits
+  ByteOrder order{ByteOrder::Intel};
+  bool is_signed{false};
+  double scale{1.0};
+  double offset{0.0};
+  double min{0.0};
+  double max{0.0};  // min == max == 0 means "no declared range"
+  std::string unit;
+
+  /// True if the signal fits entirely inside a `dlc`-byte payload.
+  [[nodiscard]] bool fits(int dlc) const noexcept;
+};
+
+/// Extract the raw (unscaled) value.
+[[nodiscard]] std::uint64_t extract_raw(const can::CanFrame& frame,
+                                        const SignalDef& sig);
+
+/// Insert a raw value (must fit in `length` bits).
+void insert_raw(can::CanFrame& frame, const SignalDef& sig,
+                std::uint64_t raw);
+
+/// Physical value = raw * scale + offset (two's complement when signed).
+[[nodiscard]] double decode_signal(const can::CanFrame& frame,
+                                   const SignalDef& sig);
+
+/// Encode a physical value; the raw result is rounded to the nearest
+/// representable step and clamped to the signal's bit width.
+void encode_signal(can::CanFrame& frame, const SignalDef& sig,
+                   double physical);
+
+/// Parse one `SG_ ...` DBC line; returns std::nullopt if the line is not an
+/// SG_ line, throws std::runtime_error if it is one but malformed.
+[[nodiscard]] std::optional<SignalDef> parse_sg_line(const std::string& line);
+
+/// Serialize to a DBC `SG_` line.
+[[nodiscard]] std::string to_sg_line(const SignalDef& sig);
+
+}  // namespace mcan::restbus

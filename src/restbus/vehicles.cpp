@@ -1,0 +1,98 @@
+#include "restbus/vehicles.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "sim/rng.hpp"
+
+namespace mcan::restbus {
+namespace {
+
+struct VehicleShape {
+  const char* name;
+  int powertrain_msgs;
+  int body_msgs;
+  std::uint64_t seed;
+};
+
+constexpr VehicleShape kShapes[] = {
+    {"VehA", 38, 30, 0xA001},  // luxury mid-size sedan
+    {"VehB", 30, 24, 0xB002},  // compact crossover SUV
+    {"VehC", 34, 28, 0xC003},  // full-size crossover SUV
+    {"VehD", 36, 26, 0xD004},  // full-size pickup truck
+};
+
+// IDs that experiments inject as attacks; they must stay unassigned.
+const std::set<can::CanId> kReservedAttackIds = {0x000, 0x050, 0x051, 0x064,
+                                                 0x066, 0x067, 0x25F};
+
+constexpr double kPeriodClassesMs[] = {10, 20, 50, 100, 200, 500, 1000};
+
+CommMatrix generate(const VehicleShape& shape, int bus) {
+  sim::Rng rng{shape.seed * 17 + static_cast<std::uint64_t>(bus)};
+  const bool powertrain = bus == 1;
+  const int count = powertrain ? shape.powertrain_msgs : shape.body_msgs;
+  const can::CanId lo = powertrain ? 0x0C0 : 0x200;
+  const can::CanId hi = powertrain ? 0x4FF : 0x6FF;
+
+  std::set<can::CanId> used = kReservedAttackIds;
+  std::vector<MessageDef> msgs;
+  const int ecu_count = std::max(4, count / 5);  // ~5 messages per ECU
+  for (int i = 0; i < count; ++i) {
+    MessageDef m;
+    do {
+      m.id = static_cast<can::CanId>(rng.uniform(lo, hi));
+    } while (!used.insert(m.id).second);
+    // Fast periods are more common on powertrain buses.
+    const std::size_t pmax = std::size(kPeriodClassesMs) - 1;
+    const std::size_t pidx =
+        powertrain ? rng.uniform(0, 4) : rng.uniform(2, pmax);
+    m.period_ms = kPeriodClassesMs[pidx];
+    m.dlc = static_cast<std::uint8_t>(rng.chance(0.7) ? 8 : rng.uniform(1, 8));
+    std::ostringstream nm;
+    nm << shape.name << "_B" << bus << "_MSG" << std::hex << m.id;
+    m.name = nm.str();
+    std::ostringstream ecu;
+    ecu << shape.name << "_B" << bus << "_ECU"
+        << rng.uniform(0, static_cast<std::uint64_t>(ecu_count - 1));
+    m.tx_ecu = ecu.str();
+    msgs.push_back(std::move(m));
+  }
+
+  // The Table II defender transmits 0x173 on Veh. D's powertrain bus.
+  if (shape.seed == 0xD004 && powertrain) {
+    MessageDef m;
+    m.id = 0x173;
+    m.period_ms = 100;
+    m.dlc = 8;
+    m.name = "VehD_B1_MSG173";
+    m.tx_ecu = "VehD_B1_ECU_DEF";
+    if (std::none_of(msgs.begin(), msgs.end(),
+                     [](const MessageDef& x) { return x.id == 0x173; })) {
+      msgs.push_back(std::move(m));
+    }
+  }
+
+  std::ostringstream busname;
+  busname << shape.name << "_bus" << bus;
+  return CommMatrix{busname.str(), std::move(msgs)};
+}
+
+}  // namespace
+
+CommMatrix vehicle_matrix(Vehicle v, int bus) {
+  return generate(kShapes[static_cast<int>(v)], bus);
+}
+
+std::vector<CommMatrix> all_vehicle_matrices() {
+  std::vector<CommMatrix> out;
+  for (int v = 0; v < 4; ++v) {
+    for (int bus = 1; bus <= 2; ++bus) {
+      out.push_back(vehicle_matrix(static_cast<Vehicle>(v), bus));
+    }
+  }
+  return out;
+}
+
+}  // namespace mcan::restbus

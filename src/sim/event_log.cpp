@@ -1,0 +1,74 @@
+#include "sim/event_log.hpp"
+
+#include <sstream>
+
+namespace mcan::sim {
+
+std::string_view to_string(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::FrameTxStart: return "FrameTxStart";
+    case EventKind::FrameTxSuccess: return "FrameTxSuccess";
+    case EventKind::FrameRxSuccess: return "FrameRxSuccess";
+    case EventKind::ArbitrationLost: return "ArbitrationLost";
+    case EventKind::TxError: return "TxError";
+    case EventKind::RxError: return "RxError";
+    case EventKind::ErrorStateChange: return "ErrorStateChange";
+    case EventKind::BusOff: return "BusOff";
+    case EventKind::BusOffRecovered: return "BusOffRecovered";
+    case EventKind::SuspendStart: return "SuspendStart";
+    case EventKind::AttackDetected: return "AttackDetected";
+    case EventKind::CounterattackStart: return "CounterattackStart";
+    case EventKind::CounterattackEnd: return "CounterattackEnd";
+    case EventKind::OverloadFrame: return "OverloadFrame";
+    case EventKind::Custom: return "Custom";
+  }
+  return "Unknown";
+}
+
+std::vector<Event> EventLog::filter(EventKind kind,
+                                    std::string_view node) const {
+  std::vector<Event> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind && (node.empty() || e.node == node)) out.push_back(e);
+  }
+  return out;
+}
+
+const Event* EventLog::first(EventKind kind, BitTime from,
+                             std::string_view node) const {
+  for (const auto& e : events_) {
+    if (e.kind == kind && e.at >= from && (node.empty() || e.node == node)) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+std::size_t EventLog::count(EventKind kind, std::string_view node) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.kind == kind && (node.empty() || e.node == node)) ++n;
+  }
+  return n;
+}
+
+std::string EventLog::dump(std::size_t max_events) const {
+  std::ostringstream os;
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (n++ >= max_events) {
+      os << "... (" << events_.size() - max_events << " more)\n";
+      break;
+    }
+    os << "[" << e.at << "] " << e.node << " " << to_string(e.kind);
+    if (e.id != 0) {
+      os << " id=0x" << std::hex << e.id << std::dec;
+    }
+    os << " a=" << e.a << " b=" << e.b;
+    if (!e.detail.empty()) os << " (" << e.detail << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mcan::sim

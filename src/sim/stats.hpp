@@ -1,0 +1,25 @@
+// Summary statistics used across the evaluation (Table II reports mean,
+// standard deviation and maximum of the bus-off time; Sec. V-B reports a
+// mean detection bit position).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mcan::sim {
+
+struct Summary {
+  std::size_t count{};
+  double mean{};
+  double stddev{};  // sample standard deviation (n-1), 0 when count < 2
+  double min{};
+  double max{};
+};
+
+/// Summarize a sample.  Empty input yields an all-zero Summary.
+[[nodiscard]] Summary summarize(const std::vector<double>& xs);
+
+/// p-th percentile (0..100) via linear interpolation; empty input yields 0.
+[[nodiscard]] double percentile(std::vector<double> xs, double p);
+
+}  // namespace mcan::sim

@@ -1,0 +1,87 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+namespace mcan::sim {
+
+std::string to_string(BitLevel l) {
+  return l == BitLevel::Dominant ? "dominant" : "recessive";
+}
+
+void LogicAnalyzer::sample(BitLevel level) { levels_.push_back(level); }
+
+void LogicAnalyzer::annotate(BitTime at, std::string text) {
+  annotations_.push_back({at, std::move(text)});
+}
+
+std::size_t LogicAnalyzer::dominant_count(BitTime from, BitTime to) const {
+  to = std::min<BitTime>(to, levels_.size());
+  std::size_t n = 0;
+  for (BitTime t = from; t < to; ++t) {
+    if (levels_[t] == BitLevel::Dominant) ++n;
+  }
+  return n;
+}
+
+double LogicAnalyzer::busy_fraction(BitTime from, BitTime to,
+                                    std::size_t idle_run) const {
+  to = std::min<BitTime>(to, levels_.size());
+  if (to <= from) return 0.0;
+  // Mark idle bits: positions inside a maximal recessive run of >= idle_run.
+  std::size_t busy = 0;
+  BitTime t = from;
+  while (t < to) {
+    if (levels_[t] == BitLevel::Dominant) {
+      ++busy;
+      ++t;
+      continue;
+    }
+    BitTime run_end = t;
+    while (run_end < to && levels_[run_end] == BitLevel::Recessive) ++run_end;
+    const std::size_t run_len = run_end - t;
+    if (run_len < idle_run) busy += run_len;
+    t = run_end;
+  }
+  return static_cast<double>(busy) / static_cast<double>(to - from);
+}
+
+std::optional<BitTime> LogicAnalyzer::next_falling_edge(BitTime from) const {
+  for (BitTime t = std::max<BitTime>(from, 1); t < levels_.size(); ++t) {
+    if (levels_[t - 1] == BitLevel::Recessive &&
+        levels_[t] == BitLevel::Dominant) {
+      return t;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<BitTime> LogicAnalyzer::end_of_recessive_run(
+    BitTime from, std::size_t run) const {
+  std::size_t seen = 0;
+  for (BitTime t = from; t < levels_.size(); ++t) {
+    if (levels_[t] == BitLevel::Recessive) {
+      if (++seen == run) return t + 1;
+    } else {
+      seen = 0;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string LogicAnalyzer::render(BitTime from, BitTime to,
+                                  std::size_t group) const {
+  to = std::min<BitTime>(to, levels_.size());
+  std::string out;
+  out.reserve(to - from + (group ? (to - from) / group : 0));
+  std::size_t in_group = 0;
+  for (BitTime t = from; t < to; ++t) {
+    out.push_back(levels_[t] == BitLevel::Dominant ? '_' : '-');
+    if (group != 0 && ++in_group == group && t + 1 < to) {
+      out.push_back(' ');
+      in_group = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace mcan::sim

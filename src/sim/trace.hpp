@@ -1,0 +1,67 @@
+// Logic-analyzer style recording of the bus level, bit by bit.
+//
+// The paper's testbed attaches a hardware logic analyzer to the breadboard
+// (Fig. 5) to measure bus-off times and to capture the Fig. 6 waveform.  The
+// LogicAnalyzer here plays the same role: it records the resolved wired-AND
+// level for every bit time, plus free-form annotations, and supports the
+// queries the evaluation needs (idle-run detection, busy fraction, edge
+// positions, ASCII rendering of a window).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace mcan::sim {
+
+class LogicAnalyzer {
+ public:
+  /// Record the resolved bus level for the current bit time.
+  void sample(BitLevel level);
+
+  /// Attach a text annotation at a given bit time (e.g. "0x066 SOF").
+  void annotate(BitTime at, std::string text);
+
+  [[nodiscard]] std::size_t size() const noexcept { return levels_.size(); }
+  [[nodiscard]] BitLevel at(BitTime t) const { return levels_.at(t); }
+
+  /// Number of dominant bits in [from, to).
+  [[nodiscard]] std::size_t dominant_count(BitTime from, BitTime to) const;
+
+  /// Fraction of bits in [from, to) that are part of non-idle activity.
+  /// A bit is "busy" if it is dominant or lies inside a frame (between a SOF
+  /// edge and the subsequent 11-recessive idle run).  For bus-load purposes
+  /// we approximate busy = not part of an idle run of >= `idle_run` bits.
+  [[nodiscard]] double busy_fraction(BitTime from, BitTime to,
+                                     std::size_t idle_run = 11) const;
+
+  /// First falling edge (recessive->dominant) at or after `from`, if any.
+  [[nodiscard]] std::optional<BitTime> next_falling_edge(BitTime from) const;
+
+  /// First position >= `from` where `run` consecutive recessive bits end
+  /// (i.e. the index of the bit following the run), if any.
+  [[nodiscard]] std::optional<BitTime> end_of_recessive_run(
+      BitTime from, std::size_t run) const;
+
+  /// Render [from, to) as a string of '_' (dominant) and '-' (recessive),
+  /// chunked into `group` sized blocks for readability.
+  [[nodiscard]] std::string render(BitTime from, BitTime to,
+                                   std::size_t group = 10) const;
+
+  struct Annotation {
+    BitTime at;
+    std::string text;
+  };
+  [[nodiscard]] const std::vector<Annotation>& annotations() const noexcept {
+    return annotations_;
+  }
+
+ private:
+  std::vector<BitLevel> levels_;
+  std::vector<Annotation> annotations_;
+};
+
+}  // namespace mcan::sim

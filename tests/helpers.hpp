@@ -1,0 +1,113 @@
+// Shared fault-injection helpers for the test suite.
+//
+// These are deliberately *non-compliant* bus participants: they drive raw
+// levels without a protocol controller, exactly what is needed to exercise
+// the error paths of compliant nodes from the outside.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "can/node.hpp"
+#include "sim/types.hpp"
+
+namespace mcan::test {
+
+/// Drives dominant during absolute bit-time windows; recessive otherwise.
+class PulseInjector final : public can::CanNode {
+ public:
+  void pulse(sim::BitTime start, int len) { windows_.push_back({start, len}); }
+
+  sim::BitLevel tx_level() override {
+    for (const auto& [start, len] : windows_) {
+      if (now_ >= start && now_ < start + static_cast<sim::BitTime>(len)) {
+        return sim::BitLevel::Dominant;
+      }
+    }
+    return sim::BitLevel::Recessive;
+  }
+  void tick(sim::BitTime now) override { now_ = now; }
+  void on_bus_bit(sim::BitLevel) override {}
+  [[nodiscard]] std::string_view name() const override { return "pulse"; }
+
+ private:
+  sim::BitTime now_{0};
+  std::vector<std::pair<sim::BitTime, int>> windows_;
+};
+
+/// Replays an arbitrary scripted level sequence starting at a given time
+/// (e.g. a hand-corrupted frame), then stays recessive.
+class ScriptedNode final : public can::CanNode {
+ public:
+  ScriptedNode(sim::BitTime start, std::vector<sim::BitLevel> script)
+      : start_(start), script_(std::move(script)) {}
+
+  sim::BitLevel tx_level() override {
+    if (now_ >= start_ && now_ - start_ < script_.size()) {
+      return script_[now_ - start_];
+    }
+    return sim::BitLevel::Recessive;
+  }
+  void tick(sim::BitTime now) override { now_ = now; }
+  void on_bus_bit(sim::BitLevel) override {}
+  [[nodiscard]] std::string_view name() const override { return "scripted"; }
+
+ private:
+  sim::BitTime now_{0};
+  sim::BitTime start_;
+  std::vector<sim::BitLevel> script_;
+};
+
+/// Destroys frames: after each SOF (falling edge following >= 11 recessive
+/// bits) it forces the bus dominant during raw frame bit positions
+/// [from, to).  Six consecutive forced dominant bits guarantee a stuff or
+/// bit error for any compliant transmitter.  `max_kills` limits how many
+/// frames are destroyed (0 = unlimited).
+class FrameKiller final : public can::CanNode {
+ public:
+  explicit FrameKiller(int from = 13, int to = 20, int max_kills = 0)
+      : from_(from), to_(to), max_kills_(max_kills) {}
+
+  sim::BitLevel tx_level() override {
+    if (in_frame_ && pos_ >= from_ && pos_ < to_ &&
+        (max_kills_ == 0 || kills_ < max_kills_)) {
+      return sim::BitLevel::Dominant;
+    }
+    return sim::BitLevel::Recessive;
+  }
+
+  void on_bus_bit(sim::BitLevel bus) override {
+    if (!in_frame_) {
+      if (sim::is_dominant(bus) && recessive_run_ >= 11) {
+        in_frame_ = true;
+        pos_ = 0;  // SOF
+      }
+      recessive_run_ = sim::is_recessive(bus) ? recessive_run_ + 1 : 0;
+      return;
+    }
+    ++pos_;
+    if (pos_ == to_ && (max_kills_ == 0 || kills_ < max_kills_)) ++kills_;
+    // End of involvement: wait for the bus to go idle again.
+    if (sim::is_recessive(bus)) {
+      if (++recessive_run_ >= 11) in_frame_ = false;
+    } else {
+      recessive_run_ = 0;
+    }
+  }
+
+  void tick(sim::BitTime) override {}
+  [[nodiscard]] std::string_view name() const override { return "killer"; }
+  [[nodiscard]] int kills() const noexcept { return kills_; }
+
+ private:
+  int from_;
+  int to_;
+  int max_kills_;
+  bool in_frame_{false};
+  int pos_{0};
+  int recessive_run_{11};
+  int kills_{0};
+};
+
+}  // namespace mcan::test

@@ -1,0 +1,155 @@
+// Tests for the analysis layer: statistics, bus-off metering, Table III
+// theory, the latency study and the ASCII table renderer.
+#include <gtest/gtest.h>
+
+#include "analysis/busoff_meter.hpp"
+#include "analysis/latency.hpp"
+#include "analysis/table.hpp"
+#include "analysis/theory.hpp"
+#include "sim/stats.hpp"
+
+namespace mcan::analysis {
+namespace {
+
+using sim::EventKind;
+
+TEST(Stats, SummaryOfKnownSample) {
+  const auto s = sim::summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Stats, EmptyAndSingleton) {
+  const auto empty = sim::summarize({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.mean, 0.0);
+  const auto one = sim::summarize({3.5});
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_DOUBLE_EQ(one.mean, 3.5);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+}
+
+TEST(Stats, Percentile) {
+  EXPECT_DOUBLE_EQ(sim::percentile({1, 2, 3, 4, 5}, 50), 3.0);
+  EXPECT_DOUBLE_EQ(sim::percentile({1, 2, 3, 4, 5}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(sim::percentile({1, 2, 3, 4, 5}, 100), 5.0);
+  EXPECT_DOUBLE_EQ(sim::percentile({5, 1, 3, 2, 4}, 25), 2.0);  // sorts internally
+}
+
+sim::EventLog make_log_with_cycles() {
+  sim::EventLog log;
+  // Cycle 1: start at 100, 3 attempts, bus-off at 1300.
+  log.push({100, "atk", EventKind::FrameTxStart, 0x64, 0, 0, {}});
+  log.push({150, "atk", EventKind::FrameTxStart, 0x64, 0, 0, {}});
+  log.push({200, "atk", EventKind::FrameTxStart, 0x64, 0, 0, {}});
+  log.push({1300, "atk", EventKind::BusOff, 0x64, 0, 256, {}});
+  log.push({2800, "atk", EventKind::BusOffRecovered, 0, 0, 0, {}});
+  // Cycle 2: start at 3000, bus-off at 4100.
+  log.push({3000, "atk", EventKind::FrameTxStart, 0x64, 0, 0, {}});
+  log.push({4100, "atk", EventKind::BusOff, 0x64, 0, 256, {}});
+  // Unrelated node events must be ignored.
+  log.push({5000, "other", EventKind::FrameTxStart, 0x100, 0, 0, {}});
+  log.push({5100, "other", EventKind::BusOff, 0x100, 0, 256, {}});
+  return log;
+}
+
+TEST(BusOffMeter, ExtractsCyclesPerNode) {
+  const auto log = make_log_with_cycles();
+  const auto cycles = busoff_cycles(log, "atk");
+  ASSERT_EQ(cycles.size(), 2u);
+  EXPECT_EQ(cycles[0].attack_start, 100u);
+  EXPECT_EQ(cycles[0].bus_off, 1300u);
+  EXPECT_DOUBLE_EQ(cycles[0].duration_bits, 1200.0);
+  EXPECT_EQ(cycles[0].retransmissions, 3);
+  EXPECT_DOUBLE_EQ(cycles[1].duration_bits, 1100.0);
+}
+
+TEST(BusOffMeter, SummaryInMilliseconds) {
+  const auto log = make_log_with_cycles();
+  const auto s = busoff_summary_ms(log, "atk", sim::BusSpeed{50'000});
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.mean, (24.0 + 22.0) / 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 24.0);
+}
+
+TEST(BusOffMeter, IncompleteCycleIgnored) {
+  sim::EventLog log;
+  log.push({10, "atk", EventKind::FrameTxStart, 0x64, 0, 0, {}});
+  EXPECT_TRUE(busoff_cycles(log, "atk").empty());
+}
+
+TEST(Theory, TableIIIFormulas) {
+  namespace th = theory;
+  EXPECT_DOUBLE_EQ(th::isolated_total_bits(), 1248.0);
+  EXPECT_DOUBLE_EQ(th::t_active(1, 100.0), 135.0);
+  EXPECT_DOUBLE_EQ(th::t_passive(1, 1, 100.0), 243.0);
+  // Restbus form with one interruption per phase on the first attempt.
+  EXPECT_DOUBLE_EQ(th::restbus_total_bits({1}, {1}, 100.0),
+                   1248.0 + 200.0);
+  // LP attacker interrupted once in each active attempt by the HP rival of
+  // 52 bits: 16 * 52 extra.
+  EXPECT_DOUBLE_EQ(
+      th::exp5_lp_total_bits(std::vector<int>(16, 1), {}, 52.0),
+      1248.0 + 16 * 52.0);
+}
+
+TEST(Theory, DeadlineBudget) {
+  EXPECT_DOUBLE_EQ(theory::deadline_budget_bits(10.0, 500e3), 5000.0);
+  EXPECT_DOUBLE_EQ(theory::deadline_budget_bits(100.0, 50e3), 5000.0);
+}
+
+TEST(LatencyStudy, SmallRunIsExactAndComplete) {
+  LatencyStudyConfig cfg;
+  cfg.num_fsms = 300;
+  cfg.verify_fsms = 50;
+  const auto res = run_latency_study(cfg);
+  EXPECT_EQ(res.fsms_built, 300u);
+  EXPECT_DOUBLE_EQ(res.detection_rate, 1.0);   // the paper's 100 %
+  EXPECT_DOUBLE_EQ(res.false_positive_rate, 0.0);
+  EXPECT_GT(res.mean_detection_bit, 4.0);
+  EXPECT_LE(res.mean_detection_bit, 11.0);
+  EXPECT_LE(res.max_depth_seen, 11);
+}
+
+TEST(LatencyStudy, DepthGrowsWithEcuCount) {
+  LatencyStudyConfig small;
+  small.num_fsms = 200;
+  small.min_ecus = small.max_ecus = 10;
+  small.verify_fsms = 0;
+  LatencyStudyConfig large = small;
+  large.min_ecus = large.max_ecus = 300;
+  EXPECT_LT(run_latency_study(small).mean_detection_bit,
+            run_latency_study(large).mean_detection_bit);
+}
+
+TEST(LatencyStudy, LatencyConversion) {
+  EXPECT_DOUBLE_EQ(detection_latency_us(9.0, 500e3), 18.0);
+  EXPECT_DOUBLE_EQ(detection_latency_us(9.0, 50e3), 180.0);
+}
+
+TEST(AsciiTable, RendersAlignedColumns) {
+  AsciiTable t{{"a", "bbbb"}};
+  t.add_row({"xxxxx", "y"});
+  const auto s = t.to_string("Title");
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("| xxxxx | y    |"), std::string::npos);
+  EXPECT_NE(s.find("| a     | bbbb |"), std::string::npos);
+}
+
+TEST(AsciiTable, PadsShortRows) {
+  AsciiTable t{{"a", "b", "c"}};
+  t.add_row({"1"});
+  EXPECT_NE(t.to_string().find("| 1 |"), std::string::npos);
+}
+
+TEST(AsciiTable, Formatters) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_hex(0x173), "0x173");
+  EXPECT_EQ(fmt_pct(0.257, 1), "25.7%");
+}
+
+}  // namespace
+}  // namespace mcan::analysis

@@ -1,0 +1,137 @@
+// Unit tests for the attack strategies (threat model of Sec. III).
+#include "attack/attacker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "can/bus.hpp"
+#include "can/periodic.hpp"
+#include "helpers.hpp"
+
+namespace mcan::attack {
+namespace {
+
+using sim::BitTime;
+
+TEST(Attacker, ContinuousFloodKeepsBusBusy) {
+  can::WiredAndBus bus;
+  Attacker atk{"atk", Attacker::traditional_dos()};
+  atk.attach_to(bus);
+  can::BitController rx{"rx"};
+  rx.attach_to(bus);
+  bus.run(5000);
+  // Back-to-back frames: high busy fraction, many frames injected.
+  EXPECT_GT(bus.trace().busy_fraction(0, bus.now()), 0.85);
+  EXPECT_GT(atk.node().stats().frames_sent, 30u);
+}
+
+TEST(Attacker, FloodStarvesLowerPriorityTraffic) {
+  // The suspension attack of Fig. 2: a 0x000 flood blocks everyone.
+  can::WiredAndBus bus;
+  Attacker atk{"atk", Attacker::traditional_dos()};
+  atk.attach_to(bus);
+  can::BitController victim{"victim"};
+  victim.attach_to(bus);
+  can::attach_periodic(victim, can::CanFrame::make(0x300, {0x01}), 400.0);
+  bus.run(20'000);
+  EXPECT_EQ(victim.stats().frames_sent, 0u);
+  EXPECT_GT(victim.queue_depth(), 0u);
+  EXPECT_GT(victim.stats().arbitration_losses, 10u);
+}
+
+TEST(Attacker, MiscellaneousAttackDoesNotStarveAnyone) {
+  // Def. IV.3: an ID above everything loses every arbitration; legitimate
+  // traffic flows normally (at most one frame of blocking delay).
+  can::WiredAndBus bus;
+  Attacker atk{"atk", Attacker::miscellaneous(0x7FF)};
+  atk.attach_to(bus);
+  can::BitController victim{"victim"};
+  victim.attach_to(bus);
+  can::attach_periodic(victim, can::CanFrame::make(0x300, {0x01}), 400.0);
+  bus.run(20'000);
+  EXPECT_GT(victim.stats().frames_sent, 40u);
+}
+
+TEST(Attacker, PeriodicInjectionHonoursPeriod) {
+  can::WiredAndBus bus;
+  auto cfg = Attacker::spoof(0x123);
+  cfg.period_bits = 1000;
+  Attacker atk{"atk", cfg};
+  atk.attach_to(bus);
+  can::BitController rx{"rx"};
+  rx.attach_to(bus);
+  bus.run(10'000);
+  EXPECT_NEAR(static_cast<double>(atk.node().stats().frames_sent), 10.0, 2.0);
+}
+
+TEST(Attacker, AlternatingRotatesIds) {
+  can::WiredAndBus bus;
+  auto cfg = Attacker::alternating(0x050, 0x051);
+  cfg.period_bits = 500;
+  Attacker atk{"atk", cfg};
+  atk.attach_to(bus);
+  can::BitController rx{"rx"};
+  rx.attach_to(bus);
+  std::vector<can::CanId> seen;
+  rx.set_rx_callback(
+      [&](const can::CanFrame& f, BitTime) { seen.push_back(f.id); });
+  bus.run(5000);
+  ASSERT_GE(seen.size(), 4u);
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_NE(seen[i], seen[i - 1]) << "IDs must alternate";
+  }
+}
+
+TEST(Attacker, RandomPayloadVariesAcrossFrames) {
+  can::WiredAndBus bus;
+  auto cfg = Attacker::spoof(0x100);
+  cfg.period_bits = 300;
+  Attacker atk{"atk", cfg};
+  atk.attach_to(bus);
+  can::BitController rx{"rx"};
+  rx.attach_to(bus);
+  std::vector<can::CanFrame> seen;
+  rx.set_rx_callback(
+      [&](const can::CanFrame& f, BitTime) { seen.push_back(f); });
+  bus.run(4000);
+  ASSERT_GE(seen.size(), 3u);
+  bool any_diff = false;
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    if (!(seen[i] == seen[0])) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Attacker, NonPersistentStaysSilentAfterBusOff) {
+  can::WiredAndBus bus;
+  auto cfg = Attacker::spoof(0x100);
+  cfg.persistent = false;
+  Attacker atk{"atk", cfg};
+  atk.attach_to(bus);
+  can::BitController rx{"rx"};
+  rx.attach_to(bus);
+  test::FrameKiller killer;  // destroys every frame
+  bus.attach(killer);
+  bus.run(4000);
+  ASSERT_TRUE(atk.node().is_bus_off());
+  const auto frames_at_off = atk.frames_injected();
+  bus.run(10'000);  // far beyond any recovery window
+  EXPECT_TRUE(atk.node().is_bus_off());
+  EXPECT_EQ(atk.frames_injected(), frames_at_off);
+}
+
+TEST(Attacker, PersistentReattacksAfterRecovery) {
+  can::WiredAndBus bus;
+  Attacker atk{"atk", Attacker::spoof(0x100)};  // persistent by default
+  atk.attach_to(bus);
+  can::BitController rx{"rx"};
+  rx.attach_to(bus);
+  test::FrameKiller killer;
+  bus.attach(killer);
+  bus.run(20'000);
+  // Multiple bus-off / recovery / re-attack rounds.
+  EXPECT_GE(atk.node().stats().bus_off_entries, 2u);
+  EXPECT_GE(atk.node().stats().recoveries, 1u);
+}
+
+}  // namespace
+}  // namespace mcan::attack

@@ -1,0 +1,180 @@
+// Unit and property tests for frame serialization, bit stuffing and
+// destuffing.
+#include "can/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace mcan::can {
+namespace {
+
+using sim::BitLevel;
+
+CanFrame random_frame(sim::Rng& rng) {
+  CanFrame f;
+  f.id = static_cast<CanId>(rng.uniform(0, kMaxStdId));
+  f.rtr = rng.chance(0.1);
+  f.dlc = static_cast<std::uint8_t>(rng.uniform(0, 8));
+  for (int i = 0; i < f.dlc; ++i) {
+    f.data[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(rng.uniform(0, 255));
+  }
+  return f;
+}
+
+TEST(Bitstream, UnstuffedLengthMatchesLayout) {
+  const auto f = CanFrame::make(0x123, {0xAA, 0xBB});
+  // 1 SOF + 11 ID + 1 RTR + 1 IDE + 1 r0 + 4 DLC + 16 data + 15 CRC
+  // + 1 CRC delim + 1 ACK + 1 ACK delim + 7 EOF = 60
+  EXPECT_EQ(unstuffed_bits(f).size(), 60u);
+  EXPECT_EQ(unstuffed_frame_length(2, false), 60);
+  EXPECT_EQ(stuffed_region_length(2, false), 50);
+}
+
+TEST(Bitstream, SofIsDominantTrailerIsRecessive) {
+  const auto bits = unstuffed_bits(CanFrame::make(0x000, {}));
+  EXPECT_EQ(bits.front(), 0);
+  // CRC delim, ACK slot, ACK delim, EOF are all recessive for the sender.
+  for (std::size_t i = bits.size() - 10; i < bits.size(); ++i) {
+    EXPECT_EQ(bits[i], 1) << "trailer bit " << i;
+  }
+}
+
+TEST(Bitstream, IdSerializedMsbFirst) {
+  const auto bits = unstuffed_bits(CanFrame::make(0x555, {}));
+  // 0x555 = 101 0101 0101
+  const std::array<int, 11> expect{1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1};
+  for (int i = 0; i < 11; ++i) {
+    EXPECT_EQ(bits[static_cast<std::size_t>(1 + i)], expect[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Bitstream, FieldAtCoversWholeFrame) {
+  const int dlc = 8;
+  const int len = unstuffed_frame_length(dlc, false);
+  EXPECT_EQ(field_at(0, dlc, false), Field::Sof);
+  EXPECT_EQ(field_at(1, dlc, false), Field::Id);
+  EXPECT_EQ(field_at(11, dlc, false), Field::Id);
+  EXPECT_EQ(field_at(12, dlc, false), Field::Rtr);
+  EXPECT_EQ(field_at(13, dlc, false), Field::Ide);
+  EXPECT_EQ(field_at(14, dlc, false), Field::R0);
+  EXPECT_EQ(field_at(15, dlc, false), Field::Dlc);
+  EXPECT_EQ(field_at(18, dlc, false), Field::Dlc);
+  EXPECT_EQ(field_at(19, dlc, false), Field::Data);
+  EXPECT_EQ(field_at(19 + 63, dlc, false), Field::Data);
+  EXPECT_EQ(field_at(19 + 64, dlc, false), Field::Crc);
+  EXPECT_EQ(field_at(len - 10, dlc, false), Field::CrcDelim);
+  EXPECT_EQ(field_at(len - 9, dlc, false), Field::AckSlot);
+  EXPECT_EQ(field_at(len - 8, dlc, false), Field::AckDelim);
+  EXPECT_EQ(field_at(len - 7, dlc, false), Field::Eof);
+  EXPECT_EQ(field_at(len - 1, dlc, false), Field::Eof);
+}
+
+TEST(Bitstream, NoSixEqualBitsInStuffedRegionOnWire) {
+  sim::Rng rng{123};
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto f = random_frame(rng);
+    const auto wire = wire_bits(f);
+    const int stuffed_end = stuffed_region_length(f.dlc, f.rtr);
+    int run = 0;
+    BitLevel prev{};
+    for (const auto& b : wire) {
+      if (b.unstuffed_pos >= stuffed_end) break;
+      if (run > 0 && b.level == prev) {
+        ++run;
+      } else {
+        prev = b.level;
+        run = 1;
+      }
+      ASSERT_LT(run, 6) << "stuffing violated for frame " << f.to_string();
+    }
+  }
+}
+
+TEST(Bitstream, StuffBitsHaveOppositeLevelOfPrecedingRun) {
+  // ID 0x000 yields SOF + many dominant bits: stuff bits must appear.
+  const auto wire = wire_bits(CanFrame::make(0x000, {0x00}));
+  bool saw_stuff = false;
+  for (std::size_t i = 1; i < wire.size(); ++i) {
+    if (wire[i].is_stuff) {
+      saw_stuff = true;
+      EXPECT_NE(wire[i].level, wire[i - 1].level);
+    }
+  }
+  EXPECT_TRUE(saw_stuff);
+}
+
+TEST(Bitstream, AllDominantIdStuffsAfterFiveBits) {
+  // SOF(0) + five more dominant ID bits = run of 6?  No: stuffing inserts a
+  // recessive bit after the run of 5 (SOF + 4 ID bits).
+  const auto wire = wire_bits(CanFrame::make(0x000, {}));
+  EXPECT_FALSE(wire[0].is_stuff);  // SOF
+  // positions 1..4 are ID bits, position 5 must be the recessive stuff bit
+  EXPECT_TRUE(wire[5].is_stuff);
+  EXPECT_EQ(wire[5].level, BitLevel::Recessive);
+}
+
+TEST(Bitstream, DestufferRoundTripsRandomFrames) {
+  sim::Rng rng{99};
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto f = random_frame(rng);
+    const auto wire = wire_bits(f);
+    const auto raw = unstuffed_bits(f);
+    const int stuffed_end = stuffed_region_length(f.dlc, f.rtr);
+
+    Destuffer d;
+    std::vector<std::uint8_t> recovered;
+    for (const auto& b : wire) {
+      if (b.unstuffed_pos >= stuffed_end) break;
+      const auto r = d.feed(b.level);
+      ASSERT_NE(r, Destuffer::Result::StuffError);
+      if (r == Destuffer::Result::DataBit) {
+        recovered.push_back(static_cast<std::uint8_t>(sim::to_bit(b.level)));
+      }
+    }
+    ASSERT_EQ(recovered.size(), static_cast<std::size_t>(stuffed_end));
+    for (int i = 0; i < stuffed_end; ++i) {
+      ASSERT_EQ(recovered[static_cast<std::size_t>(i)],
+                raw[static_cast<std::size_t>(i)])
+          << "bit " << i << " of " << f.to_string();
+    }
+  }
+}
+
+TEST(Bitstream, DestufferFlagsSixEqualBits) {
+  Destuffer d;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NE(d.feed(BitLevel::Dominant), Destuffer::Result::StuffError);
+  }
+  EXPECT_EQ(d.feed(BitLevel::Dominant), Destuffer::Result::StuffError);
+}
+
+TEST(Bitstream, DestufferRunLengthTracksConsecutiveBits) {
+  Destuffer d;
+  (void)d.feed(BitLevel::Recessive);
+  (void)d.feed(BitLevel::Recessive);
+  EXPECT_EQ(d.run_length(), 2);
+  (void)d.feed(BitLevel::Dominant);
+  EXPECT_EQ(d.run_length(), 1);
+}
+
+TEST(Bitstream, WireLengthWithinCanBounds) {
+  // A classical CAN 2.0A frame is at most ~132 bits on the wire
+  // (64 data bits, worst-case stuffing); at least 44 + 3 IFS for dlc 0.
+  sim::Rng rng{5};
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto f = random_frame(rng);
+    const auto wire = wire_bits(f);
+    EXPECT_GE(wire.size(), 44u);
+    EXPECT_LE(wire.size(), 160u);
+  }
+}
+
+TEST(Bitstream, RtrFrameHasNoDataField) {
+  const auto wire = wire_bits(CanFrame::make_remote(0x123, 8));
+  for (const auto& b : wire) EXPECT_NE(b.field, Field::Data);
+}
+
+}  // namespace
+}  // namespace mcan::can

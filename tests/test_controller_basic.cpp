@@ -1,0 +1,241 @@
+// End-to-end tests of the bit-level controller over the wired-AND bus:
+// transmission, reception, acknowledgement, arbitration and timing.
+#include "can/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "can/bus.hpp"
+#include "can/periodic.hpp"
+#include "sim/rng.hpp"
+
+namespace mcan::can {
+namespace {
+
+using sim::BitLevel;
+using sim::BitTime;
+
+struct TwoNodeBus {
+  WiredAndBus bus{sim::BusSpeed{500'000}};
+  BitController tx{"tx"};
+  BitController rx{"rx"};
+  std::vector<CanFrame> received;
+  std::vector<BitTime> rx_times;
+
+  TwoNodeBus() {
+    tx.attach_to(bus);
+    rx.attach_to(bus);
+    rx.set_rx_callback([this](const CanFrame& f, BitTime t) {
+      received.push_back(f);
+      rx_times.push_back(t);
+    });
+  }
+};
+
+TEST(ControllerBasic, SingleFrameDeliveredIntact) {
+  TwoNodeBus env;
+  const auto f = CanFrame::make(0x173, {0xDE, 0xAD, 0xBE, 0xEF});
+  env.tx.enqueue(f);
+  env.bus.run(200);
+  ASSERT_EQ(env.received.size(), 1u);
+  EXPECT_EQ(env.received[0], f);
+  EXPECT_EQ(env.tx.stats().frames_sent, 1u);
+  EXPECT_EQ(env.tx.tec(), 0);
+  EXPECT_EQ(env.rx.rec(), 0);
+}
+
+TEST(ControllerBasic, AllDlcValuesRoundTrip) {
+  for (int dlc = 0; dlc <= 8; ++dlc) {
+    TwoNodeBus env;
+    const auto f = CanFrame::make_pattern(0x1AA, static_cast<std::uint8_t>(dlc),
+                                          0x1122334455667788ull);
+    env.tx.enqueue(f);
+    env.bus.run(250);
+    ASSERT_EQ(env.received.size(), 1u) << "dlc=" << dlc;
+    EXPECT_EQ(env.received[0], f) << "dlc=" << dlc;
+  }
+}
+
+TEST(ControllerBasic, RemoteFrameRoundTrips) {
+  TwoNodeBus env;
+  const auto f = CanFrame::make_remote(0x2F0, 3);
+  env.tx.enqueue(f);
+  env.bus.run(200);
+  ASSERT_EQ(env.received.size(), 1u);
+  EXPECT_TRUE(env.received[0].rtr);
+  EXPECT_EQ(env.received[0].dlc, 3);
+  EXPECT_EQ(env.received[0].id, 0x2F0);
+}
+
+TEST(ControllerBasic, RandomFramesRoundTripThroughRealBus) {
+  sim::Rng rng{2024};
+  TwoNodeBus env;
+  std::vector<CanFrame> sent;
+  for (int i = 0; i < 50; ++i) {
+    CanFrame f;
+    f.id = static_cast<CanId>(rng.uniform(0, kMaxStdId));
+    f.dlc = static_cast<std::uint8_t>(rng.uniform(0, 8));
+    for (int b = 0; b < f.dlc; ++b) {
+      f.data[static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(rng.uniform(0, 255));
+    }
+    sent.push_back(f);
+    env.tx.enqueue(f);
+  }
+  env.bus.run(50 * 200);
+  ASSERT_EQ(env.received.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(env.received[i], sent[i]) << "frame " << i;
+  }
+}
+
+TEST(ControllerBasic, NoAckCausesRetransmissionLoop) {
+  // A transmitter alone on the bus never gets an ACK: it must raise ACK
+  // errors and retransmit, and — per the error-passive ACK rule — must NOT
+  // drive itself into bus-off.
+  WiredAndBus bus;
+  BitController tx{"lonely"};
+  tx.attach_to(bus);
+  tx.enqueue(CanFrame::make(0x100, {0x42}));
+  bus.run(20'000);
+  EXPECT_EQ(tx.stats().frames_sent, 0u);
+  EXPECT_GT(tx.stats().tx_errors, 10u);
+  EXPECT_FALSE(tx.is_bus_off());
+  // TEC saturates in the error-passive band: it rises to 128 by +8 steps
+  // and then stops growing thanks to the ACK-error exception.
+  EXPECT_EQ(tx.error_state(), ErrorState::ErrorPassive);
+  EXPECT_LE(tx.tec(), 136);
+}
+
+TEST(ControllerBasic, LowerIdWinsArbitration) {
+  WiredAndBus bus;
+  BitController a{"a"};
+  BitController b{"b"};
+  BitController obs{"obs"};
+  a.attach_to(bus);
+  b.attach_to(bus);
+  obs.attach_to(bus);
+  std::vector<CanId> order;
+  obs.set_rx_callback(
+      [&](const CanFrame& f, BitTime) { order.push_back(f.id); });
+
+  // Both enqueue while the bus is idle; they assert SOF on the same bit.
+  a.enqueue(CanFrame::make(0x0F0, {0x01}));
+  b.enqueue(CanFrame::make(0x00F, {0x02}));
+  bus.run(400);
+
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 0x00F);  // lower ID first
+  EXPECT_EQ(order[1], 0x0F0);
+  EXPECT_EQ(a.stats().arbitration_losses, 1u);
+  EXPECT_EQ(b.stats().arbitration_losses, 0u);
+  EXPECT_EQ(a.tec(), 0);  // arbitration loss is not an error
+  EXPECT_EQ(b.tec(), 0);
+}
+
+TEST(ControllerBasic, ArbitrationLoserReceivesWinnersFrame) {
+  WiredAndBus bus;
+  BitController a{"a"};
+  BitController b{"b"};
+  a.attach_to(bus);
+  b.attach_to(bus);
+  std::vector<CanFrame> a_rx;
+  a.set_rx_callback([&](const CanFrame& f, BitTime) { a_rx.push_back(f); });
+
+  const auto winner = CanFrame::make(0x005, {0xAA, 0xBB});
+  a.enqueue(CanFrame::make(0x700, {0x01}));
+  b.enqueue(winner);
+  bus.run(400);
+
+  ASSERT_GE(a_rx.size(), 1u);
+  EXPECT_EQ(a_rx[0], winner);
+}
+
+TEST(ControllerBasic, InterFrameSpacingIsThreeBits) {
+  // Between EOF of frame 1 and SOF of frame 2 there must be exactly 3
+  // recessive bits when a transmitter has back-to-back traffic.
+  TwoNodeBus env;
+  env.tx.enqueue(CanFrame::make(0x100, {}));
+  env.tx.enqueue(CanFrame::make(0x101, {}));
+  env.bus.run(400);
+  ASSERT_EQ(env.received.size(), 2u);
+
+  // Find both SOFs in the trace: first edge, then the next edge after the
+  // first frame's EOF.
+  const auto& tr = env.bus.trace();
+  const auto sof1 = tr.next_falling_edge(0);
+  ASSERT_TRUE(sof1.has_value());
+  const auto wire1 = wire_bits(CanFrame::make(0x100, {}));
+  // Frame 1 occupies wire1.size() bits starting at sof1.
+  const BitTime eof_end = *sof1 + wire1.size();
+  const auto sof2 = tr.next_falling_edge(eof_end - 1);
+  ASSERT_TRUE(sof2.has_value());
+  EXPECT_EQ(*sof2 - eof_end, 3u);  // exactly the 3-bit intermission
+}
+
+TEST(ControllerBasic, AckSlotIsDrivenDominantByReceiver) {
+  TwoNodeBus env;
+  env.tx.enqueue(CanFrame::make(0x7FF, {}));  // all-recessive ID
+  env.bus.run(200);
+  ASSERT_EQ(env.received.size(), 1u);
+
+  // Locate the ACK slot on the wire and check the bus level was dominant.
+  const auto& tr = env.bus.trace();
+  const auto sof = tr.next_falling_edge(0);
+  ASSERT_TRUE(sof.has_value());
+  const auto wire = wire_bits(CanFrame::make(0x7FF, {}));
+  std::size_t ack_off = 0;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    if (wire[i].field == Field::AckSlot) {
+      ack_off = i;
+      break;
+    }
+  }
+  ASSERT_GT(ack_off, 0u);
+  EXPECT_EQ(tr.at(*sof + ack_off), BitLevel::Dominant);
+}
+
+TEST(ControllerBasic, PeriodicSenderKeepsPeriod) {
+  TwoNodeBus env;
+  // 100 bit period at 500 kbit/s.
+  attach_periodic(env.tx, CanFrame::make(0x123, {0x00}), 400.0);
+  env.bus.run(4000);
+  // ~10 cycles expected.
+  EXPECT_GE(env.received.size(), 9u);
+  EXPECT_LE(env.received.size(), 11u);
+  for (std::size_t i = 1; i < env.rx_times.size(); ++i) {
+    const auto delta = env.rx_times[i] - env.rx_times[i - 1];
+    EXPECT_NEAR(static_cast<double>(delta), 400.0, 40.0);
+  }
+}
+
+TEST(ControllerBasic, QueueCapacityDropsExcessFrames) {
+  BitController::Config cfg;
+  cfg.tx_queue_capacity = 2;
+  WiredAndBus bus;
+  BitController tx{"tx", cfg};
+  tx.attach_to(bus);
+  EXPECT_TRUE(tx.enqueue(CanFrame::make(0x1, {})));
+  EXPECT_TRUE(tx.enqueue(CanFrame::make(0x2, {})));
+  EXPECT_FALSE(tx.enqueue(CanFrame::make(0x3, {})));
+  EXPECT_EQ(tx.stats().dropped_frames, 1u);
+}
+
+TEST(ControllerBasic, TxCallbackFiresOnSuccess) {
+  TwoNodeBus env;
+  int tx_done = 0;
+  env.tx.set_tx_callback([&](const CanFrame&, BitTime) { ++tx_done; });
+  env.tx.enqueue(CanFrame::make(0x321, {0x77}));
+  env.bus.run(200);
+  EXPECT_EQ(tx_done, 1);
+}
+
+TEST(ControllerBasic, BusIdleStaysRecessive) {
+  WiredAndBus bus;
+  BitController n{"idle"};
+  n.attach_to(bus);
+  bus.run(100);
+  EXPECT_EQ(bus.trace().dominant_count(0, 100), 0u);
+}
+
+}  // namespace
+}  // namespace mcan::can

@@ -1,0 +1,107 @@
+// Differential corruption-safety property: whatever dominant-bit glitches
+// hit a frame on the wire, a compliant receiver must NEVER deliver a frame
+// that differs from the original — errors are acceptable, silent
+// corruption is not.  (On a wired-AND bus only recessive->dominant flips
+// are physically possible.)
+#include <gtest/gtest.h>
+
+#include "can/bitstream.hpp"
+#include "can/bus.hpp"
+#include "can/controller.hpp"
+#include "helpers.hpp"
+#include "sim/rng.hpp"
+
+namespace mcan::can {
+namespace {
+
+using sim::BitLevel;
+using sim::BitTime;
+
+CanFrame random_frame(sim::Rng& rng, bool allow_ext) {
+  CanFrame f;
+  f.extended = allow_ext && rng.chance(0.3);
+  f.id = static_cast<CanId>(
+      rng.uniform(0, f.extended ? kMaxExtId : kMaxStdId));
+  f.dlc = static_cast<std::uint8_t>(rng.uniform(0, 8));
+  for (int i = 0; i < f.dlc; ++i) {
+    f.data[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(rng.uniform(0, 255));
+  }
+  return f;
+}
+
+/// Replay `frame` with `flips` random recessive->dominant corruptions and
+/// return what the receiver delivered (if anything).
+std::vector<CanFrame> corrupted_replay(const CanFrame& frame, int flips,
+                                       sim::Rng& rng) {
+  auto wire = wire_bits(frame);
+  int applied = 0;
+  for (int attempt = 0; attempt < 200 && applied < flips; ++attempt) {
+    auto& bit = wire[rng.uniform(1, wire.size() - 1)];
+    if (bit.level == BitLevel::Recessive) {
+      bit.level = BitLevel::Dominant;
+      ++applied;
+    }
+  }
+  std::vector<BitLevel> script;
+  for (const auto& b : wire) script.push_back(b.level);
+
+  WiredAndBus bus;
+  test::ScriptedNode sender{15, std::move(script)};
+  BitController rx{"rx"};
+  bus.attach(sender);
+  rx.attach_to(bus);
+  std::vector<CanFrame> delivered;
+  rx.set_rx_callback(
+      [&](const CanFrame& f, BitTime) { delivered.push_back(f); });
+  bus.run(400);
+  return delivered;
+}
+
+TEST(CorruptionSafety, SingleFlipNeverDeliversDifferentFrame) {
+  sim::Rng rng{0xC0FFEE};
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto frame = random_frame(rng, /*allow_ext=*/true);
+    const auto delivered = corrupted_replay(frame, 1, rng);
+    for (const auto& d : delivered) {
+      ASSERT_EQ(d, frame) << "silent corruption of " << frame.to_string()
+                          << " into " << d.to_string();
+    }
+  }
+}
+
+TEST(CorruptionSafety, DoubleFlipNeverDeliversDifferentFrame) {
+  sim::Rng rng{0xFACADE};
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto frame = random_frame(rng, true);
+    const auto delivered = corrupted_replay(frame, 2, rng);
+    for (const auto& d : delivered) {
+      ASSERT_EQ(d, frame) << "silent corruption of " << frame.to_string();
+    }
+  }
+}
+
+TEST(CorruptionSafety, TripleFlipNeverDeliversDifferentFrame) {
+  sim::Rng rng{0xBEEF5};
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto frame = random_frame(rng, true);
+    const auto delivered = corrupted_replay(frame, 3, rng);
+    for (const auto& d : delivered) {
+      ASSERT_EQ(d, frame) << "silent corruption of " << frame.to_string();
+    }
+  }
+}
+
+TEST(CorruptionSafety, UncorruptedReplayAlwaysDelivers) {
+  // Sanity for the harness itself: zero flips must deliver exactly once.
+  sim::Rng rng{0x5EED5};
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto frame = random_frame(rng, true);
+    const auto delivered = corrupted_replay(frame, 0, rng);
+    ASSERT_EQ(delivered.size(), 1u) << frame.to_string();
+    EXPECT_EQ(delivered[0], frame);
+  }
+}
+
+}  // namespace
+}  // namespace mcan::can

@@ -1,0 +1,88 @@
+// Unit tests for the CRC-15/CAN implementation.
+#include "can/crc15.hpp"
+
+#include <gtest/gtest.h>
+
+#include "can/bitstream.hpp"
+#include "can/frame.hpp"
+#include "sim/rng.hpp"
+
+namespace mcan::can {
+namespace {
+
+// Reference bit-by-bit implementation straight from ISO 11898-1 pseudocode,
+// kept deliberately independent of the production code path.
+std::uint16_t reference_crc(const std::vector<std::uint8_t>& bits) {
+  std::uint16_t crc = 0;
+  for (auto b : bits) {
+    const std::uint16_t crcnxt =
+        static_cast<std::uint16_t>(b ^ ((crc >> 14) & 1));
+    crc = static_cast<std::uint16_t>((crc << 1) & 0x7FFE);
+    if (crcnxt) crc ^= kCrc15Poly;
+    crc &= 0x7FFF;
+  }
+  return crc;
+}
+
+TEST(Crc15, EmptyInputIsZero) {
+  EXPECT_EQ(crc15({}), 0);
+}
+
+TEST(Crc15, SingleZeroBit) {
+  const std::uint8_t bit = 0;
+  EXPECT_EQ(crc15({&bit, 1}), 0);
+}
+
+TEST(Crc15, SingleOneBitEqualsPolynomial) {
+  const std::uint8_t bit = 1;
+  EXPECT_EQ(crc15({&bit, 1}), kCrc15Poly);
+}
+
+TEST(Crc15, MatchesReferenceOnRandomStreams) {
+  sim::Rng rng{42};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> bits;
+    const auto len = rng.uniform(1, 120);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      bits.push_back(static_cast<std::uint8_t>(rng.uniform(0, 1)));
+    }
+    EXPECT_EQ(crc15({bits.data(), bits.size()}), reference_crc(bits));
+  }
+}
+
+TEST(Crc15, IncrementalFeedMatchesBatch) {
+  sim::Rng rng{7};
+  std::vector<std::uint8_t> bits;
+  for (int i = 0; i < 64; ++i) {
+    bits.push_back(static_cast<std::uint8_t>(rng.uniform(0, 1)));
+  }
+  Crc15 inc;
+  for (auto b : bits) inc.feed(b);
+  EXPECT_EQ(inc.value(), crc15({bits.data(), bits.size()}));
+}
+
+TEST(Crc15, DetectsEverySingleBitFlipInAFrame) {
+  // CRC-15 must detect all single-bit errors (Hamming distance >= 2).
+  const auto frame = CanFrame::make(0x123, {0xDE, 0xAD, 0xBE, 0xEF});
+  auto bits = unstuffed_bits(frame);
+  const int data_end = stuffed_region_length(frame.dlc, frame.rtr) - kCrcBits;
+  const auto good = crc15({bits.data(), static_cast<std::size_t>(data_end)});
+  for (int i = 0; i < data_end; ++i) {
+    auto flipped = bits;
+    flipped[static_cast<std::size_t>(i)] ^= 1;
+    EXPECT_NE(crc15({flipped.data(), static_cast<std::size_t>(data_end)}),
+              good)
+        << "undetected flip at bit " << i;
+  }
+}
+
+TEST(Crc15, ResetRestoresInitialState) {
+  Crc15 crc;
+  crc.feed(1);
+  crc.feed(0);
+  crc.reset();
+  EXPECT_EQ(crc.value(), 0);
+}
+
+}  // namespace
+}  // namespace mcan::can

@@ -1,0 +1,180 @@
+// Tests for the DBC-subset matrix format and candump trace I/O.
+#include <gtest/gtest.h>
+
+#include "can/bus.hpp"
+#include "can/periodic.hpp"
+#include "restbus/candump.hpp"
+#include "restbus/dbc.hpp"
+#include "restbus/vehicles.hpp"
+
+namespace mcan::restbus {
+namespace {
+
+TEST(Dbc, ParsesMessagesAndCycleTimes) {
+  const auto m = parse_dbc(R"(VERSION ""
+BO_ 291 ENGINE_RPM: 8 ECM
+BO_ 512 BRAKE_STATUS: 4 ABS
+BA_ "GenMsgCycleTime" BO_ 291 10;
+BA_ "GenMsgCycleTime" BO_ 512 50;
+)");
+  ASSERT_EQ(m.size(), 2u);
+  const auto* rpm = m.find(291);
+  ASSERT_NE(rpm, nullptr);
+  EXPECT_EQ(rpm->name, "ENGINE_RPM");
+  EXPECT_EQ(rpm->dlc, 8);
+  EXPECT_EQ(rpm->tx_ecu, "ECM");
+  EXPECT_DOUBLE_EQ(rpm->period_ms, 10.0);
+  EXPECT_DOUBLE_EQ(m.find(512)->period_ms, 50.0);
+}
+
+TEST(Dbc, MissingCycleTimeUsesDefault) {
+  const auto m = parse_dbc("BO_ 100 M: 8 E\n", "b", 250.0);
+  EXPECT_DOUBLE_EQ(m.find(100)->period_ms, 250.0);
+}
+
+TEST(Dbc, UnknownLinesIgnored) {
+  const auto m = parse_dbc(R"(
+NS_ :
+SG_ whatever
+BO_ 5 X: 1 E
+CM_ "comment";
+)");
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(Dbc, MalformedLinesThrow) {
+  EXPECT_THROW((void)parse_dbc("BO_ not_a_number X: 8 E\n"),
+               std::exception);
+  EXPECT_THROW((void)parse_dbc("BO_ 5 MISSING_COLON 8 E\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_dbc("BO_ 5 X: 9 E\n"), std::runtime_error);
+  EXPECT_THROW(
+      (void)parse_dbc("BO_ 5 X: 8 E\nBA_ \"GenMsgCycleTime\" BO_ 6 10;\n"),
+      std::runtime_error);
+}
+
+TEST(Dbc, RoundTripsVehicleMatrix) {
+  const auto original = vehicle_matrix(Vehicle::B, 1);
+  const auto parsed = parse_dbc(to_dbc(original), original.bus_name());
+  ASSERT_EQ(parsed.size(), original.size());
+  for (const auto& m : original.messages()) {
+    const auto* p = parsed.find(m.id);
+    ASSERT_NE(p, nullptr) << m.name;
+    EXPECT_EQ(p->dlc, m.dlc);
+    EXPECT_EQ(p->tx_ecu, m.tx_ecu);
+    EXPECT_DOUBLE_EQ(p->period_ms, m.period_ms);
+  }
+}
+
+TEST(Dbc, ExtendedIdsUseBit31Convention) {
+  const auto m = parse_dbc("BO_ 2147484307 EXT_MSG: 8 E\n");  // 0x80000293
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.messages()[0].id, 0x293u);
+  // Serialization restores the flag for IDs beyond 11 bits.
+  CommMatrix ext{"e", {{0x00012345, 100, 8, "EM", "E"}}};
+  EXPECT_NE(to_dbc(ext).find("BO_ 2147558213 "), std::string::npos);
+}
+
+TEST(Candump, LineFormat) {
+  CandumpEntry e;
+  e.t_seconds = 1.25;
+  e.frame = can::CanFrame::make(0x173, {0xDE, 0xAD});
+  EXPECT_EQ(to_candump_line(e), "(1.250000) can0 173#DEAD");
+
+  e.frame = can::CanFrame::make_ext(0x42, {0x11});
+  EXPECT_EQ(to_candump_line(e), "(1.250000) can0 00000042#11");
+
+  e.frame = can::CanFrame::make_remote(0x2A0);
+  EXPECT_EQ(to_candump_line(e), "(1.250000) can0 2A0#R");
+}
+
+TEST(Candump, ParseRoundTrip) {
+  const char* text =
+      "(0.000100) can0 064#0011223344556677\n"
+      "(0.000350) can0 00000042#AB\n"
+      "(0.000600) can0 173#R\n";
+  const auto trace = parse_candump(text);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].frame.id, 0x64u);
+  EXPECT_EQ(trace[0].frame.dlc, 8);
+  EXPECT_FALSE(trace[0].frame.extended);
+  EXPECT_TRUE(trace[1].frame.extended);
+  EXPECT_TRUE(trace[2].frame.rtr);
+  EXPECT_EQ(to_candump(trace), text);
+}
+
+TEST(Candump, MalformedLinesThrow) {
+  EXPECT_THROW((void)parse_candump("garbage\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_candump("(1.0) can0 173DEAD\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_candump("(1.0) can0 173#DEA\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_candump("(1.0) can0 999#00\n"),
+               std::runtime_error);
+}
+
+TEST(Candump, RecorderCapturesBusTraffic) {
+  can::WiredAndBus bus{sim::BusSpeed{500'000}};
+  can::BitController tx{"tx"};
+  tx.attach_to(bus);
+  CandumpRecorder rec;
+  rec.attach_to(bus);
+  tx.enqueue(can::CanFrame::make(0x123, {0x01, 0x02}));
+  tx.enqueue(can::CanFrame::make_ext(0x00099, {0x03}));
+  bus.run(600);
+  ASSERT_EQ(rec.trace().size(), 2u);
+  EXPECT_EQ(rec.trace()[0].frame.id, 0x123u);
+  EXPECT_TRUE(rec.trace()[1].frame.extended);
+  EXPECT_GT(rec.trace()[1].t_seconds, rec.trace()[0].t_seconds);
+}
+
+TEST(Candump, RecordAndReplayReproducesTraffic) {
+  // Record a short session, then replay it on a fresh bus: same frames in
+  // the same order with (approximately) the same spacing.
+  std::vector<CandumpEntry> trace;
+  {
+    can::WiredAndBus bus{sim::BusSpeed{500'000}};
+    can::BitController tx{"tx"};
+    tx.attach_to(bus);
+    CandumpRecorder rec;
+    rec.attach_to(bus);
+    can::attach_periodic(tx, can::CanFrame::make(0x0F0, {0x10}), 700.0);
+    can::attach_periodic(tx, can::CanFrame::make(0x1F0, {0x20}), 1100.0);
+    bus.run(8000);
+    trace = rec.trace();
+  }
+  ASSERT_GE(trace.size(), 10u);
+
+  can::WiredAndBus bus{sim::BusSpeed{500'000}};
+  can::BitController player{"player"};
+  player.attach_to(bus);
+  attach_candump_replay(player, trace, bus.speed());
+  CandumpRecorder rec2;
+  rec2.attach_to(bus);
+  bus.run(9000);
+  ASSERT_GE(rec2.trace().size(), trace.size() - 1);
+  for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+    EXPECT_EQ(rec2.trace()[i].frame, trace[i].frame) << "frame " << i;
+  }
+}
+
+TEST(Candump, ReplayTimeScaleDilatesTrace) {
+  std::vector<CandumpEntry> trace;
+  trace.push_back({0.0, "can0", can::CanFrame::make(0x100, {0x01})});
+  trace.push_back({0.01, "can0", can::CanFrame::make(0x101, {0x02})});
+
+  can::WiredAndBus bus{sim::BusSpeed{50'000}};
+  can::BitController player{"player"};
+  player.attach_to(bus);
+  attach_candump_replay(player, trace, bus.speed(), /*time_scale=*/10.0);
+  CandumpRecorder rec;
+  rec.attach_to(bus);
+  bus.run_ms(200.0);
+  ASSERT_EQ(rec.trace().size(), 2u);
+  // 0.01 s * 10 = 0.1 s apart on the slow bus.
+  EXPECT_NEAR(rec.trace()[1].t_seconds - rec.trace()[0].t_seconds, 0.1,
+              0.01);
+}
+
+}  // namespace
+}  // namespace mcan::restbus

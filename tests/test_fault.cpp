@@ -1,0 +1,94 @@
+// Unit tests for fault confinement (TEC/REC, Fig. 1b of the paper).
+#include "can/fault.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcan::can {
+namespace {
+
+TEST(FaultConfinement, StartsErrorActiveAtZero) {
+  FaultConfinement f;
+  EXPECT_EQ(f.tec(), 0);
+  EXPECT_EQ(f.rec(), 0);
+  EXPECT_EQ(f.state(), ErrorState::ErrorActive);
+}
+
+TEST(FaultConfinement, SixteenTxErrorsReachErrorPassive) {
+  // Paper Sec. IV-E: after 15 retransmissions (16 errors) the node is
+  // error-passive (TEC = 128 > 127).
+  FaultConfinement f;
+  for (int i = 0; i < 15; ++i) f.on_transmitter_error();
+  EXPECT_EQ(f.tec(), 120);
+  EXPECT_EQ(f.state(), ErrorState::ErrorActive);
+  f.on_transmitter_error();
+  EXPECT_EQ(f.tec(), 128);
+  EXPECT_EQ(f.state(), ErrorState::ErrorPassive);
+}
+
+TEST(FaultConfinement, ThirtyTwoTxErrorsReachBusOff) {
+  // Paper: a total of 32 (re)transmission attempts confine the attacker.
+  FaultConfinement f;
+  for (int i = 0; i < 31; ++i) f.on_transmitter_error();
+  EXPECT_EQ(f.tec(), 248);
+  EXPECT_NE(f.state(), ErrorState::BusOff);
+  f.on_transmitter_error();
+  EXPECT_EQ(f.tec(), 256);
+  EXPECT_EQ(f.state(), ErrorState::BusOff);
+}
+
+TEST(FaultConfinement, RecOver127IsErrorPassive) {
+  FaultConfinement f;
+  f.set_counters(0, 128);
+  EXPECT_EQ(f.state(), ErrorState::ErrorPassive);
+}
+
+TEST(FaultConfinement, RecNeverCausesBusOff) {
+  FaultConfinement f;
+  f.set_counters(0, 100000);
+  EXPECT_EQ(f.state(), ErrorState::ErrorPassive);
+}
+
+TEST(FaultConfinement, TxSuccessDecrementsToFloorZero) {
+  FaultConfinement f;
+  f.on_transmitter_error();
+  for (int i = 0; i < 20; ++i) f.on_tx_success();
+  EXPECT_EQ(f.tec(), 0);
+}
+
+TEST(FaultConfinement, RxSuccessCapsRecAt127WhenPassive) {
+  FaultConfinement f;
+  f.set_counters(0, 200);
+  f.on_rx_success();
+  EXPECT_EQ(f.rec(), 127);
+  EXPECT_EQ(f.state(), ErrorState::ErrorActive);
+}
+
+TEST(FaultConfinement, ReturnToActiveWhenBothBelow128) {
+  FaultConfinement f;
+  f.set_counters(128, 0);
+  EXPECT_EQ(f.state(), ErrorState::ErrorPassive);
+  f.on_tx_success();
+  EXPECT_EQ(f.tec(), 127);
+  EXPECT_EQ(f.state(), ErrorState::ErrorActive);
+}
+
+TEST(FaultConfinement, ResetClearsBothCounters) {
+  FaultConfinement f;
+  f.set_counters(256, 50);
+  EXPECT_EQ(f.state(), ErrorState::BusOff);
+  f.reset();
+  EXPECT_EQ(f.tec(), 0);
+  EXPECT_EQ(f.rec(), 0);
+  EXPECT_EQ(f.state(), ErrorState::ErrorActive);
+}
+
+TEST(FaultConfinement, DominantAfterErrorFlagPenalties) {
+  FaultConfinement f;
+  f.on_dominant_after_error_flag_tx();
+  EXPECT_EQ(f.tec(), 8);
+  f.on_dominant_after_error_flag_rx();
+  EXPECT_EQ(f.rec(), 8);
+}
+
+}  // namespace
+}  // namespace mcan::can

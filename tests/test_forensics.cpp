@@ -1,0 +1,110 @@
+// Forensics digest tests: per-node statistics and attack-episode
+// reconstruction from synthetic and real event logs.
+#include "analysis/forensics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attack/attacker.hpp"
+#include "can/bus.hpp"
+#include "core/michican_node.hpp"
+
+namespace mcan::analysis {
+namespace {
+
+using sim::EventKind;
+
+sim::EventLog synthetic_log() {
+  sim::EventLog log;
+  auto push = [&](sim::BitTime at, const char* node, EventKind k,
+                  std::uint32_t id = 0, std::int64_t a = 0) {
+    log.push({at, node, k, id, a, 0, {}});
+  };
+  push(10, "atk", EventKind::FrameTxStart, 0x64);
+  push(14, "def", EventKind::AttackDetected, 0x64, 4);
+  push(15, "def", EventKind::CounterattackStart, 0x64, 4);
+  push(22, "def", EventKind::CounterattackEnd, 0x64);
+  push(23, "atk", EventKind::TxError, 0x64,
+       static_cast<std::int64_t>(can::ErrorType::Bit));
+  push(50, "atk", EventKind::FrameTxStart, 0x64);
+  push(54, "def", EventKind::AttackDetected, 0x64, 4);
+  push(55, "def", EventKind::CounterattackStart, 0x64, 4);
+  push(63, "atk", EventKind::TxError, 0x64,
+       static_cast<std::int64_t>(can::ErrorType::Stuff));
+  push(90, "atk", EventKind::BusOff, 0x64);
+  push(200, "peer", EventKind::FrameTxStart, 0x300);
+  push(260, "peer", EventKind::FrameTxSuccess, 0x300);
+  return log;
+}
+
+TEST(Forensics, EpisodeReconstruction) {
+  const auto report = analyze(synthetic_log());
+  ASSERT_EQ(report.episodes.size(), 1u);
+  const auto& ep = report.episodes[0];
+  EXPECT_EQ(ep.attacker_id, 0x64u);
+  EXPECT_EQ(ep.first_detection, 15u);
+  EXPECT_EQ(ep.counterattacks, 2u);
+  EXPECT_TRUE(ep.eradicated);
+  EXPECT_EQ(ep.bus_off, 90u);
+}
+
+TEST(Forensics, PerNodeCounters) {
+  const auto report = analyze(synthetic_log());
+  const auto* atk = report.find("atk");
+  ASSERT_NE(atk, nullptr);
+  EXPECT_EQ(atk->frames_attempted, 2u);
+  EXPECT_EQ(atk->frames_completed, 0u);
+  EXPECT_EQ(atk->tx_errors, 2u);
+  EXPECT_EQ(atk->bus_offs, 1u);
+  EXPECT_DOUBLE_EQ(atk->destruction_ratio(), 1.0);
+  EXPECT_EQ(atk->tx_error_types.at(can::ErrorType::Bit), 1u);
+  EXPECT_EQ(atk->tx_error_types.at(can::ErrorType::Stuff), 1u);
+
+  const auto* peer = report.find("peer");
+  ASSERT_NE(peer, nullptr);
+  EXPECT_DOUBLE_EQ(peer->destruction_ratio(), 0.0);
+}
+
+TEST(Forensics, DetectionBitStatistics) {
+  const auto report = analyze(synthetic_log());
+  EXPECT_EQ(report.total_attacks_detected, 2u);
+  EXPECT_DOUBLE_EQ(report.detection_bit_positions.mean, 4.0);
+}
+
+TEST(Forensics, UneradicatedEpisodeFlagged) {
+  sim::EventLog log;
+  log.push({10, "def", EventKind::CounterattackStart, 0x50, 3, 0, {}});
+  const auto report = analyze(log);
+  ASSERT_EQ(report.episodes.size(), 1u);
+  EXPECT_FALSE(report.episodes[0].eradicated);
+}
+
+TEST(Forensics, RealExperimentLogDigests) {
+  // End-to-end: digest a real defense run.
+  can::WiredAndBus bus{sim::BusSpeed{50'000}};
+  const core::IvnConfig ivn{{0x100, 0x173, 0x300}};
+  core::MichiCanNodeConfig cfg;
+  cfg.own_id = 0x173;
+  core::MichiCanNode def{"defender", ivn, cfg};
+  def.attach_to(bus);
+  auto acfg = attack::Attacker::targeted_dos(0x064);
+  acfg.persistent = false;
+  attack::Attacker atk{"attacker", acfg};
+  atk.attach_to(bus);
+  bus.run(6000);
+
+  const auto report = analyze(bus.log());
+  ASSERT_EQ(report.episodes.size(), 1u);
+  EXPECT_TRUE(report.episodes[0].eradicated);
+  EXPECT_EQ(report.episodes[0].counterattacks, 32u);
+  const auto* a = report.find("attacker");
+  ASSERT_NE(a, nullptr);
+  EXPECT_DOUBLE_EQ(a->destruction_ratio(), 1.0);
+  EXPECT_EQ(a->bus_offs, 1u);
+  // The digest renders without blowing up.
+  const auto text = report.to_string();
+  EXPECT_NE(text.find("bused off"), std::string::npos);
+  EXPECT_NE(text.find("attacker"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcan::analysis

@@ -1,0 +1,62 @@
+// Unit tests for the CAN frame model.
+#include "can/frame.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcan::can {
+namespace {
+
+TEST(CanFrame, MakeCopiesBytesAndSetsDlc) {
+  const auto f = CanFrame::make(0x173, {0x01, 0x02, 0x03});
+  EXPECT_EQ(f.id, 0x173);
+  EXPECT_EQ(f.dlc, 3);
+  EXPECT_FALSE(f.rtr);
+  EXPECT_EQ(f.data[0], 0x01);
+  EXPECT_EQ(f.data[2], 0x03);
+  EXPECT_TRUE(f.valid());
+}
+
+TEST(CanFrame, MakePatternFillsMsbFirst) {
+  const auto f = CanFrame::make_pattern(0x064, 8, 0x0102030405060708ull);
+  EXPECT_EQ(f.data[0], 0x01);
+  EXPECT_EQ(f.data[7], 0x08);
+}
+
+TEST(CanFrame, MakePatternPartialDlc) {
+  const auto f = CanFrame::make_pattern(0x064, 2, 0xAABB000000000000ull);
+  EXPECT_EQ(f.dlc, 2);
+  EXPECT_EQ(f.data[0], 0xAA);
+  EXPECT_EQ(f.data[1], 0xBB);
+}
+
+TEST(CanFrame, RemoteFrameHasEmptyPayload) {
+  const auto f = CanFrame::make_remote(0x100, 4);
+  EXPECT_TRUE(f.rtr);
+  EXPECT_EQ(f.dlc, 4);
+  EXPECT_TRUE(f.payload().empty());
+}
+
+TEST(CanFrame, EqualityIgnoresBytesBeyondDlc) {
+  auto a = CanFrame::make(0x10, {0x11});
+  auto b = a;
+  b.data[5] = 0xFF;  // beyond dlc
+  EXPECT_EQ(a, b);
+  b.data[0] = 0x00;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(CanFrame, InvalidIdRejected) {
+  CanFrame f;
+  f.id = 0x800;  // 12 bits
+  EXPECT_FALSE(f.valid());
+}
+
+TEST(CanFrame, ToStringContainsIdAndPayload) {
+  const auto f = CanFrame::make(0x173, {0xAB});
+  const auto s = f.to_string();
+  EXPECT_NE(s.find("0x173"), std::string::npos);
+  EXPECT_NE(s.find("ab"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcan::can

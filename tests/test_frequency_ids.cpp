@@ -1,0 +1,110 @@
+// Tests for the frequency-IDS baseline and its structural limits versus
+// MichiCAN (Table I: real-time capability and eradication).
+#include "baseline/frequency_ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attack/attacker.hpp"
+#include "can/bus.hpp"
+#include "can/periodic.hpp"
+
+namespace mcan::baseline {
+namespace {
+
+using attack::Attacker;
+
+struct IdsEnv {
+  can::WiredAndBus bus{sim::BusSpeed{50'000}};
+  FrequencyIds ids;
+  can::BitController sender{"sender"};
+
+  explicit IdsEnv(FrequencyIdsConfig cfg = {}) : ids{"ids", cfg} {
+    ids.attach_to(bus);
+    sender.attach_to(bus);
+    can::attach_periodic(sender, can::CanFrame::make(0x123, {0x01}), 1000.0);
+    can::attach_periodic(sender, can::CanFrame::make(0x200, {0x02}), 2500.0);
+  }
+
+  void train() {
+    while (!ids.trained()) bus.step();
+  }
+};
+
+TEST(FrequencyIds, NoAlarmOnNominalTraffic) {
+  IdsEnv env;
+  env.train();
+  env.bus.run(60'000);
+  EXPECT_FALSE(env.ids.alarmed());
+}
+
+TEST(FrequencyIds, UnknownIdRaisesAlarm) {
+  IdsEnv env;
+  env.train();
+  can::BitController rogue{"rogue"};
+  rogue.attach_to(env.bus);
+  rogue.enqueue(can::CanFrame::make(0x050, {0xEE}));
+  env.bus.run(2000);
+  EXPECT_TRUE(env.ids.alarmed());
+}
+
+TEST(FrequencyIds, RateExplosionRaisesAlarm) {
+  FrequencyIdsConfig cfg;
+  cfg.alarm_on_unknown = false;  // force the rate rule to fire
+  IdsEnv env{cfg};
+  env.train();
+  // The legitimate 0x123 suddenly floods at 20x its rate (fabrication).
+  can::BitController rogue{"rogue"};
+  rogue.attach_to(env.bus);
+  can::attach_periodic(rogue, can::CanFrame::make(0x123, {0xEE}), 50.0);
+  env.bus.run(20'000);
+  EXPECT_TRUE(env.ids.alarmed());
+}
+
+TEST(FrequencyIds, DetectionNeedsCompleteFrames) {
+  // The structural contrast with MichiCAN: the IDS can only alarm after at
+  // least one complete malicious frame (plus training), never inside the
+  // arbitration field of the first one.
+  IdsEnv env;
+  env.train();
+  const auto t0 = env.bus.now();
+  can::BitController rogue{"rogue"};
+  rogue.attach_to(env.bus);
+  rogue.enqueue(can::CanFrame::make(0x050, {0xEE, 0xEE}));
+  env.bus.run(2000);
+  ASSERT_TRUE(env.ids.alarmed());
+  // First alarm strictly after one full frame (> 44 bits past injection).
+  EXPECT_GT(env.ids.first_alarm(), t0 + 44);
+}
+
+TEST(FrequencyIds, DetectsButDoesNotEradicate) {
+  // Under a persistent DoS flood the IDS alarms — and nothing changes:
+  // the attacker stays error-active and the victim stays starved.
+  IdsEnv env;
+  env.train();
+  can::BitController victim{"victim"};
+  victim.attach_to(env.bus);
+  can::attach_periodic(victim, can::CanFrame::make(0x300, {0x01}), 2000.0);
+  Attacker atk{"attacker", Attacker::traditional_dos()};
+  atk.attach_to(env.bus);
+  const auto victim_before = victim.stats().frames_sent;
+
+  env.bus.run(50'000);
+  EXPECT_TRUE(env.ids.alarmed());
+  EXPECT_FALSE(atk.node().is_bus_off());
+  EXPECT_EQ(atk.node().tec(), 0);
+  EXPECT_EQ(victim.stats().frames_sent, victim_before);  // still starved
+}
+
+TEST(FrequencyIds, TrainingCompletesAfterConfiguredWindows) {
+  FrequencyIdsConfig cfg;
+  cfg.training_windows = 2;
+  cfg.window_bits = 1000;
+  IdsEnv env{cfg};
+  env.bus.run(1999);
+  EXPECT_FALSE(env.ids.trained());
+  env.bus.run(2000);
+  EXPECT_TRUE(env.ids.trained());
+}
+
+}  // namespace
+}  // namespace mcan::baseline

@@ -1,0 +1,178 @@
+// Unit and property tests for the detection FSM (paper Sec. IV-A):
+// correctness against brute force, earliest-decision property, node counts.
+#include "core/fsm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/rng.hpp"
+
+namespace mcan::core {
+namespace {
+
+IvnConfig random_ivn(sim::Rng& rng, int max_ecus = 80) {
+  std::set<can::CanId> ids;
+  const auto n = rng.uniform(2, static_cast<std::uint64_t>(max_ecus));
+  while (ids.size() < n) {
+    ids.insert(static_cast<can::CanId>(rng.uniform(0, can::kMaxStdId)));
+  }
+  return IvnConfig{{ids.begin(), ids.end()}};
+}
+
+TEST(DetectionFsm, SingleIdDecidesAtFullDepthOnly) {
+  IdRangeSet d;
+  d.add(0x555);
+  const auto fsm = DetectionFsm::build(d);
+  const auto dec = fsm.decide(0x555);
+  EXPECT_TRUE(dec.malicious);
+  EXPECT_EQ(dec.bit_position, 11);  // a lone ID needs all 11 bits
+  EXPECT_FALSE(fsm.decide(0x554).malicious);
+  EXPECT_FALSE(fsm.decide(0x7FF).malicious);
+}
+
+TEST(DetectionFsm, FullRangeDecidesImmediately) {
+  IdRangeSet d;
+  d.add(0x000, can::kMaxStdId);
+  const auto fsm = DetectionFsm::build(d);
+  EXPECT_EQ(fsm.node_count(), 0u);
+  const auto dec = fsm.decide(0x123);
+  EXPECT_TRUE(dec.malicious);
+  EXPECT_EQ(dec.bit_position, 0);
+}
+
+TEST(DetectionFsm, EmptyRangeNeverFlags) {
+  const auto fsm = DetectionFsm::build(IdRangeSet{});
+  for (std::uint32_t id = 0; id <= can::kMaxStdId; ++id) {
+    EXPECT_FALSE(fsm.decide(static_cast<can::CanId>(id)).malicious);
+  }
+}
+
+TEST(DetectionFsm, UpperHalfDecidesAfterOneBit) {
+  IdRangeSet d;
+  d.add(0x400, 0x7FF);
+  const auto fsm = DetectionFsm::build(d);
+  EXPECT_EQ(fsm.decide(0x400).bit_position, 1);
+  EXPECT_EQ(fsm.decide(0x3FF).bit_position, 1);
+  EXPECT_TRUE(fsm.decide(0x7FF).malicious);
+  EXPECT_FALSE(fsm.decide(0x000).malicious);
+}
+
+TEST(DetectionFsm, MatchesBruteForceOnRandomIvns) {
+  sim::Rng rng{31337};
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto ivn = random_ivn(rng);
+    const auto own = ivn.ecus()[rng.uniform(0, ivn.ecus().size() - 1)];
+    const auto ranges = ivn.detection_ranges(own);
+    const auto fsm = DetectionFsm::build(ranges);
+    for (std::uint32_t id = 0; id <= can::kMaxStdId; ++id) {
+      ASSERT_EQ(fsm.decide(static_cast<can::CanId>(id)).malicious,
+                ranges.contains(static_cast<can::CanId>(id)))
+          << "own=" << own << " id=" << id;
+    }
+  }
+}
+
+TEST(DetectionFsm, DecidesAtEarliestPossiblePrefix) {
+  // Property: at the decision depth k, all IDs sharing the k-bit prefix
+  // have the same verdict, and at depth k-1 they do not — i.e. no
+  // prefix-based detector could have decided earlier.
+  sim::Rng rng{99};
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto ivn = random_ivn(rng, 40);
+    const auto own = ivn.ecus().back();
+    const auto ranges = ivn.detection_ranges(own);
+    const auto fsm = DetectionFsm::build(ranges);
+    for (int probe = 0; probe < 64; ++probe) {
+      const auto id = static_cast<can::CanId>(rng.uniform(0, can::kMaxStdId));
+      const auto dec = fsm.decide(id);
+      const int k = dec.bit_position;
+      if (k == 0) continue;
+      // All IDs with the same k-bit prefix agree with the verdict.
+      const int rest = can::kIdBits - k;
+      const auto lo = static_cast<std::uint32_t>(id >> rest) << rest;
+      const auto hi = lo + ((1u << rest) - 1);
+      bool all_same = true;
+      for (std::uint32_t j = lo; j <= hi; ++j) {
+        if (ranges.contains(static_cast<can::CanId>(j)) != dec.malicious) {
+          all_same = false;
+          break;
+        }
+      }
+      EXPECT_TRUE(all_same) << "verdict not uniform under prefix";
+      // The (k-1)-bit prefix is ambiguous (otherwise the FSM would have
+      // decided a bit earlier).
+      const int rest1 = rest + 1;
+      const auto lo1 = static_cast<std::uint32_t>(id >> rest1) << rest1;
+      const auto hi1 = lo1 + ((1u << rest1) - 1);
+      bool ambiguous = false;
+      for (std::uint32_t j = lo1; j <= hi1; ++j) {
+        if (ranges.contains(static_cast<can::CanId>(j)) != dec.malicious) {
+          ambiguous = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(ambiguous) << "FSM decided later than necessary";
+    }
+  }
+}
+
+TEST(DetectionFsm, RunnerMatchesDecide) {
+  sim::Rng rng{5150};
+  const auto ivn = random_ivn(rng);
+  const auto fsm =
+      DetectionFsm::build(ivn.detection_ranges(ivn.ecus().back()));
+  for (int probe = 0; probe < 500; ++probe) {
+    const auto id = static_cast<can::CanId>(rng.uniform(0, can::kMaxStdId));
+    auto runner = fsm.runner();
+    std::optional<DetectionFsm::Decision> got;
+    for (int i = can::kIdBits - 1; i >= 0 && !got; --i) {
+      got = runner.step((id >> i) & 1);
+    }
+    const auto want = fsm.decide(id);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->malicious, want.malicious);
+    EXPECT_EQ(got->bit_position, want.bit_position);
+  }
+}
+
+TEST(DetectionFsm, RunnerIgnoresBitsAfterDecision) {
+  IdRangeSet d;
+  d.add(0x400, 0x7FF);
+  const auto fsm = DetectionFsm::build(d);
+  auto runner = fsm.runner();
+  const auto dec = runner.step(1);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_TRUE(dec->malicious);
+  EXPECT_FALSE(runner.step(0).has_value());
+  EXPECT_TRUE(runner.decided());
+}
+
+TEST(DetectionFsm, LeafVisitCoversWholeIdSpace) {
+  sim::Rng rng{8080};
+  const auto ivn = random_ivn(rng);
+  const auto ranges = ivn.detection_ranges(ivn.ecus().back());
+  const auto fsm = DetectionFsm::build(ranges);
+  std::uint64_t total = 0, malicious = 0;
+  fsm.for_each_leaf([&](int, std::uint32_t count, bool mal) {
+    total += count;
+    if (mal) malicious += count;
+  });
+  EXPECT_EQ(total, 2048u);
+  EXPECT_EQ(malicious, ranges.id_count());
+}
+
+TEST(DetectionFsm, LightFsmIsMuchSmallerThanFull) {
+  sim::Rng rng{123};
+  const auto ivn = random_ivn(rng, 80);
+  const auto own = ivn.ecus().back();
+  const auto full =
+      DetectionFsm::build(ivn.detection_ranges(own, Scenario::Full));
+  const auto light =
+      DetectionFsm::build(ivn.detection_ranges(own, Scenario::Light));
+  EXPECT_LT(light.node_count(), full.node_count());
+  EXPECT_LE(light.node_count(), 11u);
+}
+
+}  // namespace
+}  // namespace mcan::core

@@ -1,0 +1,142 @@
+// Gateway tests: dual-bus forwarding and attack containment (each
+// evaluation vehicle has two CAN buses, Sec. V-A).
+#include "can/gateway.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attack/attacker.hpp"
+#include "can/periodic.hpp"
+#include "core/michican_node.hpp"
+
+namespace mcan::can {
+namespace {
+
+using sim::BitTime;
+
+struct TwoBusEnv {
+  WiredAndBus bus_a{sim::BusSpeed{125'000}};
+  WiredAndBus bus_b{sim::BusSpeed{125'000}};
+  BitController sender_a{"sender_a"};
+  BitController listener_b{"listener_b"};
+  std::vector<CanFrame> b_received;
+
+  TwoBusEnv() {
+    sender_a.attach_to(bus_a);
+    listener_b.attach_to(bus_b);
+    listener_b.set_rx_callback(
+        [this](const CanFrame& f, BitTime) { b_received.push_back(f); });
+  }
+
+  void run(sim::BitTime bits) {
+    for (sim::BitTime i = 0; i < bits; ++i) {
+      bus_a.step();
+      bus_b.step();
+    }
+  }
+};
+
+TEST(Gateway, ForwardsRoutedIdsAcrossBuses) {
+  TwoBusEnv env;
+  GatewayNode gw{"gw", forward_ids({0x100}), forward_ids({})};
+  gw.attach_to(env.bus_a, env.bus_b);
+
+  env.sender_a.enqueue(CanFrame::make(0x100, {0xAA, 0xBB}));
+  env.sender_a.enqueue(CanFrame::make(0x200, {0xCC}));  // not routed
+  env.run(800);
+
+  ASSERT_EQ(env.b_received.size(), 1u);
+  EXPECT_EQ(env.b_received[0], CanFrame::make(0x100, {0xAA, 0xBB}));
+  EXPECT_EQ(gw.forwarded_a_to_b(), 1u);
+  EXPECT_EQ(gw.forwarded_b_to_a(), 0u);
+}
+
+TEST(Gateway, BidirectionalRouting) {
+  TwoBusEnv env;
+  BitController sender_b{"sender_b"};
+  sender_b.attach_to(env.bus_b);
+  std::vector<CanFrame> a_received;
+  BitController listener_a{"listener_a"};
+  listener_a.attach_to(env.bus_a);
+  listener_a.set_rx_callback(
+      [&](const CanFrame& f, BitTime) { a_received.push_back(f); });
+
+  GatewayNode gw{"gw", forward_ids({0x100}), forward_ids({0x300})};
+  gw.attach_to(env.bus_a, env.bus_b);
+
+  env.sender_a.enqueue(CanFrame::make(0x100, {0x01}));
+  sender_b.enqueue(CanFrame::make(0x300, {0x02}));
+  env.run(800);
+
+  // listener_b sees both the local 0x300 and the forwarded 0x100;
+  // listener_a sees the local 0x100 and the forwarded 0x300.
+  auto saw = [](const std::vector<CanFrame>& v, CanId id) {
+    for (const auto& f : v) {
+      if (f.id == id) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(saw(env.b_received, 0x100));
+  EXPECT_TRUE(saw(env.b_received, 0x300));
+  EXPECT_TRUE(saw(a_received, 0x300));
+  EXPECT_EQ(gw.forwarded_a_to_b(), 1u);
+  EXPECT_EQ(gw.forwarded_b_to_a(), 1u);
+}
+
+TEST(Gateway, DosFloodDoesNotCrossUnroutedGateway) {
+  // Containment: a 0x000 flood saturates bus A; bus B traffic continues
+  // untouched because 0x000 is not in the routing table.
+  TwoBusEnv env;
+  GatewayNode gw{"gw", forward_ids({0x100}), forward_ids({})};
+  gw.attach_to(env.bus_a, env.bus_b);
+
+  BitController sender_b{"sender_b"};
+  sender_b.attach_to(env.bus_b);
+  attach_periodic(sender_b, CanFrame::make(0x2B0, {0x11}), 700.0);
+
+  attack::Attacker flood{"flood", attack::Attacker::traditional_dos()};
+  flood.attach_to(env.bus_a);
+
+  env.run(30'000);
+  EXPECT_GT(env.bus_a.trace().busy_fraction(0, env.bus_a.now()), 0.8);
+  EXPECT_GT(sender_b.stats().frames_sent, 30u);
+  EXPECT_GT(env.b_received.size(), 30u);
+  EXPECT_EQ(gw.forwarded_a_to_b(), 0u);  // flood frames never forwarded
+}
+
+TEST(Gateway, MichiCanOnSideBusProtectsForwardedTraffic) {
+  // The routed ID keeps flowing into bus B even while bus A is under a DoS
+  // attack that a MichiCAN node on bus A eradicates.
+  TwoBusEnv env;
+  GatewayNode gw{"gw", forward_ids({0x100}), forward_ids({})};
+  gw.attach_to(env.bus_a, env.bus_b);
+
+  const core::IvnConfig ivn{{0x100, 0x173}};
+  core::MichiCanNodeConfig cfg;
+  cfg.own_id = 0x173;
+  core::MichiCanNode def{"defender", ivn, cfg};
+  def.attach_to(env.bus_a);
+
+  attach_periodic(env.sender_a, CanFrame::make(0x100, {0x42}), 1500.0);
+  attack::Attacker atk{"attacker", attack::Attacker::targeted_dos(0x050)};
+  atk.attach_to(env.bus_a);
+
+  env.run(60'000);
+  EXPECT_GE(env.bus_a.log().count(sim::EventKind::BusOff, "attacker"), 2u);
+  // Forwarded frames made it to bus B throughout the episode.
+  EXPECT_GT(env.b_received.size(), 20u);
+}
+
+TEST(Gateway, CountsDropsWhenEgressSaturated) {
+  // Flood bus B so the gateway's egress queue overflows.
+  TwoBusEnv env;
+  GatewayNode gw{"gw", forward_ids({0x100}), forward_ids({})};
+  gw.attach_to(env.bus_a, env.bus_b);
+  attack::Attacker flood_b{"flood_b", attack::Attacker::traditional_dos()};
+  flood_b.attach_to(env.bus_b);
+  attach_periodic(env.sender_a, CanFrame::make(0x100, {0x01}), 200.0);
+  env.run(60'000);
+  EXPECT_GT(gw.dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace mcan::can

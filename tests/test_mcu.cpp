@@ -1,0 +1,167 @@
+// Unit tests for the MCU substrate: pin multiplexing, software bit timing
+// (Sec. IV-C) and the CPU cycle model (Sec. V-D).
+#include <gtest/gtest.h>
+
+#include "mcu/bit_timer.hpp"
+#include "mcu/pinmux.hpp"
+#include "mcu/profile.hpp"
+
+namespace mcan::mcu {
+namespace {
+
+using sim::BitLevel;
+
+TEST(PioController, TxMuxDisabledMeansRecessiveContribution) {
+  PioController pio;
+  EXPECT_EQ(pio.tx_contribution(), BitLevel::Recessive);
+  pio.write_tx(BitLevel::Dominant);  // ignored: mux disabled
+  EXPECT_EQ(pio.tx_contribution(), BitLevel::Recessive);
+}
+
+TEST(PioController, TxMuxEnablesDirectDrive) {
+  PioController pio;
+  pio.enable_tx_mux();
+  pio.write_tx(BitLevel::Dominant);
+  EXPECT_EQ(pio.tx_contribution(), BitLevel::Dominant);
+  pio.disable_tx_mux();
+  EXPECT_EQ(pio.tx_contribution(), BitLevel::Recessive);
+}
+
+TEST(PioController, DisableClearsDrive) {
+  PioController pio;
+  pio.enable_tx_mux();
+  pio.write_tx(BitLevel::Dominant);
+  pio.disable_tx_mux();
+  pio.enable_tx_mux();  // re-enabling must not resurrect the old level
+  EXPECT_EQ(pio.tx_contribution(), BitLevel::Recessive);
+}
+
+TEST(PioController, RxLatchAndRegisterRead) {
+  PioController pio;
+  pio.enable_rx_tap();
+  pio.latch_rx(BitLevel::Dominant);
+  EXPECT_EQ(pio.read_rx(), BitLevel::Dominant);
+  pio.latch_rx(BitLevel::Recessive);
+  EXPECT_EQ(pio.read_rx(), BitLevel::Recessive);
+}
+
+TEST(PioController, TogglesAreCounted) {
+  PioController pio;
+  pio.enable_tx_mux();
+  pio.disable_tx_mux();
+  pio.enable_tx_mux();
+  pio.enable_tx_mux();  // idempotent, not a toggle
+  EXPECT_EQ(pio.tx_mux_toggles(), 3u);
+}
+
+TEST(BitTimer, PerfectClockSamplesAtSamplePoint) {
+  TimingConfig cfg;
+  cfg.drift_ppm = 0;
+  cfg.jitter_us = 0;
+  cfg.sync_latency_us = 0.15;
+  cfg.fudge_factor_us = 0.15;  // fully compensated
+  const BitTimer t{cfg};
+  for (int k = 1; k <= 200; ++k) {
+    EXPECT_NEAR(t.sample_offset_within_bit(k), cfg.sample_point, 1e-9);
+  }
+}
+
+TEST(BitTimer, FudgeFactorCompensatesSyncLatency) {
+  TimingConfig with;
+  with.drift_ppm = 0;
+  with.sync_latency_us = 0.4;
+  with.fudge_factor_us = 0.4;
+  TimingConfig without = with;
+  without.fudge_factor_us = 0.0;
+  EXPECT_NEAR(BitTimer{with}.sample_offset_within_bit(1), 0.70, 1e-9);
+  EXPECT_NEAR(BitTimer{without}.sample_offset_within_bit(1), 0.90, 1e-9);
+}
+
+TEST(BitTimer, DriftAccumulatesLinearly) {
+  TimingConfig cfg;
+  cfg.drift_ppm = 1000;  // 0.1 %
+  cfg.jitter_us = 0;
+  const BitTimer t{cfg};
+  const double off1 = t.sample_offset_within_bit(1);
+  const double off101 = t.sample_offset_within_bit(101);
+  // 100 bits of 0.1% drift move the sample point by ~0.1 bit.
+  EXPECT_NEAR(off101 - off1, 0.1, 0.01);
+}
+
+TEST(BitTimer, MaxSafeBitsShrinksWithDrift) {
+  TimingConfig slow;
+  slow.drift_ppm = 100;
+  TimingConfig fast;
+  fast.drift_ppm = 2000;
+  EXPECT_GT(BitTimer{slow}.max_safe_bits(), BitTimer{fast}.max_safe_bits());
+  // A crystal-grade 100 ppm clock easily covers a whole frame after one
+  // hard sync (the design argument of Sec. IV-C).
+  EXPECT_GE(BitTimer{slow}.max_safe_bits(), 130);
+}
+
+TEST(BitTimer, JitterNarrowsTheSafeWindow) {
+  TimingConfig quiet;
+  quiet.drift_ppm = 1000;
+  quiet.jitter_us = 0.0;
+  TimingConfig noisy = quiet;
+  noisy.jitter_us = 0.3;
+  EXPECT_GE(BitTimer{quiet}.max_safe_bits(), BitTimer{noisy}.max_safe_bits());
+}
+
+TEST(McuProfile, HandlerTimeScalesInverselyWithClock) {
+  auto due = arduino_due();
+  auto s32k = nxp_s32k144();
+  const double t_due = handler_time_us(due, 80, 200, true);
+  const double t_s32k = handler_time_us(s32k, 80, 200, true);
+  EXPECT_GT(t_due, t_s32k);
+}
+
+TEST(McuProfile, UtilizationScalesLinearlyWithBusSpeed) {
+  const auto due = arduino_due();
+  const double u125 = utilization(due, 80, 200, true, 125e3);
+  const double u250 = utilization(due, 80, 200, true, 250e3);
+  EXPECT_NEAR(u250 / u125, 2.0, 1e-9);
+}
+
+TEST(McuProfile, CalibrationAnchorsFromPaper) {
+  // Sec. V-D anchors, +-15 % tolerance on the model.
+  const HandlerPathOps ops;
+  const auto due_load =
+      cpu_load(arduino_due(), ops, 200, 10.0, 125.0, 0.4, 125e3);
+  EXPECT_NEAR(due_load.active_load, 0.40, 0.06);
+
+  const auto s32k_load =
+      cpu_load(nxp_s32k144(), ops, 200, 10.0, 125.0, 0.4, 500e3);
+  EXPECT_NEAR(s32k_load.active_load, 0.44, 0.07);
+}
+
+TEST(McuProfile, LargerFsmCostsMore) {
+  const HandlerPathOps ops;
+  const auto small = cpu_load(arduino_due(), ops, 11, 2.0, 125.0, 0.4, 125e3);
+  const auto large = cpu_load(arduino_due(), ops, 500, 10.0, 125.0, 0.4, 125e3);
+  EXPECT_GT(large.active_load, small.active_load);
+}
+
+TEST(McuProfile, IdleLoadBelowActiveLoad) {
+  const HandlerPathOps ops;
+  const auto l = cpu_load(arduino_due(), ops, 200, 10.0, 125.0, 0.4, 125e3);
+  EXPECT_LT(l.idle_load, l.active_load);
+  EXPECT_GT(l.combined_load, l.idle_load);
+  EXPECT_LT(l.combined_load, l.active_load);
+}
+
+TEST(McuProfile, AllPresetsAreDistinctAndComplete) {
+  const auto& all = all_profiles();
+  ASSERT_EQ(all.size(), 4u);
+  for (const auto& p : all) {
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_GT(p.clock_hz, 0.0);
+    EXPECT_GT(p.max_bus_speed, 0.0);
+  }
+  // The Due is the only profile not qualified for 1 Mbit/s (Sec. VI-B).
+  EXPECT_LT(all[0].max_bus_speed, 1e6);
+  EXPECT_GE(all[1].max_bus_speed, 1e6);
+}
+
+}  // namespace
+}  // namespace mcan::mcu

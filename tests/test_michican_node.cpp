@@ -1,0 +1,297 @@
+// Integration tests of the full MichiCAN defense pipeline: synchronization,
+// per-bit detection, counterattack, and bus-off of the attacker — the
+// paper's core claims (Secs. IV and V).
+#include "core/michican_node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attack/attacker.hpp"
+#include "can/bus.hpp"
+#include "can/periodic.hpp"
+#include "sim/rng.hpp"
+
+namespace mcan::core {
+namespace {
+
+using attack::Attacker;
+using sim::BitLevel;
+using sim::BitTime;
+using sim::EventKind;
+
+const IvnConfig kIvn{{0x100, 0x173, 0x2A0, 0x350}};
+
+MichiCanNodeConfig defender_cfg(can::CanId own = 0x173) {
+  MichiCanNodeConfig cfg;
+  cfg.own_id = own;
+  return cfg;
+}
+
+TEST(MichiCanNode, BenignTrafficPassesUntouched) {
+  can::WiredAndBus bus;
+  MichiCanNode def{"defender", kIvn, defender_cfg()};
+  def.attach_to(bus);
+  can::BitController peer{"peer"};
+  peer.attach_to(bus);
+
+  int delivered = 0;
+  def.controller().set_rx_callback(
+      [&](const can::CanFrame&, BitTime) { ++delivered; });
+
+  for (int i = 0; i < 10; ++i) {
+    peer.enqueue(can::CanFrame::make(0x2A0, {0x01, 0x02}));
+  }
+  bus.run(3000);
+
+  EXPECT_EQ(delivered, 10);
+  EXPECT_EQ(def.monitor().stats().counterattacks, 0u);
+  EXPECT_EQ(peer.tec(), 0);
+  EXPECT_EQ(bus.log().count(EventKind::AttackDetected), 0u);
+}
+
+TEST(MichiCanNode, SpoofedOwnIdIsDetectedAndAttackerBusedOff) {
+  can::WiredAndBus bus;
+  MichiCanNode def{"defender", kIvn, defender_cfg()};
+  def.attach_to(bus);
+  auto cfg = Attacker::spoof(0x173);
+  cfg.persistent = false;
+  Attacker atk{"attacker", cfg};
+  atk.attach_to(bus);
+
+  bus.run(4000);
+
+  EXPECT_TRUE(atk.node().is_bus_off());
+  EXPECT_GE(def.monitor().stats().counterattacks, 31u);
+  // Paper Sec. IV-E: the defender never transmits a frame during the
+  // counterattack, so its TEC is untouched.
+  EXPECT_EQ(def.controller().tec(), 0);
+  // 32 transmission attempts (1 original + 31 retransmissions).
+  EXPECT_EQ(bus.log().count(EventKind::FrameTxStart, "attacker"), 32u);
+}
+
+TEST(MichiCanNode, DosAttackLowIdBusedOff) {
+  can::WiredAndBus bus;
+  MichiCanNode def{"defender", kIvn, defender_cfg()};
+  def.attach_to(bus);
+  auto cfg = Attacker::traditional_dos();  // ID 0x000
+  cfg.persistent = false;
+  Attacker atk{"attacker", cfg};
+  atk.attach_to(bus);
+
+  bus.run(4000);
+  EXPECT_TRUE(atk.node().is_bus_off());
+  // ID 0x000 differs from every legitimate prefix early: detection well
+  // before bit 11.
+  const auto* det = bus.log().first(EventKind::AttackDetected);
+  ASSERT_NE(det, nullptr);
+  EXPECT_LE(det->a, 11);
+  EXPECT_GE(det->a, 1);
+}
+
+TEST(MichiCanNode, MiscellaneousIdAboveHighestIsIgnored) {
+  // Def. IV.3: IDs above ECU_N are harmless and must NOT be attacked.
+  can::WiredAndBus bus;
+  MichiCanNode def{"defender", kIvn, defender_cfg()};
+  def.attach_to(bus);
+  auto cfg = Attacker::miscellaneous(0x700);  // > 0x350
+  cfg.period_bits = 300;
+  Attacker atk{"attacker", cfg};
+  atk.attach_to(bus);
+
+  bus.run(4000);
+  EXPECT_FALSE(atk.node().is_bus_off());
+  EXPECT_EQ(atk.node().tec(), 0);
+  EXPECT_EQ(def.monitor().stats().counterattacks, 0u);
+}
+
+TEST(MichiCanNode, LegitimatePeerIdNotAttacked) {
+  // 0x100 < 0x173 is another ECU's legitimate ID: undecidable for us.
+  can::WiredAndBus bus;
+  MichiCanNode def{"defender", kIvn, defender_cfg()};
+  def.attach_to(bus);
+  can::BitController peer{"peer"};
+  peer.attach_to(bus);
+  for (int i = 0; i < 5; ++i) {
+    peer.enqueue(can::CanFrame::make(0x100, {0xAA}));
+  }
+  bus.run(2000);
+  EXPECT_EQ(peer.stats().frames_sent, 5u);
+  EXPECT_EQ(peer.tec(), 0);
+  EXPECT_EQ(def.monitor().stats().counterattacks, 0u);
+}
+
+TEST(MichiCanNode, OwnTransmissionIsNotSelfAttacked) {
+  can::WiredAndBus bus;
+  MichiCanNode def{"defender", kIvn, defender_cfg()};
+  def.attach_to(bus);
+  can::BitController peer{"peer"};  // provides the ACK
+  peer.attach_to(bus);
+
+  for (int i = 0; i < 8; ++i) {
+    def.controller().enqueue(can::CanFrame::make(0x173, {0x42}));
+  }
+  bus.run(3000);
+
+  EXPECT_EQ(def.controller().stats().frames_sent, 8u);
+  EXPECT_EQ(def.controller().tec(), 0);
+  EXPECT_EQ(def.monitor().stats().counterattacks, 0u);
+  EXPECT_EQ(def.monitor().stats().suppressed_self, 8u);
+}
+
+TEST(MichiCanNode, DetectionOnlyModeRaisesNoCounterattack) {
+  can::WiredAndBus bus;
+  auto cfg = defender_cfg();
+  cfg.monitor.prevention_enabled = false;
+  MichiCanNode def{"defender", kIvn, cfg};
+  def.attach_to(bus);
+  auto acfg = Attacker::targeted_dos(0x050);
+  acfg.period_bits = 400;
+  Attacker atk{"attacker", acfg};
+  atk.attach_to(bus);
+
+  bus.run(4000);
+  EXPECT_FALSE(atk.node().is_bus_off());
+  EXPECT_GT(def.monitor().stats().attacks_detected, 0u);
+  EXPECT_EQ(def.monitor().stats().counterattacks, 0u);
+  // Frames deliver normally; the defender ACKs them (it is a receiver).
+  EXPECT_GT(atk.node().stats().frames_sent, 0u);
+}
+
+TEST(MichiCanNode, DefenseDisabledAttackSucceeds) {
+  // Sanity baseline: without MichiCAN the DoS flood simply occupies the bus.
+  can::WiredAndBus bus;
+  auto cfg = defender_cfg();
+  cfg.defense_enabled = false;
+  MichiCanNode def{"defender", kIvn, cfg};
+  def.attach_to(bus);
+  Attacker atk{"attacker", Attacker::traditional_dos()};
+  atk.attach_to(bus);
+
+  // Defender's own periodic message now competes with the flood.
+  can::attach_periodic(def.controller(), can::CanFrame::make(0x173, {0x01}),
+                       500.0);
+  bus.run(10'000);
+
+  EXPECT_FALSE(atk.node().is_bus_off());
+  EXPECT_GT(atk.node().stats().frames_sent, 50u);
+  // The 0x000 flood always wins arbitration; the defender's 0x173 is
+  // starved (suspension attack, Fig. 2).
+  EXPECT_LT(def.controller().stats().frames_sent, 3u);
+}
+
+TEST(MichiCanNode, CounterattackWindowMatchesAlgorithm1) {
+  can::WiredAndBus bus;
+  MichiCanNode def{"defender", kIvn, defender_cfg()};
+  def.attach_to(bus);
+  auto cfg = Attacker::targeted_dos(0x04A);  // recessive LSB, no edge stuff
+  cfg.persistent = false;
+  cfg.random_payload = false;
+  Attacker atk{"attacker", cfg};
+  atk.attach_to(bus);
+
+  bus.run(200);
+
+  const auto* start = bus.log().first(EventKind::CounterattackStart);
+  const auto* end = bus.log().first(EventKind::CounterattackEnd);
+  ASSERT_NE(start, nullptr);
+  ASSERT_NE(end, nullptr);
+  // The window covers 7 raw bit times (Algorithm 1: cnt 13 -> 20).
+  EXPECT_EQ(end->at - start->at, 7u);
+  // It is armed at the RTR sample: 13 bits + any ID stuff bits after SOF.
+  const auto* sof = bus.log().first(EventKind::FrameTxStart, 0, "attacker");
+  ASSERT_NE(sof, nullptr);
+  EXPECT_GE(start->at - sof->at, 12u);
+  EXPECT_LE(start->at - sof->at, 15u);
+}
+
+TEST(MichiCanNode, PersistentAttackerRebusedOffAfterRecovery) {
+  can::WiredAndBus bus;
+  MichiCanNode def{"defender", kIvn, defender_cfg()};
+  def.attach_to(bus);
+  Attacker atk{"attacker", Attacker::spoof(0x173)};  // persistent
+  atk.attach_to(bus);
+
+  bus.run(30'000);
+  // Multiple bus-off cycles: attack, recovery, re-attack, ...
+  EXPECT_GE(bus.log().count(EventKind::BusOff, "attacker"), 3u);
+  EXPECT_GE(bus.log().count(EventKind::BusOffRecovered, "attacker"), 2u);
+  EXPECT_EQ(def.controller().tec(), 0);
+}
+
+TEST(MichiCanNode, LightScenarioStillDetectsOwnIdSpoof) {
+  can::WiredAndBus bus;
+  auto cfg = defender_cfg(0x100);  // lower half of E
+  cfg.scenario = Scenario::Light;
+  MichiCanNode def{"defender", kIvn, cfg};
+  def.attach_to(bus);
+  auto acfg = Attacker::spoof(0x100);
+  acfg.persistent = false;
+  Attacker atk{"attacker", acfg};
+  atk.attach_to(bus);
+
+  bus.run(4000);
+  EXPECT_TRUE(atk.node().is_bus_off());
+}
+
+TEST(MichiCanNode, LightScenarioIgnoresDosBelowOwnId) {
+  can::WiredAndBus bus;
+  auto cfg = defender_cfg();
+  cfg.scenario = Scenario::Light;
+  MichiCanNode def{"defender", kIvn, cfg};
+  def.attach_to(bus);
+  auto acfg = Attacker::targeted_dos(0x050);
+  acfg.period_bits = 400;
+  Attacker atk{"attacker", acfg};
+  atk.attach_to(bus);
+
+  bus.run(4000);
+  // A light-scenario ECU only guards its own ID (the upper half of E is
+  // expected to provide the DoS coverage).
+  EXPECT_FALSE(atk.node().is_bus_off());
+  EXPECT_EQ(def.monitor().stats().counterattacks, 0u);
+}
+
+TEST(MichiCanNode, TwoDefendersDoNotInterfere) {
+  // Distributed deployment: both defenders detect the DoS simultaneously;
+  // their counterattack windows overlap harmlessly (both pull dominant).
+  can::WiredAndBus bus;
+  MichiCanNode d1{"def1", kIvn, defender_cfg(0x173)};
+  MichiCanNode d2{"def2", kIvn, defender_cfg(0x350)};
+  d1.attach_to(bus);
+  d2.attach_to(bus);
+  auto cfg = Attacker::targeted_dos(0x050);
+  cfg.persistent = false;
+  Attacker atk{"attacker", cfg};
+  atk.attach_to(bus);
+
+  bus.run(4000);
+  EXPECT_TRUE(atk.node().is_bus_off());
+  EXPECT_EQ(d1.controller().tec(), 0);
+  EXPECT_EQ(d2.controller().tec(), 0);
+  EXPECT_GT(d1.monitor().stats().counterattacks, 0u);
+  EXPECT_GT(d2.monitor().stats().counterattacks, 0u);
+  // Exactly 32 attempts: overlapping counterattacks do not double-count
+  // errors on the attacker.
+  EXPECT_EQ(bus.log().count(EventKind::FrameTxStart, "attacker"), 32u);
+}
+
+TEST(MichiCanNode, FailedDefenderStillCoveredByOther) {
+  // Redundancy claim of Sec. IV-A: with |E|-1 defenders failed, one is
+  // enough.  Here def1 runs detection-only (its prevention "failed").
+  can::WiredAndBus bus;
+  auto broken = defender_cfg(0x173);
+  broken.monitor.prevention_enabled = false;
+  MichiCanNode d1{"def1", kIvn, broken};
+  MichiCanNode d2{"def2", kIvn, defender_cfg(0x350)};
+  d1.attach_to(bus);
+  d2.attach_to(bus);
+  auto cfg = Attacker::targeted_dos(0x050);
+  cfg.persistent = false;
+  Attacker atk{"attacker", cfg};
+  atk.attach_to(bus);
+
+  bus.run(4000);
+  EXPECT_TRUE(atk.node().is_bus_off());
+}
+
+}  // namespace
+}  // namespace mcan::core

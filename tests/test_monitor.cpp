@@ -1,0 +1,280 @@
+// Direct unit tests of the Algorithm-1 bit monitor: synchronization,
+// stuff-bit removal, FSM integration, counterattack arming and release.
+// The monitor is driven with hand-crafted bit streams, without a bus.
+#include "core/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "can/bitstream.hpp"
+#include "can/frame.hpp"
+#include "sim/rng.hpp"
+
+namespace mcan::core {
+namespace {
+
+using sim::BitLevel;
+
+struct MonitorHarness {
+  DetectionFsm fsm;
+  mcu::PioController pio;
+  BitMonitor monitor;
+  sim::BitTime now{0};
+
+  explicit MonitorHarness(const IdRangeSet& ranges, MonitorConfig cfg = {})
+      : fsm(DetectionFsm::build(ranges)), monitor(fsm, pio, cfg) {}
+
+  void idle(int bits) {
+    for (int i = 0; i < bits; ++i) {
+      monitor.on_bit(now++, BitLevel::Recessive);
+    }
+  }
+
+  /// Feed a frame's wire bits, returning the per-bit TX-mux states.
+  std::vector<bool> feed_frame(const can::CanFrame& f) {
+    std::vector<bool> mux;
+    for (const auto& b : can::wire_bits(f)) {
+      monitor.on_bit(now++, b.level);
+      mux.push_back(pio.tx_mux_enabled());
+    }
+    return mux;
+  }
+};
+
+IdRangeSet own_id_only(can::CanId id) {
+  IdRangeSet s;
+  s.add(id);
+  return s;
+}
+
+TEST(BitMonitor, RequiresElevenRecessiveBeforeSof) {
+  MonitorHarness h{own_id_only(0x173)};
+  // Dominant bits with no idle run: not a SOF.
+  for (int i = 0; i < 5; ++i) h.monitor.on_bit(h.now++, BitLevel::Dominant);
+  EXPECT_EQ(h.monitor.stats().frames_observed, 0u);
+  h.idle(11);
+  h.monitor.on_bit(h.now++, BitLevel::Dominant);
+  EXPECT_EQ(h.monitor.stats().frames_observed, 1u);
+}
+
+TEST(BitMonitor, BenignFrameNoCounterattack) {
+  MonitorHarness h{own_id_only(0x173)};
+  h.idle(12);
+  const auto mux = h.feed_frame(can::CanFrame::make(0x2A0, {0x11, 0x22}));
+  for (const bool m : mux) EXPECT_FALSE(m);
+  EXPECT_EQ(h.monitor.stats().attacks_detected, 0u);
+  EXPECT_EQ(h.monitor.stats().counterattacks, 0u);
+}
+
+TEST(BitMonitor, MaliciousFrameArmsAtRtrAndReleasesAfterWindow) {
+  MonitorHarness h{own_id_only(0x173)};
+  h.idle(12);
+  const auto frame = can::CanFrame::make(0x173, {0xDE, 0xAD});
+  const auto wire = can::wire_bits(frame);
+  const auto mux = h.feed_frame(frame);
+  EXPECT_EQ(h.monitor.stats().attacks_detected, 1u);
+  EXPECT_EQ(h.monitor.stats().counterattacks, 1u);
+
+  // Find the raw index of the RTR bit: the mux must engage right there and
+  // stay on for exactly attack_bits raw bits.
+  std::size_t rtr_raw = 0;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    if (wire[i].field == can::Field::Rtr) {
+      rtr_raw = i;
+      break;
+    }
+  }
+  int on_bits = 0;
+  for (std::size_t i = 0; i < mux.size(); ++i) {
+    if (mux[i]) {
+      ++on_bits;
+      EXPECT_GE(i, rtr_raw);
+      EXPECT_LT(i, rtr_raw + 8u);
+    }
+  }
+  EXPECT_EQ(on_bits, 7);  // MonitorConfig default window
+}
+
+TEST(BitMonitor, StuffBitsDoNotShiftTheWindow) {
+  // ID 0x000 maximizes stuff bits inside the arbitration field; the arm
+  // position counts *unstuffed* bits, so the window must still start at
+  // the RTR wire position.
+  IdRangeSet all;
+  all.add(0x000, 0x0FF);
+  MonitorHarness h{all};
+  h.idle(12);
+  const auto frame = can::CanFrame::make(0x000, {0x00});
+  const auto wire = can::wire_bits(frame);
+  const auto mux = h.feed_frame(frame);
+  std::size_t rtr_raw = 0;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    if (wire[i].field == can::Field::Rtr && !wire[i].is_stuff) {
+      rtr_raw = i;
+      break;
+    }
+  }
+  ASSERT_GT(rtr_raw, 12u);  // stuff bits pushed RTR beyond raw index 12
+  EXPECT_TRUE(mux[rtr_raw + 1]);  // armed right after the RTR sample
+  EXPECT_EQ(h.monitor.stats().counterattacks, 1u);
+}
+
+TEST(BitMonitor, DetectionBitPositionReported) {
+  // D = upper half: one ID bit suffices.
+  IdRangeSet d;
+  d.add(0x400, 0x7FF);
+  MonitorHarness h{d};
+  h.idle(12);
+  h.feed_frame(can::CanFrame::make(0x7A5, {0x01}));
+  EXPECT_EQ(h.monitor.stats().attacks_detected, 1u);
+  EXPECT_EQ(h.monitor.stats().detection_bit_sum, 1u);
+}
+
+TEST(BitMonitor, SelfTransmissionSuppressed) {
+  MonitorHarness h{own_id_only(0x173)};
+  bool transmitting = true;
+  h.monitor.set_self_transmitting([&] { return transmitting; });
+  h.idle(12);
+  h.feed_frame(can::CanFrame::make(0x173, {0x00}));
+  EXPECT_EQ(h.monitor.stats().suppressed_self, 1u);
+  EXPECT_EQ(h.monitor.stats().counterattacks, 0u);
+
+  transmitting = false;
+  h.idle(12);
+  h.feed_frame(can::CanFrame::make(0x173, {0x00}));
+  EXPECT_EQ(h.monitor.stats().counterattacks, 1u);
+}
+
+TEST(BitMonitor, PreventionDisabledStillDetects) {
+  MonitorConfig cfg;
+  cfg.prevention_enabled = false;
+  MonitorHarness h{own_id_only(0x173), cfg};
+  h.idle(12);
+  const auto mux = h.feed_frame(can::CanFrame::make(0x173, {0x42}));
+  EXPECT_EQ(h.monitor.stats().attacks_detected, 1u);
+  EXPECT_EQ(h.monitor.stats().counterattacks, 0u);
+  for (const bool m : mux) EXPECT_FALSE(m);
+}
+
+TEST(BitMonitor, ResynchronizesAfterForeignErrorFrame) {
+  MonitorHarness h{own_id_only(0x173)};
+  h.idle(12);
+  // A frame that dies in an error flag: SOF + a few bits + 6 dominant.
+  for (const int bit : {0, 1, 0, 1, 1, 0, 0, 0, 0, 0, 0}) {
+    h.monitor.on_bit(h.now++, sim::from_bit(bit));
+  }
+  EXPECT_FALSE(h.monitor.counterattack_active());
+  // Error delimiter + IFS re-idles the bus; the next frame is tracked.
+  h.idle(12);
+  h.feed_frame(can::CanFrame::make(0x173, {0x01}));
+  EXPECT_EQ(h.monitor.stats().frames_observed, 2u);
+  EXPECT_EQ(h.monitor.stats().counterattacks, 1u);
+}
+
+TEST(BitMonitor, BackToBackFramesAreBothObserved) {
+  MonitorHarness h{own_id_only(0x173)};
+  h.idle(12);
+  h.feed_frame(can::CanFrame::make(0x2A0, {0x01}));
+  h.idle(3);  // IFS only: ACK delim + EOF already supplied 8 recessive bits
+  h.feed_frame(can::CanFrame::make(0x300, {0x02}));
+  EXPECT_EQ(h.monitor.stats().frames_observed, 2u);
+}
+
+TEST(BitMonitor, WindowWidthConfigurable) {
+  MonitorConfig cfg;
+  cfg.attack_bits = 3;
+  MonitorHarness h{own_id_only(0x173), cfg};
+  h.idle(12);
+  const auto mux = h.feed_frame(can::CanFrame::make(0x173, {0xFF}));
+  int on_bits = 0;
+  for (const bool m : mux) on_bits += m ? 1 : 0;
+  EXPECT_EQ(on_bits, 3);
+}
+
+TEST(BitMonitor, CounterattackNeverTransmitsFrames) {
+  // The monitor only pulls the TX line low; it never produces an SOF/ID
+  // sequence of its own.  After the window the contribution is recessive.
+  MonitorHarness h{own_id_only(0x173)};
+  h.idle(12);
+  h.feed_frame(can::CanFrame::make(0x173, {0x55, 0xAA}));
+  EXPECT_EQ(h.pio.tx_contribution(), BitLevel::Recessive);
+  EXPECT_FALSE(h.pio.tx_mux_enabled());
+  // Exactly two mux toggles per counterattack: enable + disable.
+  EXPECT_EQ(h.pio.tx_mux_toggles(), 2u);
+}
+
+TEST(BitMonitor, FsmBitsCountedForCpuModel) {
+  MonitorHarness h{own_id_only(0x173)};
+  h.idle(12);
+  h.feed_frame(can::CanFrame::make(0x2A0, {0x00}));
+  const auto& s = h.monitor.stats();
+  EXPECT_GT(s.fsm_bits, 0u);
+  EXPECT_GT(s.idle_bits, 0u);
+  EXPECT_GT(s.track_bits, 0u);
+}
+
+
+TEST(BitMonitor, ExtendedFrameWithoutExtFsmEndsQuietly) {
+  // Paper-mode monitor (no extended FSM): an extended frame is released at
+  // the IDE bit and the monitor resynchronizes on the next frame.
+  MonitorHarness h{own_id_only(0x173)};
+  h.idle(12);
+  can::CanFrame ext;
+  ext.id = 0x00012345;
+  ext.extended = true;
+  ext.dlc = 2;
+  const auto mux = h.feed_frame(ext);
+  for (const bool m : mux) EXPECT_FALSE(m);
+  EXPECT_EQ(h.monitor.stats().counterattacks, 0u);
+  // Next (standard, malicious) frame is still caught.
+  h.idle(12);
+  h.feed_frame(can::CanFrame::make(0x173, {0x42}));
+  EXPECT_EQ(h.monitor.stats().counterattacks, 1u);
+}
+
+TEST(BitMonitor, ExtendedGuardArmsAtExtendedRtr) {
+  IdRangeSet ext_d;
+  ext_d.add(0x0, 0x000FFFFF);  // low extended IDs are malicious
+  const auto ext_fsm = DetectionFsm::build(ext_d, can::kExtIdBits);
+  MonitorHarness h{own_id_only(0x173)};
+  h.monitor.set_extended_fsm(&ext_fsm);
+  h.idle(12);
+  can::CanFrame ext;
+  ext.id = 0x00000042;
+  ext.extended = true;
+  ext.dlc = 1;
+  const auto wire = can::wire_bits(ext);
+  const auto mux = h.feed_frame(ext);
+  EXPECT_EQ(h.monitor.stats().counterattacks, 1u);
+  // The window must engage at/after the extended RTR wire position.
+  std::size_t rtr_raw = 0;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    if (wire[i].field == can::Field::Rtr && !wire[i].is_stuff) rtr_raw = i;
+  }
+  for (std::size_t i = 0; i < mux.size(); ++i) {
+    if (mux[i]) {
+      EXPECT_GE(i, rtr_raw);
+    }
+  }
+}
+
+TEST(BitMonitor, StuffErrorDuringExtendedTrackingResyncs) {
+  IdRangeSet ext_d;
+  ext_d.add(0x0, 0x000FFFFF);
+  const auto ext_fsm = DetectionFsm::build(ext_d, can::kExtIdBits);
+  MonitorHarness h{own_id_only(0x173)};
+  h.monitor.set_extended_fsm(&ext_fsm);
+  h.idle(12);
+  // SOF + base + SRR + IDE(recessive) then six dominant bits: a foreign
+  // error frame kills the extended frame mid-ID.
+  const int prefix[] = {0, 1,0,1,0,1,0,1,0,1,0,1, 1, 1};
+  for (const int b : prefix) h.monitor.on_bit(h.now++, sim::from_bit(b));
+  for (int i = 0; i < 6; ++i) {
+    h.monitor.on_bit(h.now++, BitLevel::Dominant);
+  }
+  EXPECT_FALSE(h.monitor.counterattack_active());
+  h.idle(12);
+  h.feed_frame(can::CanFrame::make(0x173, {0x01}));
+  EXPECT_EQ(h.monitor.stats().counterattacks, 1u);
+}
+
+}  // namespace
+}  // namespace mcan::core

@@ -1,0 +1,130 @@
+// Overload-frame handling (ISO 11898-1): overload conditions during
+// intermission and at the last EOF bit delay traffic without touching any
+// error counter.
+#include <gtest/gtest.h>
+
+#include "can/bus.hpp"
+#include "can/controller.hpp"
+#include "helpers.hpp"
+
+namespace mcan::can {
+namespace {
+
+using sim::BitLevel;
+using sim::BitTime;
+using sim::EventKind;
+using test::PulseInjector;
+
+struct OverloadEnv {
+  WiredAndBus bus;
+  BitController tx{"tx"};
+  BitController rx{"rx"};
+  PulseInjector pulse;
+  std::vector<CanFrame> received;
+
+  OverloadEnv() {
+    tx.attach_to(bus);
+    rx.attach_to(bus);
+    bus.attach(pulse);
+    rx.set_rx_callback(
+        [this](const CanFrame& f, BitTime) { received.push_back(f); });
+  }
+};
+
+/// Bit time of the first intermission bit after a frame that starts with
+/// SOF at `sof` and has `wire_len` wire bits.
+BitTime first_intermission_bit(BitTime sof, std::size_t wire_len) {
+  return sof + wire_len;
+}
+
+TEST(Overload, DominantInFirstIntermissionBitRaisesOverloadNotError) {
+  OverloadEnv env;
+  const auto frame = CanFrame::make(0x123, {0x42});
+  const auto wire_len = wire_bits(frame).size();
+  env.tx.enqueue(frame);
+  // SOF appears at bit 12 (11 integration bits + 1 decision bit).
+  const BitTime sof = 12;
+  env.pulse.pulse(first_intermission_bit(sof, wire_len), 1);
+  env.bus.run(400);
+
+  ASSERT_EQ(env.received.size(), 1u);
+  EXPECT_GE(env.bus.log().count(EventKind::OverloadFrame), 1u);
+  EXPECT_EQ(env.tx.tec(), 0);
+  EXPECT_EQ(env.rx.rec(), 0);
+  EXPECT_EQ(env.tx.stats().tx_errors, 0u);
+  EXPECT_EQ(env.rx.stats().rx_errors, 0u);
+}
+
+TEST(Overload, DominantAtLastEofBitCausesDuplicateDelivery) {
+  OverloadEnv env;
+  const auto frame = CanFrame::make(0x0AB, {0x11, 0x22});
+  const auto wire_len = wire_bits(frame).size();
+  env.tx.enqueue(frame);
+  const BitTime sof = 12;
+  // Last EOF bit = last wire bit of the frame.
+  env.pulse.pulse(sof + wire_len - 1, 1);
+  env.bus.run(400);
+
+  // The receiver accepted the frame one bit earlier and raises an overload
+  // flag, never an error.  The transmitter, however, sees a dominant level
+  // where it sent recessive at the very last EOF bit — an error for the
+  // *transmitter* — and retransmits.  The result is CAN's well-known
+  // duplicate-delivery corner: the receiver gets the same frame twice.
+  ASSERT_EQ(env.received.size(), 2u);
+  EXPECT_EQ(env.received[0], frame);
+  EXPECT_EQ(env.received[1], frame);
+  EXPECT_GE(env.bus.log().count(EventKind::OverloadFrame, "rx"), 1u);
+  EXPECT_EQ(env.rx.rec(), 0);
+  EXPECT_GE(env.tx.stats().tx_errors, 1u);
+}
+
+TEST(Overload, DelaysNextTransmissionByOverloadFrame) {
+  OverloadEnv env;
+  env.tx.enqueue(CanFrame::make(0x100, {}));
+  env.tx.enqueue(CanFrame::make(0x101, {}));
+  const auto wire_len = wire_bits(CanFrame::make(0x100, {})).size();
+  const BitTime sof = 12;
+  env.pulse.pulse(first_intermission_bit(sof, wire_len), 1);
+  env.bus.run(600);
+
+  ASSERT_EQ(env.received.size(), 2u);
+  // Gap between the two frames: overload flag (6) + delimiter (8) +
+  // fresh intermission (3) instead of the plain 3-bit IFS.
+  const auto starts = env.bus.log().filter(EventKind::FrameTxStart, "tx");
+  ASSERT_EQ(starts.size(), 2u);
+  const auto gap = starts[1].at - (starts[0].at + wire_len);
+  EXPECT_GE(gap, 14u);
+  EXPECT_LE(gap, 20u);
+}
+
+TEST(Overload, AtMostTwoConsecutiveOverloadsThenFormError) {
+  OverloadEnv env;
+  env.tx.enqueue(CanFrame::make(0x100, {}));
+  const auto wire_len = wire_bits(CanFrame::make(0x100, {})).size();
+  const BitTime sof = 12;
+  const BitTime inter1 = first_intermission_bit(sof, wire_len);
+  // Overload 1 at intermission bit 1; its delimiter ends 14 bits later;
+  // pulse the next two intermissions as well.
+  env.pulse.pulse(inter1, 1);
+  env.pulse.pulse(inter1 + 15, 1);  // flag(6)+delim(8)+1st intermission bit
+  env.pulse.pulse(inter1 + 30, 1);
+  env.bus.run(600);
+
+  // Two overload frames, then the third dominant triggers a form error.
+  EXPECT_EQ(env.bus.log().count(EventKind::OverloadFrame, "rx"), 2u);
+  EXPECT_GE(env.rx.stats().rx_errors, 1u);
+}
+
+TEST(Overload, NoOverloadInNormalOperation) {
+  OverloadEnv env;
+  for (int i = 0; i < 20; ++i) {
+    env.tx.enqueue(CanFrame::make(static_cast<CanId>(0x100 + i), {0x01}));
+  }
+  env.bus.run(3000);
+  EXPECT_EQ(env.received.size(), 20u);
+  EXPECT_EQ(env.bus.log().count(EventKind::OverloadFrame), 0u);
+  EXPECT_EQ(env.tx.stats().overload_frames, 0u);
+}
+
+}  // namespace
+}  // namespace mcan::can

@@ -1,0 +1,145 @@
+// Tests for the Parrot baseline — and for the comparative claims the paper
+// makes against it (Secs. V-C and V-E).
+#include "baseline/parrot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attack/attacker.hpp"
+#include "can/bus.hpp"
+#include "core/michican_node.hpp"
+
+namespace mcan::baseline {
+namespace {
+
+using attack::Attacker;
+
+struct ParrotEnv {
+  can::WiredAndBus bus{sim::BusSpeed{50'000}};
+  ParrotNode parrot;
+  can::BitController quiet{"quiet"};  // benign receiver providing ACKs
+
+  ParrotEnv() : parrot{"parrot", {.own_id = 0x173}} {
+    parrot.attach_to(bus);
+    quiet.attach_to(bus);
+  }
+};
+
+TEST(Parrot, IdleWithoutSpoofing) {
+  ParrotEnv env;
+  env.bus.run(5000);
+  EXPECT_FALSE(env.parrot.armed());
+  EXPECT_EQ(env.parrot.flood_frames(), 0u);
+  EXPECT_EQ(env.parrot.node().stats().frames_sent, 0u);
+}
+
+TEST(Parrot, ArmsOnlyAfterFirstCompleteInstance) {
+  ParrotEnv env;
+  auto cfg = Attacker::spoof(0x173);
+  cfg.period_bits = 2000;
+  Attacker atk{"attacker", cfg};
+  atk.attach_to(env.bus);
+
+  // Run until just after the first spoofed frame completes.
+  while (env.parrot.spoofs_seen() == 0 && env.bus.now() < 3000) {
+    env.bus.step();
+  }
+  // Receivers validate a frame at the 6th EOF bit; the transmitter only
+  // counts success one bit later — let that bit pass.
+  env.bus.run(2);
+  EXPECT_EQ(env.parrot.spoofs_seen(), 1u);
+  EXPECT_TRUE(env.parrot.armed());
+  // The first instance went through unharmed — Parrot's structural
+  // disadvantage versus MichiCAN's arbitration-phase detection.
+  EXPECT_EQ(atk.node().stats().frames_sent, 1u);
+  EXPECT_EQ(atk.node().tec(), 0);
+}
+
+TEST(Parrot, EventuallyBusesOffContinuousSpoofer) {
+  ParrotEnv env;
+  auto cfg = Attacker::spoof(0x173);
+  cfg.persistent = false;
+  Attacker atk{"attacker", cfg};
+  atk.attach_to(env.bus);
+  env.bus.run(12'000);
+  EXPECT_TRUE(atk.node().is_bus_off());
+  EXPECT_GT(env.parrot.flood_frames(), 5u);
+}
+
+TEST(Parrot, DefenseCostsDefenderTec) {
+  ParrotEnv env;
+  auto cfg = Attacker::spoof(0x173);
+  cfg.persistent = false;
+  Attacker atk{"attacker", cfg};
+  atk.attach_to(env.bus);
+  env.bus.run(12'000);
+  ASSERT_TRUE(atk.node().is_bus_off());
+  // The collision error frames hit Parrot's own transmit error counter —
+  // unlike MichiCAN, whose defender TEC stays 0.
+  EXPECT_GT(env.parrot.node().stats().tx_errors, 5u);
+}
+
+TEST(Parrot, SlowerThanMichiCanAndLetsFramesThrough) {
+  // Head-to-head on identical attacks.
+  auto run_parrot = [] {
+    ParrotEnv env;
+    auto cfg = Attacker::spoof(0x173);
+    cfg.persistent = false;
+    Attacker atk{"attacker", cfg};
+    atk.attach_to(env.bus);
+    env.bus.run(12'000);
+    const auto* start =
+        env.bus.log().first(sim::EventKind::FrameTxStart, 0, "attacker");
+    const auto* off =
+        env.bus.log().first(sim::EventKind::BusOff, 0, "attacker");
+    return std::tuple{off != nullptr,
+                      off && start ? off->at - start->at : sim::BitTime{0},
+                      atk.node().stats().frames_sent};
+  };
+  auto run_michican = [] {
+    can::WiredAndBus bus{sim::BusSpeed{50'000}};
+    const core::IvnConfig ivn{{0x100, 0x173, 0x300}};
+    core::MichiCanNodeConfig cfg;
+    cfg.own_id = 0x173;
+    core::MichiCanNode def{"defender", ivn, cfg};
+    def.attach_to(bus);
+    can::BitController quiet{"quiet"};
+    quiet.attach_to(bus);
+    auto acfg = Attacker::spoof(0x173);
+    acfg.persistent = false;
+    Attacker atk{"attacker", acfg};
+    atk.attach_to(bus);
+    bus.run(12'000);
+    const auto* start =
+        bus.log().first(sim::EventKind::FrameTxStart, 0, "attacker");
+    const auto* off = bus.log().first(sim::EventKind::BusOff, 0, "attacker");
+    return std::tuple{off != nullptr,
+                      off && start ? off->at - start->at : sim::BitTime{0},
+                      atk.node().stats().frames_sent};
+  };
+
+  const auto [p_off, p_time, p_through] = run_parrot();
+  const auto [m_off, m_time, m_through] = run_michican();
+  ASSERT_TRUE(p_off);
+  ASSERT_TRUE(m_off);
+  EXPECT_GT(p_time, m_time);        // Parrot needs the first full instance
+  EXPECT_EQ(m_through, 0u);         // MichiCAN lets nothing through
+  EXPECT_GE(p_through, 1u);         // Parrot concedes at least one frame
+}
+
+TEST(Parrot, DisarmsAfterAttackerGone) {
+  ParrotEnv env;
+  auto cfg = Attacker::spoof(0x173);
+  cfg.persistent = false;
+  Attacker atk{"attacker", cfg};
+  atk.attach_to(env.bus);
+  env.bus.run(12'000);
+  ASSERT_TRUE(atk.node().is_bus_off());
+  env.bus.run(3000);  // quiet period beyond the disarm timeout
+  EXPECT_FALSE(env.parrot.armed());
+  const auto floods = env.parrot.flood_frames();
+  env.bus.run(3000);
+  EXPECT_EQ(env.parrot.flood_frames(), floods);  // no further flooding
+}
+
+}  // namespace
+}  // namespace mcan::baseline

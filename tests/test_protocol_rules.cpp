@@ -1,0 +1,228 @@
+// Targeted tests of individual ISO 11898-1 rules the experiments depend on
+// but which only trigger in narrow windows: the arbitration stuff-bit TEC
+// exception, REC dynamics of receivers, and delimiter penalties.
+#include <gtest/gtest.h>
+
+#include "can/bitstream.hpp"
+#include "can/bus.hpp"
+#include "can/controller.hpp"
+#include "helpers.hpp"
+
+namespace mcan::can {
+namespace {
+
+using sim::BitLevel;
+using sim::BitTime;
+using sim::EventKind;
+using test::PulseInjector;
+using test::ScriptedNode;
+
+TEST(ProtocolRules, StuffErrorInArbitrationDoesNotChangeTec) {
+  // ISO exception: a transmitter whose *recessive stuff bit inside the
+  // arbitration field* is monitored dominant raises a stuff error but does
+  // NOT increment its TEC (the situation is equivalent to losing
+  // arbitration).  ID 0x07F = 00001111111b: SOF + four dominant ID bits
+  // give a run of five, so a recessive stuff bit follows at raw position 5.
+  WiredAndBus bus;
+  BitController tx{"tx"};
+  BitController rx{"rx"};
+  PulseInjector pulse;
+  tx.attach_to(bus);
+  rx.attach_to(bus);
+  bus.attach(pulse);
+
+  tx.enqueue(CanFrame::make(0x07F, {0x55}));
+  // SOF lands at bit 12 (11 integration bits + 1 decision bit); the stuff
+  // bit after SOF + 4 dominant ID bits is raw offset 5.
+  pulse.pulse(12 + 5, 1);
+  bus.run(400);
+
+  const auto errs = bus.log().filter(EventKind::TxError, "tx");
+  ASSERT_GE(errs.size(), 1u);
+  EXPECT_EQ(static_cast<ErrorType>(errs[0].a), ErrorType::Stuff);
+  // TEC unchanged by the exempted error; the successful retransmission
+  // then leaves it at 0.
+  EXPECT_EQ(tx.tec(), 0);
+  EXPECT_EQ(tx.stats().frames_sent, 1u);
+}
+
+TEST(ProtocolRules, StuffErrorPastArbitrationDoesChangeTec) {
+  // Contrast case: the same forced-stuff-bit situation inside the DATA
+  // field is a plain bit/stuff error with TEC += 8.  Payload 0x00,0x0F:
+  // data bits 0000 0000 0000 1111 -> a recessive stuff bit follows the
+  // fifth dominant data bit.
+  WiredAndBus bus;
+  BitController tx{"tx"};
+  BitController rx{"rx"};
+  PulseInjector pulse;
+  tx.attach_to(bus);
+  rx.attach_to(bus);
+  bus.attach(pulse);
+
+  const auto frame = CanFrame::make(0x2AA, {0x00, 0x0F});
+  // Find the raw index of the first stuff bit inside the data field.
+  const auto wire = wire_bits(frame);
+  std::size_t stuff_raw = 0;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    if (wire[i].is_stuff && wire[i].field == Field::Data) {
+      stuff_raw = i;
+      break;
+    }
+  }
+  ASSERT_GT(stuff_raw, 0u);
+  tx.enqueue(frame);
+  pulse.pulse(12 + stuff_raw, 1);
+  bus.run(400);
+
+  const auto errs = bus.log().filter(EventKind::TxError, "tx");
+  ASSERT_GE(errs.size(), 1u);
+  // +8 for the error, -1 for the successful retransmission.
+  EXPECT_EQ(tx.tec(), 7);
+}
+
+TEST(ProtocolRules, ReceiverRecIncrementsByOnePerError) {
+  WiredAndBus bus;
+  BitController tx{"tx"};
+  BitController rx{"rx"};
+  test::FrameKiller killer{13, 20, 3};
+  tx.attach_to(bus);
+  rx.attach_to(bus);
+  bus.attach(killer);
+  tx.enqueue(CanFrame::make(0x123, {0x42}));
+  bus.run(700);
+  // Three destroyed attempts: REC went +1 each, then -1 for the eventual
+  // successful reception.
+  EXPECT_EQ(rx.rec(), 2);
+  EXPECT_EQ(rx.stats().rx_errors, 3u);
+}
+
+TEST(ProtocolRules, RecDecaysWithSuccessfulReceptions) {
+  WiredAndBus bus;
+  BitController tx{"tx"};
+  BitController rx{"rx"};
+  tx.attach_to(bus);
+  rx.attach_to(bus);
+  rx.force_error_counters(0, 10);
+  for (int i = 0; i < 10; ++i) tx.enqueue(CanFrame::make(0x100, {0x01}));
+  bus.run(2000);
+  EXPECT_EQ(rx.rec(), 0);
+}
+
+TEST(ProtocolRules, ArbitrationLossOnVeryLastIdBit) {
+  // IDs differing only in the LSB: the loser must flip to receiver at the
+  // eleventh ID bit and still receive the winner's frame intact.
+  WiredAndBus bus;
+  BitController a{"a"};
+  BitController b{"b"};
+  a.attach_to(bus);
+  b.attach_to(bus);
+  std::vector<CanFrame> a_rx;
+  a.set_rx_callback([&](const CanFrame& f, BitTime) { a_rx.push_back(f); });
+  a.enqueue(CanFrame::make(0x101, {0x0A}));
+  b.enqueue(CanFrame::make(0x100, {0x0B}));
+  bus.run(500);
+
+  const auto losses = bus.log().filter(EventKind::ArbitrationLost, "a");
+  ASSERT_EQ(losses.size(), 1u);
+  EXPECT_EQ(losses[0].a, kPosIdLast);  // lost at the last ID bit
+  ASSERT_GE(a_rx.size(), 1u);
+  EXPECT_EQ(a_rx[0], CanFrame::make(0x100, {0x0B}));
+  // The loser retries and delivers afterwards.
+  EXPECT_EQ(a.stats().frames_sent, 1u);
+}
+
+TEST(ProtocolRules, ArbitrationLossOnRtrBit) {
+  // Data frame (RTR dominant) beats remote frame (RTR recessive) of the
+  // SAME identifier; the loss happens exactly at the RTR bit.
+  WiredAndBus bus;
+  BitController data_node{"data"};
+  BitController remote_node{"remote"};
+  data_node.attach_to(bus);
+  remote_node.attach_to(bus);
+  data_node.enqueue(CanFrame::make(0x155, {0x77}));
+  remote_node.enqueue(CanFrame::make_remote(0x155));
+  bus.run(500);
+
+  const auto losses = bus.log().filter(EventKind::ArbitrationLost, "remote");
+  ASSERT_EQ(losses.size(), 1u);
+  EXPECT_EQ(losses[0].a, kPosRtr);
+  EXPECT_EQ(remote_node.tec(), 0);
+  EXPECT_EQ(data_node.stats().frames_sent, 1u);
+}
+
+TEST(ProtocolRules, ErrorPassiveReceiverFlagsAreInvisible) {
+  // An error-passive node detecting an RX error sends a passive (recessive)
+  // flag: the transmitter of an unrelated next frame must not even notice.
+  WiredAndBus bus;
+  BitController tx{"tx"};
+  BitController passive{"passive"};
+  BitController rx{"rx"};
+  test::FrameKiller killer{13, 20, 1};
+  tx.attach_to(bus);
+  passive.attach_to(bus);
+  rx.attach_to(bus);
+  bus.attach(killer);
+  passive.force_error_counters(0, 130);  // error-passive receiver
+
+  tx.enqueue(CanFrame::make(0x123, {0x42}));
+  bus.run(500);
+  // The killed first attempt made `passive` detect an error; its flag is
+  // recessive and the retransmission succeeds on schedule.
+  EXPECT_EQ(tx.stats().frames_sent, 1u);
+  EXPECT_EQ(static_cast<int>(tx.stats().tx_errors), 1);
+}
+
+TEST(ProtocolRules, TecLoggedBeforeIncrementMatchesPaperCounting) {
+  // The paper counts "after the active error flag is sent for the 16th
+  // time, the node goes error-passive" — i.e. the 16th error is flagged
+  // while still error-active.  Verify the boundary explicitly.
+  WiredAndBus bus;
+  BitController::Config cfg;
+  cfg.auto_recover = false;
+  BitController tx{"tx", cfg};
+  BitController rx{"rx"};
+  test::FrameKiller killer;
+  tx.attach_to(bus);
+  rx.attach_to(bus);
+  bus.attach(killer);
+  tx.enqueue(CanFrame::make(0x100, {}));
+  bus.run(3000);
+
+  const auto changes = bus.log().filter(EventKind::ErrorStateChange, "tx");
+  ASSERT_GE(changes.size(), 2u);
+  // Passive after exactly 16 errors, bus-off after exactly 32.
+  const auto errs = bus.log().filter(EventKind::TxError, "tx");
+  const auto* passive_change = &changes[0];
+  std::size_t errors_before_passive = 0;
+  for (const auto& e : errs) {
+    if (e.at <= passive_change->at) ++errors_before_passive;
+  }
+  EXPECT_EQ(errors_before_passive, 16u);
+}
+
+TEST(ProtocolRules, FormErrorInsideErrorDelimiter) {
+  // A dominant glitch while a node waits out its error delimiter is a form
+  // error and restarts the error signalling.
+  WiredAndBus bus;
+  BitController tx{"tx"};
+  BitController rx{"rx"};
+  PulseInjector pulse;
+  test::FrameKiller killer{13, 20, 1};
+  tx.attach_to(bus);
+  rx.attach_to(bus);
+  bus.attach(pulse);
+  bus.attach(killer);
+
+  tx.enqueue(CanFrame::make(0x123, {0x42}));
+  // The kill triggers an error around bit 12+16; the delimiter spans about
+  // bits +24..+32; strike into it.
+  pulse.pulse(12 + 29, 1);
+  bus.run(600);
+
+  // More than one TX error: the original + the delimiter form error.
+  EXPECT_GE(tx.stats().tx_errors, 2u);
+  EXPECT_EQ(tx.stats().frames_sent, 1u);  // still delivered eventually
+}
+
+}  // namespace
+}  // namespace mcan::can

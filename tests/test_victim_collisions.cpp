@@ -1,0 +1,157 @@
+// Findings beyond the paper's tables, kept as regression tests:
+//
+// 1. Same-ID collision spiral: a spoofed victim that KEEPS TRANSMITTING its
+//    own ID during a continuous same-ID flood suffers mutual frame
+//    destruction (classic CAN error-handling physics, cf. Cho & Shin).
+//    MichiCAN cannot counterattack these merged frames (the defender *is*
+//    the transmitter), so both error counters climb.  This is why the
+//    paper's Table II defender is silent during the recordings — and the
+//    effect deserves documentation (see EXPERIMENTS.md).
+//
+// 2. Masquerade attack (Sec. III): suspension of the victim followed by
+//    fabrication of its data — and its prevention by MichiCAN.
+#include <gtest/gtest.h>
+
+#include "attack/attacker.hpp"
+#include "can/bus.hpp"
+#include "can/periodic.hpp"
+#include "core/michican_node.hpp"
+
+namespace mcan {
+namespace {
+
+using attack::Attacker;
+
+TEST(VictimCollisions, TransmittingSpoofVictimSuffersCollisions) {
+  can::WiredAndBus bus{sim::BusSpeed{50'000}};
+  const core::IvnConfig ivn{{0x100, 0x173, 0x300}};
+  core::MichiCanNodeConfig cfg;
+  cfg.own_id = 0x173;
+  core::MichiCanNode def{"defender", ivn, cfg};
+  def.attach_to(bus);
+  can::BitController peer{"peer"};  // ACK provider
+  peer.attach_to(bus);
+
+  // The defender actively broadcasts its 0x173 while a continuous flood
+  // spoofs the very same ID.
+  can::attach_periodic(def.controller(),
+                       can::CanFrame::make_pattern(0x173, 8, 0x1122334455ull),
+                       2000.0, 0.0, can::PayloadMode::Random);
+  Attacker atk{"attacker", Attacker::spoof(0x173)};
+  atk.attach_to(bus);
+
+  bus.run(100'000);
+
+  // The attack is still being fought (repeated bus-offs)...
+  EXPECT_GE(bus.log().count(sim::EventKind::BusOff, "attacker"), 5u);
+  // ...but the victim's own transmissions collide with same-ID floods and
+  // cost it transmit errors — the spiral the silent-victim setup avoids.
+  EXPECT_GT(def.controller().stats().tx_errors, 0u);
+}
+
+TEST(VictimCollisions, SilentVictimStaysPristine) {
+  // Control experiment: identical attack, defender transmits nothing.
+  can::WiredAndBus bus{sim::BusSpeed{50'000}};
+  const core::IvnConfig ivn{{0x100, 0x173, 0x300}};
+  core::MichiCanNodeConfig cfg;
+  cfg.own_id = 0x173;
+  core::MichiCanNode def{"defender", ivn, cfg};
+  def.attach_to(bus);
+  can::BitController peer{"peer"};
+  peer.attach_to(bus);
+  Attacker atk{"attacker", Attacker::spoof(0x173)};
+  atk.attach_to(bus);
+
+  bus.run(100'000);
+  EXPECT_GE(bus.log().count(sim::EventKind::BusOff, "attacker"), 5u);
+  EXPECT_EQ(def.controller().tec(), 0);
+  EXPECT_EQ(def.controller().stats().tx_errors, 0u);
+}
+
+TEST(Masquerade, SuspensionPlusFabricationWithoutDefense) {
+  // Without MichiCAN: the attacker first starves the victim with a
+  // higher-priority flood (suspension), then fabricates the victim's
+  // messages — receivers consume attacker data believing it is the victim.
+  can::WiredAndBus bus{sim::BusSpeed{50'000}};
+  can::BitController victim{"victim"};
+  can::BitController consumer{"consumer"};
+  victim.attach_to(bus);
+  consumer.attach_to(bus);
+  can::attach_periodic(victim,
+                       can::CanFrame::make(0x173, {0x01, 0x01, 0x01}),
+                       2500.0);
+  std::uint64_t fabricated = 0, genuine = 0;
+  consumer.set_rx_callback([&](const can::CanFrame& f, sim::BitTime) {
+    if (f.id != 0x173) return;
+    if (f.data[0] == 0xEE) {
+      ++fabricated;
+    } else {
+      ++genuine;
+    }
+  });
+
+  // Phase 1: suspension — flood with a higher-priority ID so the victim
+  // never wins arbitration; fabricate 0x173 with marker data in between.
+  auto scfg = Attacker::targeted_dos(0x064);
+  Attacker suspender{"suspender", scfg};
+  suspender.attach_to(bus);
+  auto fcfg = Attacker::spoof(0x173);
+  fcfg.period_bits = 2500;
+  fcfg.random_payload = false;
+  Attacker fabricator{"fabricator", fcfg};
+  // Mark the fabricated payload.
+  // (Fixed payload defaults to zeros; craft via the queue directly.)
+  fabricator.attach_to(bus);
+  fabricator.node().add_app([](sim::BitTime, can::BitController& c) {
+    if (c.queue_depth() == 0) {
+      c.enqueue(can::CanFrame::make(0x173, {0xEE, 0xEE}));
+    }
+  });
+
+  bus.run(50'000);
+  // The flood occupies the bus; the genuine victim is starved while
+  // fabricated frames (sent by the flooding node pair) dominate whenever
+  // they win arbitration between flood frames.
+  EXPECT_EQ(genuine, 0u);
+  EXPECT_EQ(victim.stats().frames_sent, 0u);
+}
+
+TEST(Masquerade, MichiCanPreventsBothStages) {
+  can::WiredAndBus bus{sim::BusSpeed{50'000}};
+  const core::IvnConfig ivn{{0x100, 0x173, 0x300}};
+  core::MichiCanNodeConfig cfg;
+  cfg.own_id = 0x173;
+  core::MichiCanNode def{"defender", ivn, cfg};
+  def.attach_to(bus);
+
+  can::BitController victim{"victim"};
+  can::BitController consumer{"consumer"};
+  victim.attach_to(bus);
+  consumer.attach_to(bus);
+  can::attach_periodic(victim, can::CanFrame::make(0x300, {0x01}), 2500.0);
+  std::uint64_t fabricated = 0;
+  consumer.set_rx_callback([&](const can::CanFrame& f, sim::BitTime) {
+    if (f.id == 0x173 && f.data[0] == 0xEE) ++fabricated;
+  });
+
+  auto scfg = Attacker::targeted_dos(0x064);
+  scfg.persistent = false;
+  Attacker suspender{"suspender", scfg};
+  suspender.attach_to(bus);
+  auto fcfg = Attacker::spoof(0x173);
+  fcfg.persistent = false;
+  fcfg.random_payload = false;
+  Attacker fabricator{"fabricator", fcfg};
+  fabricator.attach_to(bus);
+
+  bus.run(50'000);
+  // Both attacker ECUs confined; no fabricated frame ever accepted; the
+  // legitimate third-party traffic kept flowing.
+  EXPECT_TRUE(suspender.node().is_bus_off());
+  EXPECT_TRUE(fabricator.node().is_bus_off());
+  EXPECT_EQ(fabricated, 0u);
+  EXPECT_GT(victim.stats().frames_sent, 10u);
+}
+
+}  // namespace
+}  // namespace mcan
