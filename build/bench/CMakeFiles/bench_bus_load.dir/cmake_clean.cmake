@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bus_load.dir/bench_bus_load.cpp.o"
+  "CMakeFiles/bench_bus_load.dir/bench_bus_load.cpp.o.d"
+  "bench_bus_load"
+  "bench_bus_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bus_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

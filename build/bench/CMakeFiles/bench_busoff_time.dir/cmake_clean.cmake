@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_busoff_time.dir/bench_busoff_time.cpp.o"
+  "CMakeFiles/bench_busoff_time.dir/bench_busoff_time.cpp.o.d"
+  "bench_busoff_time"
+  "bench_busoff_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_busoff_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

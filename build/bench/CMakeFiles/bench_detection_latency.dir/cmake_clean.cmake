@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detection_latency.dir/bench_detection_latency.cpp.o"
+  "CMakeFiles/bench_detection_latency.dir/bench_detection_latency.cpp.o.d"
+  "bench_detection_latency"
+  "bench_detection_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detection_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

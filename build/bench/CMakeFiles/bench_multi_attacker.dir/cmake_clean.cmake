@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multi_attacker.dir/bench_multi_attacker.cpp.o"
+  "CMakeFiles/bench_multi_attacker.dir/bench_multi_attacker.cpp.o.d"
+  "bench_multi_attacker"
+  "bench_multi_attacker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_attacker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parrot_comparison.dir/bench_parrot_comparison.cpp.o"
+  "CMakeFiles/bench_parrot_comparison.dir/bench_parrot_comparison.cpp.o.d"
+  "bench_parrot_comparison"
+  "bench_parrot_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parrot_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_deployment.dir/fleet_deployment.cpp.o"
+  "CMakeFiles/fleet_deployment.dir/fleet_deployment.cpp.o.d"
+  "fleet_deployment"
+  "fleet_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

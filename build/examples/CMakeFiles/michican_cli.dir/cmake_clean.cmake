@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/michican_cli.dir/michican_cli.cpp.o"
+  "CMakeFiles/michican_cli.dir/michican_cli.cpp.o.d"
+  "michican_cli"
+  "michican_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/michican_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

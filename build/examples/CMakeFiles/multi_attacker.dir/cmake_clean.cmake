@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_attacker.dir/multi_attacker.cpp.o"
+  "CMakeFiles/multi_attacker.dir/multi_attacker.cpp.o.d"
+  "multi_attacker"
+  "multi_attacker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_attacker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

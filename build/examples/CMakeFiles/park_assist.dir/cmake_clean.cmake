@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/park_assist.dir/park_assist.cpp.o"
+  "CMakeFiles/park_assist.dir/park_assist.cpp.o.d"
+  "park_assist"
+  "park_assist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/park_assist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

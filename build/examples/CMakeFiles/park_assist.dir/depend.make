@@ -1,0 +1,2 @@
+# Empty dependencies file for park_assist.
+# This may be replaced when dependencies are built.

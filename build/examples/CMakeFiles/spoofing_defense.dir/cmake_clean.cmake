@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spoofing_defense.dir/spoofing_defense.cpp.o"
+  "CMakeFiles/spoofing_defense.dir/spoofing_defense.cpp.o.d"
+  "spoofing_defense"
+  "spoofing_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spoofing_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/michican_analysis.dir/busoff_meter.cpp.o"
+  "CMakeFiles/michican_analysis.dir/busoff_meter.cpp.o.d"
+  "CMakeFiles/michican_analysis.dir/experiments.cpp.o"
+  "CMakeFiles/michican_analysis.dir/experiments.cpp.o.d"
+  "CMakeFiles/michican_analysis.dir/forensics.cpp.o"
+  "CMakeFiles/michican_analysis.dir/forensics.cpp.o.d"
+  "CMakeFiles/michican_analysis.dir/latency.cpp.o"
+  "CMakeFiles/michican_analysis.dir/latency.cpp.o.d"
+  "CMakeFiles/michican_analysis.dir/table.cpp.o"
+  "CMakeFiles/michican_analysis.dir/table.cpp.o.d"
+  "CMakeFiles/michican_analysis.dir/theory.cpp.o"
+  "CMakeFiles/michican_analysis.dir/theory.cpp.o.d"
+  "libmichican_analysis.a"
+  "libmichican_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/michican_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/attacker.cpp" "src/attack/CMakeFiles/michican_attack.dir/attacker.cpp.o" "gcc" "src/attack/CMakeFiles/michican_attack.dir/attacker.cpp.o.d"
+  "/root/repo/src/attack/cannon.cpp" "src/attack/CMakeFiles/michican_attack.dir/cannon.cpp.o" "gcc" "src/attack/CMakeFiles/michican_attack.dir/cannon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/michican_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/can/CMakeFiles/michican_can.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

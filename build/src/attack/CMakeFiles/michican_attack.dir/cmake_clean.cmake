@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/michican_attack.dir/attacker.cpp.o"
+  "CMakeFiles/michican_attack.dir/attacker.cpp.o.d"
+  "CMakeFiles/michican_attack.dir/cannon.cpp.o"
+  "CMakeFiles/michican_attack.dir/cannon.cpp.o.d"
+  "libmichican_attack.a"
+  "libmichican_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/michican_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/frequency_ids.cpp" "src/baseline/CMakeFiles/michican_baseline.dir/frequency_ids.cpp.o" "gcc" "src/baseline/CMakeFiles/michican_baseline.dir/frequency_ids.cpp.o.d"
+  "/root/repo/src/baseline/parrot.cpp" "src/baseline/CMakeFiles/michican_baseline.dir/parrot.cpp.o" "gcc" "src/baseline/CMakeFiles/michican_baseline.dir/parrot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/michican_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/can/CMakeFiles/michican_can.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

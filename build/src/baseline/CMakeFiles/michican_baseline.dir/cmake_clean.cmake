@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/michican_baseline.dir/frequency_ids.cpp.o"
+  "CMakeFiles/michican_baseline.dir/frequency_ids.cpp.o.d"
+  "CMakeFiles/michican_baseline.dir/parrot.cpp.o"
+  "CMakeFiles/michican_baseline.dir/parrot.cpp.o.d"
+  "libmichican_baseline.a"
+  "libmichican_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/michican_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

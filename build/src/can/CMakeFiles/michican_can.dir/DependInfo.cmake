@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/can/bitstream.cpp" "src/can/CMakeFiles/michican_can.dir/bitstream.cpp.o" "gcc" "src/can/CMakeFiles/michican_can.dir/bitstream.cpp.o.d"
+  "/root/repo/src/can/bus.cpp" "src/can/CMakeFiles/michican_can.dir/bus.cpp.o" "gcc" "src/can/CMakeFiles/michican_can.dir/bus.cpp.o.d"
+  "/root/repo/src/can/controller.cpp" "src/can/CMakeFiles/michican_can.dir/controller.cpp.o" "gcc" "src/can/CMakeFiles/michican_can.dir/controller.cpp.o.d"
+  "/root/repo/src/can/crc15.cpp" "src/can/CMakeFiles/michican_can.dir/crc15.cpp.o" "gcc" "src/can/CMakeFiles/michican_can.dir/crc15.cpp.o.d"
+  "/root/repo/src/can/fault.cpp" "src/can/CMakeFiles/michican_can.dir/fault.cpp.o" "gcc" "src/can/CMakeFiles/michican_can.dir/fault.cpp.o.d"
+  "/root/repo/src/can/frame.cpp" "src/can/CMakeFiles/michican_can.dir/frame.cpp.o" "gcc" "src/can/CMakeFiles/michican_can.dir/frame.cpp.o.d"
+  "/root/repo/src/can/gateway.cpp" "src/can/CMakeFiles/michican_can.dir/gateway.cpp.o" "gcc" "src/can/CMakeFiles/michican_can.dir/gateway.cpp.o.d"
+  "/root/repo/src/can/periodic.cpp" "src/can/CMakeFiles/michican_can.dir/periodic.cpp.o" "gcc" "src/can/CMakeFiles/michican_can.dir/periodic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/michican_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/michican_can.dir/bitstream.cpp.o"
+  "CMakeFiles/michican_can.dir/bitstream.cpp.o.d"
+  "CMakeFiles/michican_can.dir/bus.cpp.o"
+  "CMakeFiles/michican_can.dir/bus.cpp.o.d"
+  "CMakeFiles/michican_can.dir/controller.cpp.o"
+  "CMakeFiles/michican_can.dir/controller.cpp.o.d"
+  "CMakeFiles/michican_can.dir/crc15.cpp.o"
+  "CMakeFiles/michican_can.dir/crc15.cpp.o.d"
+  "CMakeFiles/michican_can.dir/fault.cpp.o"
+  "CMakeFiles/michican_can.dir/fault.cpp.o.d"
+  "CMakeFiles/michican_can.dir/frame.cpp.o"
+  "CMakeFiles/michican_can.dir/frame.cpp.o.d"
+  "CMakeFiles/michican_can.dir/gateway.cpp.o"
+  "CMakeFiles/michican_can.dir/gateway.cpp.o.d"
+  "CMakeFiles/michican_can.dir/periodic.cpp.o"
+  "CMakeFiles/michican_can.dir/periodic.cpp.o.d"
+  "libmichican_can.a"
+  "libmichican_can.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/michican_can.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cpu_model.cpp" "src/core/CMakeFiles/michican_core.dir/cpu_model.cpp.o" "gcc" "src/core/CMakeFiles/michican_core.dir/cpu_model.cpp.o.d"
+  "/root/repo/src/core/detection.cpp" "src/core/CMakeFiles/michican_core.dir/detection.cpp.o" "gcc" "src/core/CMakeFiles/michican_core.dir/detection.cpp.o.d"
+  "/root/repo/src/core/fleet.cpp" "src/core/CMakeFiles/michican_core.dir/fleet.cpp.o" "gcc" "src/core/CMakeFiles/michican_core.dir/fleet.cpp.o.d"
+  "/root/repo/src/core/fsm.cpp" "src/core/CMakeFiles/michican_core.dir/fsm.cpp.o" "gcc" "src/core/CMakeFiles/michican_core.dir/fsm.cpp.o.d"
+  "/root/repo/src/core/michican_node.cpp" "src/core/CMakeFiles/michican_core.dir/michican_node.cpp.o" "gcc" "src/core/CMakeFiles/michican_core.dir/michican_node.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/michican_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/michican_core.dir/monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/michican_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/can/CMakeFiles/michican_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcu/CMakeFiles/michican_mcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/restbus/CMakeFiles/michican_restbus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

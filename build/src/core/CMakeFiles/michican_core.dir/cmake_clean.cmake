@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/michican_core.dir/cpu_model.cpp.o"
+  "CMakeFiles/michican_core.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/michican_core.dir/detection.cpp.o"
+  "CMakeFiles/michican_core.dir/detection.cpp.o.d"
+  "CMakeFiles/michican_core.dir/fleet.cpp.o"
+  "CMakeFiles/michican_core.dir/fleet.cpp.o.d"
+  "CMakeFiles/michican_core.dir/fsm.cpp.o"
+  "CMakeFiles/michican_core.dir/fsm.cpp.o.d"
+  "CMakeFiles/michican_core.dir/michican_node.cpp.o"
+  "CMakeFiles/michican_core.dir/michican_node.cpp.o.d"
+  "CMakeFiles/michican_core.dir/monitor.cpp.o"
+  "CMakeFiles/michican_core.dir/monitor.cpp.o.d"
+  "libmichican_core.a"
+  "libmichican_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/michican_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcu/bit_timer.cpp" "src/mcu/CMakeFiles/michican_mcu.dir/bit_timer.cpp.o" "gcc" "src/mcu/CMakeFiles/michican_mcu.dir/bit_timer.cpp.o.d"
+  "/root/repo/src/mcu/pinmux.cpp" "src/mcu/CMakeFiles/michican_mcu.dir/pinmux.cpp.o" "gcc" "src/mcu/CMakeFiles/michican_mcu.dir/pinmux.cpp.o.d"
+  "/root/repo/src/mcu/profile.cpp" "src/mcu/CMakeFiles/michican_mcu.dir/profile.cpp.o" "gcc" "src/mcu/CMakeFiles/michican_mcu.dir/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/michican_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/michican_mcu.dir/bit_timer.cpp.o"
+  "CMakeFiles/michican_mcu.dir/bit_timer.cpp.o.d"
+  "CMakeFiles/michican_mcu.dir/pinmux.cpp.o"
+  "CMakeFiles/michican_mcu.dir/pinmux.cpp.o.d"
+  "CMakeFiles/michican_mcu.dir/profile.cpp.o"
+  "CMakeFiles/michican_mcu.dir/profile.cpp.o.d"
+  "libmichican_mcu.a"
+  "libmichican_mcu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/michican_mcu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/restbus/candump.cpp" "src/restbus/CMakeFiles/michican_restbus.dir/candump.cpp.o" "gcc" "src/restbus/CMakeFiles/michican_restbus.dir/candump.cpp.o.d"
+  "/root/repo/src/restbus/comm_matrix.cpp" "src/restbus/CMakeFiles/michican_restbus.dir/comm_matrix.cpp.o" "gcc" "src/restbus/CMakeFiles/michican_restbus.dir/comm_matrix.cpp.o.d"
+  "/root/repo/src/restbus/dbc.cpp" "src/restbus/CMakeFiles/michican_restbus.dir/dbc.cpp.o" "gcc" "src/restbus/CMakeFiles/michican_restbus.dir/dbc.cpp.o.d"
+  "/root/repo/src/restbus/replay.cpp" "src/restbus/CMakeFiles/michican_restbus.dir/replay.cpp.o" "gcc" "src/restbus/CMakeFiles/michican_restbus.dir/replay.cpp.o.d"
+  "/root/repo/src/restbus/schedulability.cpp" "src/restbus/CMakeFiles/michican_restbus.dir/schedulability.cpp.o" "gcc" "src/restbus/CMakeFiles/michican_restbus.dir/schedulability.cpp.o.d"
+  "/root/repo/src/restbus/signals.cpp" "src/restbus/CMakeFiles/michican_restbus.dir/signals.cpp.o" "gcc" "src/restbus/CMakeFiles/michican_restbus.dir/signals.cpp.o.d"
+  "/root/repo/src/restbus/vehicles.cpp" "src/restbus/CMakeFiles/michican_restbus.dir/vehicles.cpp.o" "gcc" "src/restbus/CMakeFiles/michican_restbus.dir/vehicles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/michican_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/can/CMakeFiles/michican_can.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/michican_restbus.dir/candump.cpp.o"
+  "CMakeFiles/michican_restbus.dir/candump.cpp.o.d"
+  "CMakeFiles/michican_restbus.dir/comm_matrix.cpp.o"
+  "CMakeFiles/michican_restbus.dir/comm_matrix.cpp.o.d"
+  "CMakeFiles/michican_restbus.dir/dbc.cpp.o"
+  "CMakeFiles/michican_restbus.dir/dbc.cpp.o.d"
+  "CMakeFiles/michican_restbus.dir/replay.cpp.o"
+  "CMakeFiles/michican_restbus.dir/replay.cpp.o.d"
+  "CMakeFiles/michican_restbus.dir/schedulability.cpp.o"
+  "CMakeFiles/michican_restbus.dir/schedulability.cpp.o.d"
+  "CMakeFiles/michican_restbus.dir/signals.cpp.o"
+  "CMakeFiles/michican_restbus.dir/signals.cpp.o.d"
+  "CMakeFiles/michican_restbus.dir/vehicles.cpp.o"
+  "CMakeFiles/michican_restbus.dir/vehicles.cpp.o.d"
+  "libmichican_restbus.a"
+  "libmichican_restbus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/michican_restbus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

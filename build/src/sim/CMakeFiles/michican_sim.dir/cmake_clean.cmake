@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/michican_sim.dir/event_log.cpp.o"
+  "CMakeFiles/michican_sim.dir/event_log.cpp.o.d"
+  "CMakeFiles/michican_sim.dir/rng.cpp.o"
+  "CMakeFiles/michican_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/michican_sim.dir/stats.cpp.o"
+  "CMakeFiles/michican_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/michican_sim.dir/trace.cpp.o"
+  "CMakeFiles/michican_sim.dir/trace.cpp.o.d"
+  "libmichican_sim.a"
+  "libmichican_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/michican_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

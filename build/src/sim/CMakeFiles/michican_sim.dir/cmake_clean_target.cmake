@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmichican_sim.a"
+)

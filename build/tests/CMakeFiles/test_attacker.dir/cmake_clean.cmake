@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attacker.dir/test_attacker.cpp.o"
+  "CMakeFiles/test_attacker.dir/test_attacker.cpp.o.d"
+  "test_attacker"
+  "test_attacker.pdb"
+  "test_attacker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attacker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bus_topology.dir/test_bus_topology.cpp.o"
+  "CMakeFiles/test_bus_topology.dir/test_bus_topology.cpp.o.d"
+  "test_bus_topology"
+  "test_bus_topology.pdb"
+  "test_bus_topology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bus_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

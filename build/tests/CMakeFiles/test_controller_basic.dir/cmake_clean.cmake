@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_controller_basic.dir/test_controller_basic.cpp.o"
+  "CMakeFiles/test_controller_basic.dir/test_controller_basic.cpp.o.d"
+  "test_controller_basic"
+  "test_controller_basic.pdb"
+  "test_controller_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_controller_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

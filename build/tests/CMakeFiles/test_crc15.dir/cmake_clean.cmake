@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crc15.dir/test_crc15.cpp.o"
+  "CMakeFiles/test_crc15.dir/test_crc15.cpp.o.d"
+  "test_crc15"
+  "test_crc15.pdb"
+  "test_crc15[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crc15.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

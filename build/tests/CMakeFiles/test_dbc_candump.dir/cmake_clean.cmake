@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dbc_candump.dir/test_dbc_candump.cpp.o"
+  "CMakeFiles/test_dbc_candump.dir/test_dbc_candump.cpp.o.d"
+  "test_dbc_candump"
+  "test_dbc_candump.pdb"
+  "test_dbc_candump[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dbc_candump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_dbc_candump.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_error_handling.dir/test_error_handling.cpp.o"
+  "CMakeFiles/test_error_handling.dir/test_error_handling.cpp.o.d"
+  "test_error_handling"
+  "test_error_handling.pdb"
+  "test_error_handling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_error_handling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

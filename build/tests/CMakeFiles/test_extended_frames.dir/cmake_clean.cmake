@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extended_frames.dir/test_extended_frames.cpp.o"
+  "CMakeFiles/test_extended_frames.dir/test_extended_frames.cpp.o.d"
+  "test_extended_frames"
+  "test_extended_frames.pdb"
+  "test_extended_frames[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extended_frames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

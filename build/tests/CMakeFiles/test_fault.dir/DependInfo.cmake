@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fault.cpp" "tests/CMakeFiles/test_fault.dir/test_fault.cpp.o" "gcc" "tests/CMakeFiles/test_fault.dir/test_fault.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/michican_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/michican_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcu/CMakeFiles/michican_mcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/restbus/CMakeFiles/michican_restbus.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/michican_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/michican_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/can/CMakeFiles/michican_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/michican_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

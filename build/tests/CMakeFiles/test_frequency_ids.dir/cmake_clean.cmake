@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frequency_ids.dir/test_frequency_ids.cpp.o"
+  "CMakeFiles/test_frequency_ids.dir/test_frequency_ids.cpp.o.d"
+  "test_frequency_ids"
+  "test_frequency_ids.pdb"
+  "test_frequency_ids[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frequency_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

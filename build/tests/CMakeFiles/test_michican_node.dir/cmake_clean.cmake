@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_michican_node.dir/test_michican_node.cpp.o"
+  "CMakeFiles/test_michican_node.dir/test_michican_node.cpp.o.d"
+  "test_michican_node"
+  "test_michican_node.pdb"
+  "test_michican_node[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_michican_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

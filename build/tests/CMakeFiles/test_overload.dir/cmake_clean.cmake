@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overload.dir/test_overload.cpp.o"
+  "CMakeFiles/test_overload.dir/test_overload.cpp.o.d"
+  "test_overload"
+  "test_overload.pdb"
+  "test_overload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

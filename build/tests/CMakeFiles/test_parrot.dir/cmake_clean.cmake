@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parrot.dir/test_parrot.cpp.o"
+  "CMakeFiles/test_parrot.dir/test_parrot.cpp.o.d"
+  "test_parrot"
+  "test_parrot.pdb"
+  "test_parrot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parrot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_rules.dir/test_protocol_rules.cpp.o"
+  "CMakeFiles/test_protocol_rules.dir/test_protocol_rules.cpp.o.d"
+  "test_protocol_rules"
+  "test_protocol_rules.pdb"
+  "test_protocol_rules[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_restbus.dir/test_restbus.cpp.o"
+  "CMakeFiles/test_restbus.dir/test_restbus.cpp.o.d"
+  "test_restbus"
+  "test_restbus.pdb"
+  "test_restbus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_restbus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

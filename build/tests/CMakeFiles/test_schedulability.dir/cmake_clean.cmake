@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedulability.dir/test_schedulability.cpp.o"
+  "CMakeFiles/test_schedulability.dir/test_schedulability.cpp.o.d"
+  "test_schedulability"
+  "test_schedulability.pdb"
+  "test_schedulability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedulability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_signals.dir/test_signals.cpp.o"
+  "CMakeFiles/test_signals.dir/test_signals.cpp.o.d"
+  "test_signals"
+  "test_signals.pdb"
+  "test_signals[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_signals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_victim_collisions.dir/test_victim_collisions.cpp.o"
+  "CMakeFiles/test_victim_collisions.dir/test_victim_collisions.cpp.o.d"
+  "test_victim_collisions"
+  "test_victim_collisions.pdb"
+  "test_victim_collisions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_victim_collisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
