@@ -1,6 +1,15 @@
 // Regenerates Table II (empirical bus-off times for the six experiments)
 // and Table III (theoretical calculation) — paper Sec. V-C.
 //
+// The six experiments now run as a parallel *campaign* over a seed range
+// (runner::run_campaign): every (experiment, seed) cell owns a private bus
+// and the aggregation is bit-identical for any --jobs value.  The driver
+// runs the grid once at jobs=1 and once at the requested job count, checks
+// the two deterministic reports byte-for-byte, and records the wall-clock
+// speedup in the JSON report.
+//
+//   bench_busoff_time [--jobs N] [--seeds A..B] [--report PATH] [--progress]
+//
 // Table II reference values (ms at 50 kbit/s):
 //   Exp 1 (0x173, restbus):   mu 24.6  sigma 2.64  max 58.6
 //   Exp 2 (0x173, isolated):  mu 24.2  sigma 0.27  max 25.2
@@ -15,30 +24,49 @@
 #include "analysis/experiments.hpp"
 #include "analysis/table.hpp"
 #include "analysis/theory.hpp"
+#include "runner/campaign.hpp"
+#include "runner/cli.hpp"
+#include "runner/report.hpp"
 
 namespace {
 
 using namespace mcan;
 using analysis::fmt;
 
-void print_table2() {
-  analysis::AsciiTable t{{"Exp", "Attacker ID", "Restbus", "Cycles",
-                          "mu (ms)", "sigma (ms)", "Max (ms)",
+runner::CampaignConfig table2_campaign(const runner::CliOptions& opts) {
+  runner::CampaignConfig cfg;
+  for (int n = 1; n <= 6; ++n) {
+    cfg.specs.push_back(analysis::table2_experiment(n));
+  }
+  cfg.seeds = opts.seeds;
+  if (opts.progress) cfg.progress = runner::print_progress;
+  return cfg;
+}
+
+void print_table2(const runner::CampaignReport& rep) {
+  analysis::AsciiTable t{{"Exp", "Attacker ID", "Restbus", "Seeds", "Cycles",
+                          "mu (ms)", "sigma (ms)", "Max (ms)", "p99 (ms)",
                           "Paper mu (ms)"}};
   const char* paper_mu[7] = {"", "24.6", "24.2", "25.1", "24.9",
                              "39.0 / 35.4", "24.9"};
-  for (int n = 1; n <= 6; ++n) {
-    const auto spec = analysis::table2_experiment(n);
-    const auto res = analysis::run_experiment(spec);
-    for (const auto& a : res.attackers) {
-      t.add_row({std::to_string(n), analysis::fmt_hex(a.primary_id),
-                 spec.restbus ? "yes" : "no", std::to_string(a.busoff_count),
-                 fmt(a.busoff_ms.mean, 1), fmt(a.busoff_ms.stddev, 2),
-                 fmt(a.busoff_ms.max, 1), paper_mu[n]});
+  for (std::size_t i = 0; i < rep.specs.size(); ++i) {
+    const auto& spec = rep.specs[i];
+    const bool restbus = spec.number == 1 || spec.number == 3;
+    for (const auto& a : spec.attackers) {
+      t.add_row({std::to_string(spec.number), analysis::fmt_hex(a.primary_id),
+                 restbus ? "yes" : "no", std::to_string(spec.tasks),
+                 std::to_string(a.cycles), fmt(a.busoff_ms.mean, 1),
+                 fmt(a.busoff_ms.stddev, 2), fmt(a.busoff_ms.max, 1),
+                 fmt(a.busoff_ms_pct.p99, 1),
+                 paper_mu[spec.number >= 1 && spec.number <= 6 ? spec.number
+                                                               : 0]});
     }
   }
   t.print(std::cout,
-          "Table II: empirical bus-off time, 2 s recordings at 50 kbit/s");
+          "Table II: empirical bus-off time, 2 s recordings at 50 kbit/s, "
+          "pooled over seeds " +
+              std::to_string(rep.seeds.begin) + ".." +
+              std::to_string(rep.seeds.end));
 }
 
 void print_table3() {
@@ -85,10 +113,46 @@ BENCHMARK(BM_Experiment)->DenseRange(1, 6)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table2();
+  runner::CliOptions defaults;
+  defaults.jobs = 0;  // hardware concurrency
+  defaults.seeds = {0, 8};
+  defaults.report_path = "BENCH_busoff_time.json";
+  const auto opts = runner::parse_cli(argc, argv, defaults);
+
+  auto cfg = table2_campaign(opts);
+
+  cfg.jobs = 1;
+  const auto serial = runner::run_campaign(cfg);
+  cfg.jobs = opts.jobs;
+  const auto parallel = runner::run_campaign(cfg);
+
+  // The determinism guarantee, enforced on every run: the deterministic
+  // JSON sections must be byte-identical across worker counts.
+  const bool deterministic =
+      runner::to_json(serial) == runner::to_json(parallel);
+
+  print_table2(parallel);
   print_table3();
+
+  const double speedup =
+      parallel.wall_ms > 0 ? serial.wall_ms / parallel.wall_ms : 0.0;
+  std::cout << "\nCampaign: " << parallel.tasks.size() << " recordings ("
+            << parallel.failed_tasks() << " failed), jobs=1 "
+            << fmt(serial.wall_ms, 0) << " ms vs jobs="
+            << parallel.jobs_used << " " << fmt(parallel.wall_ms, 0)
+            << " ms (speedup " << fmt(speedup, 2) << "x), deterministic: "
+            << (deterministic ? "yes" : "NO — BUG") << "\n";
+
+  runner::JsonOptions jopts;
+  jopts.include_runtime = true;
+  jopts.baseline_wall_ms = serial.wall_ms;
+  if (!opts.report_path.empty() &&
+      runner::write_json_file(opts.report_path, parallel, jopts)) {
+    std::cout << "JSON report: " << opts.report_path << "\n";
+  }
   std::cout << "\n";
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return deterministic ? 0 : 1;
 }

@@ -1,6 +1,11 @@
 // Regenerates the >2-attacker analysis of Sec. V-C: total bus-off time for
 // A = 1..4 simultaneous attackers (paper: A=3 -> 3515 bits, A=4 -> 4660
 // bits; A >= 5 would render the bus inoperable against the deadline budget).
+//
+// The sweep runs as a campaign over a seed range so the reported totals
+// carry a mean/stddev across recordings instead of a single sample:
+//
+//   bench_multi_attacker [--jobs N] [--seeds A..B] [--report PATH]
 #include <benchmark/benchmark.h>
 
 #include <iostream>
@@ -8,14 +13,17 @@
 #include "analysis/experiments.hpp"
 #include "analysis/table.hpp"
 #include "analysis/theory.hpp"
+#include "runner/campaign.hpp"
+#include "runner/cli.hpp"
+#include "runner/report.hpp"
 
 namespace {
 
 using namespace mcan;
 using analysis::fmt;
 
-void print_sweep() {
-  analysis::AsciiTable t{{"Attackers", "Total bus-off (bits)",
+void print_sweep(const runner::CampaignReport& rep) {
+  analysis::AsciiTable t{{"Attackers", "Total bus-off (bits, mu)", "sigma",
                           "Total (ms @50k)", "Paper (bits)",
                           "Within deadline budget?"}};
   const char* paper[5] = {"", "~1248", "~2400", "3515", "4660"};
@@ -23,25 +31,32 @@ void print_sweep() {
   // Deadline budget: the 10 ms high-priority class at 500 kbit/s scales to
   // 100 ms at 50 kbit/s = 5000 bits.
   const double budget = analysis::theory::deadline_budget_bits(100.0, 50e3);
-  for (int a = 1; a <= 4; ++a) {
-    const auto res = analysis::run_experiment(analysis::multi_attacker_spec(a));
-    const double total = res.first_cycle_total_bits;
-    t.add_row({std::to_string(a), fmt(total, 0),
-               fmt(speed.bits_to_ms(total), 1), paper[a],
+  for (std::size_t i = 0; i < rep.specs.size(); ++i) {
+    const auto& spec = rep.specs[i];
+    const double total = spec.first_cycle_total_bits.mean;
+    t.add_row({std::to_string(i + 1), fmt(total, 0),
+               fmt(spec.first_cycle_total_bits.stddev, 1),
+               fmt(speed.bits_to_ms(total), 1), paper[i + 1],
                total <= budget ? "yes" : "NO"});
   }
   t.print(std::cout,
           "Sec. V-C: total bus-off time vs number of attackers "
-          "(first joint cycle)");
+          "(first joint cycle, mean over seeds " +
+              std::to_string(rep.seeds.begin) + ".." +
+              std::to_string(rep.seeds.end) + ")");
   std::cout << "Deadline budget: " << fmt(budget, 0)
             << " bits; extrapolating the sweep, A >= 5 exceeds it — the "
                "paper's operability limit.\n";
 
-  // Per-attacker means for the A = 2 case (the Exp. 5 columns).
-  const auto res5 = analysis::run_experiment(analysis::table2_experiment(5));
-  analysis::AsciiTable t5{{"Attacker", "mu (ms)", "Paper mu (ms)"}};
-  t5.add_row({"0x066", fmt(res5.attackers[0].busoff_ms.mean, 1), "39.0"});
-  t5.add_row({"0x067", fmt(res5.attackers[1].busoff_ms.mean, 1), "35.4"});
+  // Per-attacker means for the A = 2 case (the Exp. 5 columns), pooled
+  // over the whole seed range.
+  const auto& a2 = rep.specs[1];
+  analysis::AsciiTable t5{{"Attacker", "mu (ms)", "sigma (ms)",
+                           "Paper mu (ms)"}};
+  t5.add_row({"0x066", fmt(a2.attackers[0].busoff_ms.mean, 1),
+              fmt(a2.attackers[0].busoff_ms.stddev, 2), "39.0"});
+  t5.add_row({"0x067", fmt(a2.attackers[1].busoff_ms.mean, 1),
+              fmt(a2.attackers[1].busoff_ms.stddev, 2), "35.4"});
   t5.print(std::cout, "\nExp. 5 per-attacker means:");
 }
 
@@ -57,8 +72,31 @@ BENCHMARK(BM_MultiAttacker)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_sweep();
+  runner::CliOptions defaults;
+  defaults.jobs = 0;
+  defaults.seeds = {0, 8};
+  defaults.report_path = "BENCH_multi_attacker.json";
+  const auto opts = runner::parse_cli(argc, argv, defaults);
+
+  runner::CampaignConfig cfg;
+  for (int a = 1; a <= 4; ++a) {
+    cfg.specs.push_back(analysis::multi_attacker_spec(a));
+  }
+  cfg.seeds = opts.seeds;
+  cfg.jobs = opts.jobs;
+  if (opts.progress) cfg.progress = runner::print_progress;
+  const auto rep = runner::run_campaign(cfg);
+
+  print_sweep(rep);
+
+  runner::JsonOptions jopts;
+  jopts.include_runtime = true;
+  if (!opts.report_path.empty() &&
+      runner::write_json_file(opts.report_path, rep, jopts)) {
+    std::cout << "JSON report: " << opts.report_path << "\n";
+  }
   std::cout << "\n";
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -2,6 +2,11 @@
 //
 //   michican_cli experiment <1..6> [seed] [duration_ms]
 //       run one of the paper's Table II experiments and print the outcome
+//   michican_cli campaign [exp...] [--jobs N] [--seeds A..B]
+//                         [--report PATH] [--progress]
+//       fan the listed experiments (default: all six) over a seed range
+//       across a worker pool and print/write the aggregated statistics;
+//       results are bit-identical for any --jobs value
 //   michican_cli sweep [max_attackers]
 //       multi-attacker total-bus-off sweep (Sec. V-C)
 //   michican_cli latency [num_fsms]
@@ -13,6 +18,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "analysis/experiments.hpp"
 #include "analysis/latency.hpp"
@@ -20,6 +26,9 @@
 #include "restbus/dbc.hpp"
 #include "restbus/schedulability.hpp"
 #include "restbus/vehicles.hpp"
+#include "runner/campaign.hpp"
+#include "runner/cli.hpp"
+#include "runner/report.hpp"
 
 namespace {
 
@@ -28,6 +37,8 @@ using analysis::fmt;
 
 int usage() {
   std::cerr << "usage: michican_cli experiment <1..6> [seed] [duration_ms]\n"
+            << "       michican_cli campaign [exp...] [--jobs N] "
+               "[--seeds A..B] [--report PATH] [--progress]\n"
             << "       michican_cli sweep [max_attackers]\n"
             << "       michican_cli latency [num_fsms]\n"
             << "       michican_cli rta <bus 0..7> [attack_blocking_bits]\n"
@@ -57,6 +68,49 @@ int cmd_experiment(int number, std::uint64_t seed, double duration_ms) {
             << ", defender TEC: " << res.defender_tec
             << ", bus busy: " << analysis::fmt_pct(res.busy_fraction) << "\n";
   return 0;
+}
+
+int cmd_campaign(const runner::CliOptions& opts,
+                 const std::vector<int>& experiments) {
+  runner::CampaignConfig cfg;
+  for (const int n : experiments) {
+    cfg.specs.push_back(analysis::table2_experiment(n));
+  }
+  cfg.seeds = opts.seeds;
+  cfg.jobs = opts.jobs;
+  if (opts.progress) cfg.progress = runner::print_progress;
+  const auto rep = runner::run_campaign(cfg);
+
+  analysis::AsciiTable t{{"Exp", "Attacker", "Seeds", "Failed", "Cycles",
+                          "mu (ms)", "sigma (ms)", "Max (ms)", "p50", "p99",
+                          "Det. bit"}};
+  for (const auto& spec : rep.specs) {
+    for (const auto& a : spec.attackers) {
+      t.add_row({std::to_string(spec.number), analysis::fmt_hex(a.primary_id),
+                 std::to_string(spec.tasks), std::to_string(spec.failed),
+                 std::to_string(a.cycles), fmt(a.busoff_ms.mean, 1),
+                 fmt(a.busoff_ms.stddev, 2), fmt(a.busoff_ms.max, 1),
+                 fmt(a.busoff_ms_pct.p50, 1), fmt(a.busoff_ms_pct.p99, 1),
+                 fmt(spec.mean_detection_bit.mean, 1)});
+    }
+  }
+  t.print(std::cout, "Campaign over seeds [" +
+                         std::to_string(rep.seeds.begin) + ", " +
+                         std::to_string(rep.seeds.end) + "), jobs=" +
+                         std::to_string(rep.jobs_used) + ", " +
+                         fmt(rep.wall_ms, 0) + " ms wall:");
+
+  if (!opts.report_path.empty()) {
+    runner::JsonOptions jopts;
+    jopts.include_runtime = true;
+    if (runner::write_json_file(opts.report_path, rep, jopts)) {
+      std::cout << "JSON report: " << opts.report_path << "\n";
+    } else {
+      std::cerr << "error: could not write " << opts.report_path << "\n";
+      return 1;
+    }
+  }
+  return rep.failed_tasks() == 0 ? 0 : 1;
 }
 
 int cmd_sweep(int max_attackers) {
@@ -110,9 +164,29 @@ int cmd_rta(int bus_index, double attack_bits) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  mcan::runner::CliOptions runner_defaults;
+  runner_defaults.jobs = 0;  // hardware concurrency
+  runner_defaults.seeds = {0, 32};
+  mcan::runner::CliOptions runner_opts;
+  try {
+    runner_opts = mcan::runner::parse_cli(argc, argv, runner_defaults);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return usage();
+  }
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
+    if (cmd == "campaign") {
+      std::vector<int> experiments;
+      for (int i = 2; i < argc; ++i) {
+        const int n = std::atoi(argv[i]);
+        if (n < 1 || n > 6) return usage();
+        experiments.push_back(n);
+      }
+      if (experiments.empty()) experiments = {1, 2, 3, 4, 5, 6};
+      return cmd_campaign(runner_opts, experiments);
+    }
     if (cmd == "experiment" && argc >= 3) {
       const int n = std::atoi(argv[2]);
       if (n < 1 || n > 6) return usage();

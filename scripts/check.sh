@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# CI entry point: configure, build, and run the test suite.
+#
+#   scripts/check.sh            build + `ctest -L fast` (the default tier)
+#   scripts/check.sh --all      full suite (fast + property + soak)
+#   scripts/check.sh --label L  one specific CTest label (fast|property|soak)
+#
+# Extra environment knobs:
+#   BUILD_DIR   build tree location            (default: build)
+#   JOBS        parallel build/test jobs       (default: nproc)
+#   CMAKE_ARGS  extra args for the configure step
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+LABEL="fast"
+ALL=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --all) ALL=1 ;;
+    --label)
+      shift
+      [[ $# -gt 0 ]] || { echo "--label needs a value" >&2; exit 2; }
+      LABEL="$1"
+      ;;
+    --label=*) LABEL="${1#--label=}" ;;
+    -h|--help)
+      sed -n '2,12p' "$0"
+      exit 0
+      ;;
+    *)
+      echo "unknown argument: $1" >&2
+      exit 2
+      ;;
+  esac
+  shift
+done
+
+# shellcheck disable=SC2086
+cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS:-}
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+if [[ "$ALL" -eq 1 ]]; then
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+else
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L "$LABEL"
+fi

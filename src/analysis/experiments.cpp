@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
+#include <string>
 
 #include "analysis/busoff_meter.hpp"
 #include "can/bus.hpp"
@@ -72,7 +74,35 @@ ExperimentSpec multi_attacker_spec(int num_attackers) {
   return spec;
 }
 
+void validate(const ExperimentSpec& spec) {
+  if (spec.duration_ms <= 0) {
+    throw std::invalid_argument("experiment '" + spec.label +
+                                "': duration_ms must be > 0");
+  }
+  if (spec.speed.bits_per_second == 0) {
+    throw std::invalid_argument("experiment '" + spec.label +
+                                "': bus speed must be > 0");
+  }
+  if (spec.defender_period_ms < 0) {
+    throw std::invalid_argument("experiment '" + spec.label +
+                                "': defender_period_ms must be >= 0");
+  }
+  for (const auto& a : spec.attackers) {
+    if (a.ids.empty()) {
+      throw std::invalid_argument("experiment '" + spec.label +
+                                  "': attacker with empty ID list");
+    }
+    for (const auto id : a.ids) {
+      if (a.extended ? id > can::kMaxExtId : id > can::kMaxStdId) {
+        throw std::invalid_argument("experiment '" + spec.label +
+                                    "': CAN ID out of range");
+      }
+    }
+  }
+}
+
 ExperimentResult run_experiment(const ExperimentSpec& spec) {
+  validate(spec);
   can::WiredAndBus bus{spec.speed};
   const double bits_per_ms =
       static_cast<double>(spec.speed.bits_per_second) / 1e3;
@@ -144,6 +174,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     auto ms = bits;
     for (auto& b : ms) b = spec.speed.bits_to_ms(b);
     out.busoff_ms = sim::summarize(ms);
+    out.busoff_cycles_ms = std::move(ms);
     out.busoff_count = bits.size();
     out.retransmissions = bus.log().count(EventKind::FrameTxStart, out.node);
     out.ended_bus_off = a.node().is_bus_off();

@@ -50,6 +50,10 @@ struct AttackerOutcome {
   can::CanId primary_id{};
   sim::Summary busoff_bits;  // per completed bus-off cycle
   sim::Summary busoff_ms;
+  /// Raw per-cycle bus-off durations (ms) behind the summaries.  Kept so a
+  /// campaign can pool samples across seeds and compute exact aggregate
+  /// stddev/percentiles instead of merging pre-reduced summaries.
+  std::vector<double> busoff_cycles_ms;
   std::size_t busoff_count{};
   std::uint64_t retransmissions{};
   bool ended_bus_off{};
@@ -87,6 +91,12 @@ struct ExperimentResult {
 /// Exp.-5-style spec with `num_attackers` (2..4+) distinct DoS attackers
 /// on consecutive IDs starting at 0x066 (Sec. V-C, Fig. 5).
 [[nodiscard]] ExperimentSpec multi_attacker_spec(int num_attackers);
+
+/// Throws std::invalid_argument if the spec cannot be simulated (no
+/// duration, zero bus speed, an attacker with an empty ID list, or an
+/// out-of-range standard CAN ID).  run_experiment() validates implicitly;
+/// campaign runners call this up front to fail a task before it is queued.
+void validate(const ExperimentSpec& spec);
 
 [[nodiscard]] ExperimentResult run_experiment(const ExperimentSpec& spec);
 

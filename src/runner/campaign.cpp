@@ -1,0 +1,173 @@
+#include "runner/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+
+#include "runner/thread_pool.hpp"
+#include "sim/rng.hpp"
+
+namespace mcan::runner {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - since)
+      .count();
+}
+
+PercentileSet percentiles(const std::vector<double>& xs) {
+  PercentileSet p;
+  p.p50 = sim::percentile(xs, 50.0);
+  p.p90 = sim::percentile(xs, 90.0);
+  p.p99 = sim::percentile(xs, 99.0);
+  return p;
+}
+
+/// Reduce one spec's row of task slots.  Walks seeds in range order, so the
+/// floating-point accumulation order is fixed regardless of which worker
+/// finished which task first.
+SpecAggregate aggregate_spec(const analysis::ExperimentSpec& spec,
+                             const std::vector<TaskResult>& tasks,
+                             std::size_t spec_index, std::size_t num_seeds) {
+  SpecAggregate agg;
+  agg.number = spec.number;
+  agg.label = spec.label;
+  agg.tasks = num_seeds;
+
+  std::vector<double> pooled_cycles;
+  std::vector<std::vector<double>> per_attacker(spec.attackers.size());
+  std::vector<double> first_cycles;
+  std::vector<double> detection_bits;
+  std::vector<double> busy;
+
+  for (std::size_t s = 0; s < num_seeds; ++s) {
+    const auto& task = tasks[spec_index * num_seeds + s];
+    if (!task.ok) {
+      ++agg.failed;
+      continue;
+    }
+    const auto& res = task.result;
+    for (std::size_t a = 0; a < res.attackers.size(); ++a) {
+      const auto& out = res.attackers[a];
+      pooled_cycles.insert(pooled_cycles.end(), out.busoff_cycles_ms.begin(),
+                           out.busoff_cycles_ms.end());
+      if (a < per_attacker.size()) {
+        per_attacker[a].insert(per_attacker[a].end(),
+                               out.busoff_cycles_ms.begin(),
+                               out.busoff_cycles_ms.end());
+      }
+    }
+    if (res.first_cycle_total_bits > 0) {
+      first_cycles.push_back(res.first_cycle_total_bits);
+    }
+    if (res.attacks_detected > 0) {
+      detection_bits.push_back(res.mean_detection_bit);
+    }
+    busy.push_back(res.busy_fraction);
+    agg.counterattacks += res.counterattacks;
+    agg.attacks_detected += res.attacks_detected;
+    if (res.defender_bus_off) ++agg.defender_bus_off_runs;
+    agg.max_defender_tec = std::max(agg.max_defender_tec, res.defender_tec);
+    agg.defender_frames_sent += res.defender_frames_sent;
+    agg.restbus_frames_delivered += res.restbus_frames_delivered;
+    agg.restbus_drops += res.restbus_drops;
+    if (res.restbus_any_bus_off) ++agg.restbus_bus_off_runs;
+  }
+
+  agg.busoff_ms = sim::summarize(pooled_cycles);
+  agg.busoff_ms_pct = percentiles(pooled_cycles);
+  for (std::size_t a = 0; a < per_attacker.size(); ++a) {
+    AttackerAggregate aa;
+    aa.primary_id = spec.attackers[a].ids.empty()
+                        ? can::CanId{0}
+                        : spec.attackers[a].ids.front();
+    aa.cycles = per_attacker[a].size();
+    aa.busoff_ms = sim::summarize(per_attacker[a]);
+    aa.busoff_ms_pct = percentiles(per_attacker[a]);
+    agg.attackers.push_back(std::move(aa));
+  }
+  agg.first_cycle_total_bits = sim::summarize(first_cycles);
+  agg.mean_detection_bit = sim::summarize(detection_bits);
+  agg.busy_fraction = sim::summarize(busy);
+  return agg;
+}
+
+}  // namespace
+
+std::size_t CampaignReport::failed_tasks() const noexcept {
+  std::size_t n = 0;
+  for (const auto& t : tasks) {
+    if (!t.ok) ++n;
+  }
+  return n;
+}
+
+CampaignReport run_campaign(const CampaignConfig& cfg) {
+  if (cfg.specs.empty()) {
+    throw std::invalid_argument("campaign: no experiment specs");
+  }
+  const std::size_t num_seeds = cfg.seeds.size();
+  if (num_seeds == 0) {
+    throw std::invalid_argument("campaign: empty seed range");
+  }
+
+  const auto campaign_start = Clock::now();
+
+  CampaignReport report;
+  report.base_seed = cfg.base_seed;
+  report.seeds = cfg.seeds;
+  report.tasks.resize(cfg.specs.size() * num_seeds);
+
+  std::mutex progress_mu;
+  std::size_t done = 0;
+  const std::size_t total = report.tasks.size();
+
+  ThreadPool pool{cfg.jobs == 0 ? 0u : cfg.jobs};
+  report.jobs_used = pool.jobs();
+
+  for (std::size_t si = 0; si < cfg.specs.size(); ++si) {
+    const std::uint64_t spec_root = sim::derive_seed(cfg.base_seed, si);
+    for (std::size_t off = 0; off < num_seeds; ++off) {
+      const std::uint64_t seed = cfg.seeds.begin + off;
+      const std::size_t slot = si * num_seeds + off;
+      pool.submit([&, si, seed, slot, spec_root] {
+        auto& task = report.tasks[slot];
+        task.spec_index = si;
+        task.seed = seed;
+        task.derived_seed = sim::derive_seed(spec_root, seed);
+        const auto task_start = Clock::now();
+        try {
+          auto spec = cfg.specs[si];
+          spec.seed = task.derived_seed;
+          analysis::validate(spec);
+          task.result = analysis::run_experiment(spec);
+          task.ok = true;
+        } catch (const std::exception& e) {
+          task.ok = false;
+          task.error = e.what();
+        } catch (...) {
+          task.ok = false;
+          task.error = "unknown exception";
+        }
+        task.wall_ms = elapsed_ms(task_start);
+        std::lock_guard<std::mutex> lock{progress_mu};
+        ++done;
+        if (cfg.progress) cfg.progress(done, total);
+      });
+    }
+  }
+  pool.wait_idle();
+
+  report.specs.reserve(cfg.specs.size());
+  for (std::size_t si = 0; si < cfg.specs.size(); ++si) {
+    report.specs.push_back(
+        aggregate_spec(cfg.specs[si], report.tasks, si, num_seeds));
+  }
+  report.wall_ms = elapsed_ms(campaign_start);
+  return report;
+}
+
+}  // namespace mcan::runner

@@ -1,0 +1,129 @@
+// Parallel experiment campaigns: a set of ExperimentSpecs × a seed range,
+// fanned out across a ThreadPool, aggregated into per-spec statistics.
+//
+// The paper's evaluation (Table II, Sec. V-B/V-C) is statistical — mean,
+// stddev and max of the bus-off time over repeated 2-second recordings.
+// Independent recordings are embarrassingly parallel; this runner turns a
+// (specs × seeds) grid into one task per cell, each owning a private
+// WiredAndBus and attacker set, and reduces the outcomes deterministically.
+//
+// Determinism guarantee: for a fixed (specs, seed range, base_seed) the
+// aggregated report — including every floating-point digit — is
+// bit-identical for any `jobs` value and any thread scheduling, because
+//   * each task's RNG seed is sim::derive_seed(spec_root, seed), a pure
+//     function of task identity (fork()-style splitting, not a shared
+//     stateful generator), and
+//   * each task writes into a result slot indexed by (spec, seed), and the
+//     reduction walks slots in index order after the pool drains.
+// Only the `runtime` block of the JSON report (jobs, wall-clock) varies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/experiments.hpp"
+#include "sim/stats.hpp"
+
+namespace mcan::runner {
+
+/// Half-open range of user-visible seeds [begin, end).
+struct SeedRange {
+  std::uint64_t begin{0};
+  std::uint64_t end{1};
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return end > begin ? static_cast<std::size_t>(end - begin) : 0u;
+  }
+};
+
+struct CampaignConfig {
+  std::vector<analysis::ExperimentSpec> specs;
+  SeedRange seeds{0, 32};
+  /// Root of the two-level seed split: spec_root = derive_seed(base_seed,
+  /// spec_index), task seed = derive_seed(spec_root, seed).
+  std::uint64_t base_seed{0x4D696368u};  // "Mich"
+  /// Worker threads; 0 = hardware concurrency.
+  unsigned jobs{1};
+  /// Optional progress sink, called serialized (under a lock) after every
+  /// finished task with (done, total).
+  std::function<void(std::size_t, std::size_t)> progress;
+};
+
+/// Outcome of one (spec, seed) grid cell.
+struct TaskResult {
+  std::size_t spec_index{};
+  std::uint64_t seed{};          // user-visible seed from the range
+  std::uint64_t derived_seed{};  // actual ExperimentSpec::seed used
+  bool ok{false};
+  std::string error;  // exception message when !ok (crash isolation)
+  analysis::ExperimentResult result;  // valid iff ok
+  double wall_ms{};  // per-task wall clock; runtime info, not deterministic
+};
+
+struct PercentileSet {
+  double p50{};
+  double p90{};
+  double p99{};
+};
+
+/// Per-attacker-slot statistics pooled over every seed of one spec.
+struct AttackerAggregate {
+  can::CanId primary_id{};
+  std::size_t cycles{};  // completed bus-off cycles across all seeds
+  sim::Summary busoff_ms;
+  PercentileSet busoff_ms_pct;
+};
+
+/// Statistics for one spec over the whole seed range.
+struct SpecAggregate {
+  int number{};
+  std::string label;
+  std::size_t tasks{};
+  std::size_t failed{};
+
+  // Pooled over every completed bus-off cycle of every attacker and seed —
+  // the Table II row, with percentiles on top.
+  sim::Summary busoff_ms;
+  PercentileSet busoff_ms_pct;
+  std::vector<AttackerAggregate> attackers;
+
+  /// Over the seeds whose first joint cycle completed (Sec. V-C totals).
+  sim::Summary first_cycle_total_bits;
+  /// Over the seeds that detected at least one attack.
+  sim::Summary mean_detection_bit;
+  sim::Summary busy_fraction;  // over all successful seeds
+
+  std::uint64_t counterattacks{};
+  std::uint64_t attacks_detected{};
+  std::size_t defender_bus_off_runs{};
+  int max_defender_tec{};
+  std::uint64_t defender_frames_sent{};
+  std::uint64_t restbus_frames_delivered{};
+  std::uint64_t restbus_drops{};
+  std::size_t restbus_bus_off_runs{};
+};
+
+struct CampaignReport {
+  std::uint64_t base_seed{};
+  SeedRange seeds;
+  std::vector<SpecAggregate> specs;
+  /// Task grid in deterministic order: index = spec_index * seeds.size() +
+  /// (seed - seeds.begin).
+  std::vector<TaskResult> tasks;
+
+  // Runtime facts (excluded from the deterministic JSON section).
+  unsigned jobs_used{};
+  double wall_ms{};
+
+  [[nodiscard]] std::size_t failed_tasks() const noexcept;
+};
+
+/// Run the grid.  Specs that fail validation or throw mid-run are recorded
+/// as failed tasks (crash isolation) — the campaign itself only throws if
+/// the config is unusable (no specs or an empty seed range).
+[[nodiscard]] CampaignReport run_campaign(const CampaignConfig& cfg);
+
+}  // namespace mcan::runner

@@ -1,0 +1,92 @@
+#include "runner/cli.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+namespace mcan::runner {
+namespace {
+
+std::uint64_t parse_u64(const std::string& text, const char* what) {
+  std::size_t pos = 0;
+  std::uint64_t v = 0;
+  try {
+    v = std::stoull(text, &pos, 10);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos == 0 || pos != text.size()) {
+    throw std::invalid_argument(std::string{"malformed "} + what + ": '" +
+                                text + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+SeedRange parse_seed_range(const std::string& text) {
+  SeedRange range;
+  const auto dots = text.find("..");
+  if (dots == std::string::npos) {
+    range.begin = 0;
+    range.end = parse_u64(text, "seed count");
+  } else {
+    range.begin = parse_u64(text.substr(0, dots), "seed range begin");
+    range.end = parse_u64(text.substr(dots + 2), "seed range end");
+  }
+  if (range.size() == 0) {
+    throw std::invalid_argument("empty seed range: '" + text + "'");
+  }
+  return range;
+}
+
+CliOptions parse_cli(int& argc, char** argv, CliOptions defaults) {
+  CliOptions opts = defaults;
+  std::vector<char*> kept;
+  kept.reserve(static_cast<std::size_t>(argc));
+  if (argc > 0) kept.push_back(argv[0]);
+
+  const auto take_value = [&](int& i, std::string_view arg,
+                              std::string_view flag) -> std::string {
+    if (arg.size() > flag.size() && arg[flag.size()] == '=') {
+      return std::string{arg.substr(flag.size() + 1)};
+    }
+    if (i + 1 >= argc) {
+      throw std::invalid_argument(std::string{flag} + " needs a value");
+    }
+    return std::string{argv[++i]};
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg{argv[i]};
+    if (arg == "--progress") {
+      opts.progress = true;
+    } else if (arg.rfind("--jobs", 0) == 0 &&
+               (arg.size() == 6 || arg[6] == '=')) {
+      opts.jobs = static_cast<unsigned>(
+          parse_u64(take_value(i, arg, "--jobs"), "--jobs"));
+    } else if (arg.rfind("--seeds", 0) == 0 &&
+               (arg.size() == 7 || arg[7] == '=')) {
+      opts.seeds = parse_seed_range(take_value(i, arg, "--seeds"));
+    } else if (arg.rfind("--report", 0) == 0 &&
+               (arg.size() == 8 || arg[8] == '=')) {
+      opts.report_path = take_value(i, arg, "--report");
+    } else {
+      kept.push_back(argv[i]);
+    }
+  }
+
+  argc = static_cast<int>(kept.size());
+  for (std::size_t i = 0; i < kept.size(); ++i) argv[i] = kept[i];
+  argv[argc] = nullptr;
+  return opts;
+}
+
+void print_progress(std::size_t done, std::size_t total) {
+  std::fprintf(stderr, "\r  [%zu/%zu] campaign tasks done%s", done, total,
+               done == total ? "\n" : "");
+  std::fflush(stderr);
+}
+
+}  // namespace mcan::runner

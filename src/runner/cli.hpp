@@ -1,0 +1,42 @@
+// Shared command-line flags for campaign-driven binaries.
+//
+// parse_cli() consumes the runner flags it understands and *removes* them
+// from argv, so the leftover arguments can be handed to another parser
+// (e.g. benchmark::Initialize in the bench drivers, or the subcommand
+// dispatch of michican_cli).
+//
+// Recognized flags ("--flag value" and "--flag=value" both work):
+//   --jobs N        worker threads (0 = hardware concurrency)
+//   --seeds A..B    half-open seed range [A, B); "--seeds N" means [0, N)
+//   --report PATH   write the JSON report here
+//   --progress      stream per-task progress to stderr
+#pragma once
+
+#include <string>
+
+#include "runner/campaign.hpp"
+
+namespace mcan::runner {
+
+struct CliOptions {
+  unsigned jobs{1};
+  SeedRange seeds{0, 8};
+  std::string report_path;
+  bool progress{false};
+};
+
+/// Parse "A..B" or "N" into a half-open seed range.
+/// Throws std::invalid_argument on malformed input or an empty range.
+[[nodiscard]] SeedRange parse_seed_range(const std::string& text);
+
+/// Extract runner flags from argv (compacting argc/argv in place), starting
+/// the scan at argv[1].  Unrecognized arguments are kept in order.
+/// Throws std::invalid_argument on a malformed value or a missing operand.
+[[nodiscard]] CliOptions parse_cli(int& argc, char** argv,
+                                   CliOptions defaults = {});
+
+/// A progress sink for CliOptions::progress: rewrites one stderr line as
+/// "  [done/total] campaign ...".
+void print_progress(std::size_t done, std::size_t total);
+
+}  // namespace mcan::runner

@@ -1,0 +1,58 @@
+// A small fixed-size worker pool for fanning independent simulation tasks
+// across std::thread workers.
+//
+// The campaign runner (campaign.hpp) is the main client: it submits one
+// closure per (spec, seed) grid cell and waits for the pool to drain.
+// Determinism is the caller's job — tasks must write their output into a
+// slot keyed by task identity (not by completion order) and derive all
+// randomness from the task identity (sim::derive_seed), never from shared
+// mutable state.  Under that contract the results are bit-identical for any
+// worker count and any scheduling interleaving.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mcan::runner {
+
+class ThreadPool {
+ public:
+  /// `jobs` worker threads; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(unsigned jobs = 0);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned jobs() const noexcept {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Enqueue a task.  Tasks must not throw — wrap the body in try/catch and
+  /// record failures into the task's own result slot.
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and every worker is idle.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // queue non-empty or stopping
+  std::condition_variable idle_cv_;   // queue empty and nothing running
+  std::size_t running_{0};
+  bool stop_{false};
+};
+
+}  // namespace mcan::runner

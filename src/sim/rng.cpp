@@ -53,4 +53,13 @@ bool Rng::chance(double p) noexcept { return uniform01() < p; }
 
 Rng Rng::fork() noexcept { return Rng{next()}; }
 
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t stream) noexcept {
+  // Two rounds of splitmix64 over a stream-offset root.  The odd multiplier
+  // spreads consecutive stream indices across the whole seed space before
+  // mixing, so (root, 0), (root, 1), ... land far apart.
+  std::uint64_t x = root ^ (stream * 0xD1B54A32D192ED03ull + 0x8BB84B93962EACC9ull);
+  (void)splitmix64(x);
+  return splitmix64(x);
+}
+
 }  // namespace mcan::sim

@@ -35,4 +35,12 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+/// Stateless analogue of Rng::fork() for parallel fan-out: hash-derive the
+/// seed of stream `stream` under a `root` seed.  Unlike fork(), the result
+/// depends only on (root, stream) — never on how many other streams were
+/// derived before or on which thread asked — so a task grid seeded this way
+/// is bit-identical regardless of worker count and scheduling order.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t root,
+                                        std::uint64_t stream) noexcept;
+
 }  // namespace mcan::sim

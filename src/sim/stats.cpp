@@ -29,6 +29,7 @@ Summary summarize(const std::vector<double>& xs) {
 double percentile(std::vector<double> xs, double p) {
   if (xs.empty()) return 0.0;
   std::sort(xs.begin(), xs.end());
+  p = std::clamp(p, 0.0, 100.0);  // a negative p would index out of bounds
   const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const auto hi = std::min(lo + 1, xs.size() - 1);

@@ -19,7 +19,8 @@ struct Summary {
 /// Summarize a sample.  Empty input yields an all-zero Summary.
 [[nodiscard]] Summary summarize(const std::vector<double>& xs);
 
-/// p-th percentile (0..100) via linear interpolation; empty input yields 0.
+/// p-th percentile via linear interpolation; empty input yields 0 and p is
+/// clamped into [0, 100].
 [[nodiscard]] double percentile(std::vector<double> xs, double p);
 
 }  // namespace mcan::sim

@@ -1,0 +1,74 @@
+// Golden-trace regression: the Fig. 6 counterattack bit pattern (two
+// intertwined attackers, Exp. 5) rendered by the LogicAnalyzer for a fixed
+// seed is diffed against a checked-in expected file.  Controller/monitor
+// refactors that silently shift detection bits, counterattack windows, or
+// overwrite positions change this waveform and must update the golden file
+// deliberately:
+//
+//   MICHICAN_UPDATE_GOLDEN=1 ./test_golden_trace
+//
+// rewrites tests/golden/fig6_trace.txt from the current simulation.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/experiments.hpp"
+
+#ifndef MICHICAN_GOLDEN_DIR
+#error "MICHICAN_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace mcan {
+namespace {
+
+constexpr std::uint64_t kGoldenSeed = 42;
+
+std::string golden_path() {
+  return std::string{MICHICAN_GOLDEN_DIR} + "/fig6_trace.txt";
+}
+
+std::string render_fig6() {
+  auto spec = analysis::table2_experiment(5);
+  spec.duration_ms = 120.0;  // one joint bus-off cycle
+  spec.seed = kGoldenSeed;
+  const auto res = analysis::run_experiment(spec);
+  return res.fig6_trace;
+}
+
+TEST(GoldenTrace, Fig6PatternMatchesCheckedInWaveform) {
+  const std::string trace = render_fig6();
+  ASSERT_FALSE(trace.empty())
+      << "first joint cycle did not complete — both attackers must reach "
+         "bus-off within 120 ms";
+
+  if (std::getenv("MICHICAN_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out{golden_path(), std::ios::binary};
+    ASSERT_TRUE(out) << "cannot write " << golden_path();
+    out << trace << "\n";
+    GTEST_SKIP() << "golden file regenerated: " << golden_path();
+  }
+
+  std::ifstream in{golden_path(), std::ios::binary};
+  ASSERT_TRUE(in) << "missing golden file " << golden_path()
+                  << " — regenerate with MICHICAN_UPDATE_GOLDEN=1";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+
+  std::string want = expected.str();
+  if (!want.empty() && want.back() == '\n') want.pop_back();
+  EXPECT_EQ(trace, want)
+      << "the Fig. 6 counterattack bit pattern changed; if the protocol "
+         "change is intentional, rerun with MICHICAN_UPDATE_GOLDEN=1 and "
+         "review the waveform diff";
+}
+
+TEST(GoldenTrace, WaveformIsStableAcrossRuns) {
+  // The golden diff is only meaningful if rendering is deterministic.
+  EXPECT_EQ(render_fig6(), render_fig6());
+}
+
+}  // namespace
+}  // namespace mcan

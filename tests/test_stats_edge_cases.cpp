@@ -1,0 +1,89 @@
+// Edge cases of the statistics kernel every campaign aggregate rests on:
+// empty samples, single samples (stddev must be 0, never NaN), duplicate
+// values, and out-of-range percentile ranks (which used to index out of
+// bounds before the clamp in sim::percentile).
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mcan::sim {
+namespace {
+
+TEST(StatsEdgeCases, EmptyInputYieldsAllZeroSummary) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(StatsEdgeCases, SingleSampleHasZeroStddevNotNaN) {
+  const auto s = summarize({24.9});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 24.9);
+  EXPECT_DOUBLE_EQ(s.min, 24.9);
+  EXPECT_DOUBLE_EQ(s.max, 24.9);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_FALSE(std::isnan(s.stddev));
+}
+
+TEST(StatsEdgeCases, IdenticalSamplesHaveZeroSpread) {
+  const auto s = summarize({7.0, 7.0, 7.0, 7.0});
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 7.0);
+  EXPECT_DOUBLE_EQ(s.max, 7.0);
+}
+
+TEST(StatsEdgeCases, SampleStddevUsesBesselCorrection) {
+  // Known case: {1, 2, 3, 4} has sample variance 5/3.
+  const auto s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.stddev, std::sqrt(5.0 / 3.0));
+}
+
+TEST(StatsEdgeCases, PercentileOfEmptyIsZero) {
+  EXPECT_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(StatsEdgeCases, PercentileOfSingleSampleIsThatSample) {
+  for (const double p : {0.0, 25.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile({42.0}, p), 42.0) << p;
+  }
+}
+
+TEST(StatsEdgeCases, PercentileEndpointsAreMinAndMax) {
+  const std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 3.0);
+}
+
+TEST(StatsEdgeCases, OutOfRangeRanksClampToEndpoints) {
+  // Regression: p < 0 used to cast a negative rank to std::size_t and read
+  // far out of bounds; p > 100 overran the top of the sorted sample.
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, -10.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 250.0), 3.0);
+}
+
+TEST(StatsEdgeCases, DuplicateValuesInterpolateLinearly) {
+  // Sorted: {1, 1, 2, 2}.  The median rank 1.5 sits between a 1 and a 2,
+  // so linear interpolation must give exactly 1.5 — not snap to a dup.
+  EXPECT_DOUBLE_EQ(percentile({2.0, 1.0, 2.0, 1.0}, 50.0), 1.5);
+  // All-duplicate input is flat at every rank.
+  for (const double p : {0.0, 37.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile({9.0, 9.0, 9.0}, p), 9.0) << p;
+  }
+}
+
+TEST(StatsEdgeCases, InterpolationBetweenAdjacentRanks) {
+  // Sorted {10, 20, 30, 40}: p90 -> rank 2.7 -> 30 + 0.7 * 10 = 37.
+  EXPECT_NEAR(percentile({40.0, 10.0, 30.0, 20.0}, 90.0), 37.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mcan::sim
