@@ -1,0 +1,137 @@
+// Robustness sweep driver: bit-error rate x attacker scenario through the
+// deterministic campaign runner, plus the two identity checks that keep the
+// fault layer honest:
+//
+//   1. jobs=1 vs jobs=N must render byte-identical deterministic JSON
+//      (the standard campaign guarantee, now with faults in the loop);
+//   2. a sweep restricted to BER=0 must render the *same*
+//      "michican.campaign.v1" section as the plain clean-bus campaign over
+//      the same specs — the fault layer must be a perfect no-op when no
+//      fault is configured.
+//
+//   bench_fault_sweep [--jobs N] [--seeds A..B] [--report PATH] [--progress]
+//
+// The microbenchmarks measure the injector's per-bit overhead: a clean
+// recording, the same recording with BER=1e-4 flips, and one with a
+// sample-skewed node (the skew path exercises the per-node delivery hook).
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <iostream>
+
+#include "analysis/experiments.hpp"
+#include "analysis/table.hpp"
+#include "runner/campaign.hpp"
+#include "runner/cli.hpp"
+#include "runner/fault_sweep.hpp"
+#include "runner/report.hpp"
+
+namespace {
+
+using namespace mcan;
+using analysis::fmt;
+
+std::vector<analysis::ExperimentSpec> sweep_scenarios() {
+  return {analysis::table2_experiment(2), analysis::table2_experiment(4),
+          analysis::error_frame_experiment()};
+}
+
+runner::FaultSweepConfig sweep_config(const runner::CliOptions& opts) {
+  runner::FaultSweepConfig cfg;
+  cfg.base_specs = sweep_scenarios();
+  cfg.seeds = opts.seeds;
+  if (opts.progress) cfg.progress = runner::print_progress;
+  return cfg;
+}
+
+/// Identity check 2: with BER=0 the sweep's campaign section must be
+/// byte-identical to a plain campaign over the same specs.
+bool check_clean_equivalence(const runner::CliOptions& opts) {
+  runner::FaultSweepConfig sweep;
+  sweep.base_specs = sweep_scenarios();
+  sweep.bers = {0.0};
+  sweep.seeds = opts.seeds;
+  sweep.jobs = 1;
+
+  runner::CampaignConfig plain;
+  plain.specs = sweep.base_specs;
+  plain.seeds = opts.seeds;
+  plain.jobs = 1;
+
+  return runner::to_json(runner::run_fault_sweep(sweep).campaign) ==
+         runner::to_json(runner::run_campaign(plain));
+}
+
+void BM_CleanExperiment(benchmark::State& state) {
+  const auto spec = analysis::table2_experiment(2);
+  for (auto _ : state) {
+    auto res = analysis::run_experiment(spec);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_CleanExperiment)->Unit(benchmark::kMillisecond);
+
+void BM_FaultyExperiment(benchmark::State& state) {
+  const auto spec =
+      analysis::fault_variant(analysis::table2_experiment(2), 1e-4);
+  for (auto _ : state) {
+    auto res = analysis::run_experiment(spec);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_FaultyExperiment)->Unit(benchmark::kMillisecond);
+
+void BM_SkewedExperiment(benchmark::State& state) {
+  auto spec = analysis::table2_experiment(2);
+  spec.fault.skews.push_back({"defender", 0.01, 0.125});
+  for (auto _ : state) {
+    auto res = analysis::run_experiment(spec);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_SkewedExperiment)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  runner::CliOptions defaults;
+  defaults.jobs = 0;  // hardware concurrency
+  defaults.seeds = {0, 4};
+  defaults.report_path = "BENCH_fault_sweep.json";
+  const auto opts = runner::parse_cli(argc, argv, defaults);
+
+  auto cfg = sweep_config(opts);
+  cfg.jobs = 1;
+  const auto serial = runner::run_fault_sweep(cfg);
+  cfg.jobs = opts.jobs;
+  const auto parallel = runner::run_fault_sweep(cfg);
+
+  const bool deterministic =
+      runner::to_json(serial) == runner::to_json(parallel);
+  const bool clean_identical = check_clean_equivalence(opts);
+
+  std::cout << "Fault sweep, seeds [" << parallel.campaign.seeds.begin << ", "
+            << parallel.campaign.seeds.end << "):\n"
+            << runner::format_table(parallel) << "\n"
+            << "jobs=1 " << fmt(serial.campaign.wall_ms, 0)
+            << " ms vs jobs=" << parallel.campaign.jobs_used << " "
+            << fmt(parallel.campaign.wall_ms, 0)
+            << " ms, deterministic: " << (deterministic ? "yes" : "NO — BUG")
+            << ", BER=0 == clean campaign: "
+            << (clean_identical ? "yes" : "NO — BUG") << "\n";
+
+  runner::JsonOptions jopts;
+  jopts.include_runtime = true;
+  jopts.baseline_wall_ms = serial.campaign.wall_ms;
+  if (!opts.report_path.empty()) {
+    std::ofstream out{opts.report_path, std::ios::binary};
+    if (out && (out << runner::to_json(parallel, jopts))) {
+      std::cout << "JSON report: " << opts.report_path << "\n";
+    }
+  }
+  std::cout << "\n";
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return deterministic && clean_identical ? 0 : 1;
+}

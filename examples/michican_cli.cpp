@@ -9,6 +9,11 @@
 //       results are bit-identical for any --jobs value
 //   michican_cli sweep [max_attackers]
 //       multi-attacker total-bus-off sweep (Sec. V-C)
+//   michican_cli fault-sweep [scenario...] [--bers B1,B2,..] [--jobs N]
+//                            [--seeds A..B] [--report PATH] [--progress]
+//       robustness campaign: sweep bit-error rate x attacker scenario
+//       (spoof | dos | ef) and report detection FP/FN rates, defender
+//       TEC/REC cleanliness and bus-off degradation vs the clean bus
 //   michican_cli latency [num_fsms]
 //       detection-latency study (Sec. V-B)
 //   michican_cli rta <bus_index 0..7> [attack_blocking_bits]
@@ -16,7 +21,9 @@
 //   michican_cli dbc <bus_index 0..7>
 //       print a vehicle matrix in DBC-subset format
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -28,6 +35,7 @@
 #include "restbus/vehicles.hpp"
 #include "runner/campaign.hpp"
 #include "runner/cli.hpp"
+#include "runner/fault_sweep.hpp"
 #include "runner/report.hpp"
 
 namespace {
@@ -40,6 +48,10 @@ int usage() {
             << "       michican_cli campaign [exp...] [--jobs N] "
                "[--seeds A..B] [--report PATH] [--progress]\n"
             << "       michican_cli sweep [max_attackers]\n"
+            << "       michican_cli fault-sweep [spoof|dos|ef ...] "
+               "[--bers B1,B2,..] [--jobs N]\n"
+            << "                                [--seeds A..B] [--report "
+               "PATH] [--progress]\n"
             << "       michican_cli latency [num_fsms]\n"
             << "       michican_cli rta <bus 0..7> [attack_blocking_bits]\n"
             << "       michican_cli dbc <bus 0..7>\n";
@@ -111,6 +123,74 @@ int cmd_campaign(const runner::CliOptions& opts,
     }
   }
   return rep.failed_tasks() == 0 ? 0 : 1;
+}
+
+std::vector<double> parse_ber_list(const std::string& text) {
+  std::vector<double> bers;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto comma = text.find(',', pos);
+    const auto item = text.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (item.empty()) {
+      throw std::invalid_argument("--bers: empty entry in '" + text + "'");
+    }
+    std::size_t used = 0;
+    double ber = 0.0;
+    try {
+      ber = std::stod(item, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != item.size()) {
+      throw std::invalid_argument("--bers: malformed rate '" + item + "'");
+    }
+    bers.push_back(ber);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return bers;
+}
+
+analysis::ExperimentSpec fault_scenario(const std::string& name) {
+  if (name == "spoof") return analysis::table2_experiment(2);
+  if (name == "dos") return analysis::table2_experiment(4);
+  if (name == "ef" || name == "error-frame") {
+    return analysis::error_frame_experiment();
+  }
+  throw std::invalid_argument("unknown fault-sweep scenario '" + name +
+                              "' (expected spoof, dos or ef)");
+}
+
+int cmd_fault_sweep(const runner::CliOptions& opts,
+                    const std::vector<std::string>& scenarios,
+                    const std::vector<double>& bers) {
+  runner::FaultSweepConfig cfg;
+  for (const auto& s : scenarios) cfg.base_specs.push_back(fault_scenario(s));
+  if (!bers.empty()) cfg.bers = bers;
+  cfg.seeds = opts.seeds;
+  cfg.jobs = opts.jobs;
+  if (opts.progress) cfg.progress = runner::print_progress;
+  const auto rep = runner::run_fault_sweep(cfg);
+
+  std::cout << "Fault sweep over seeds [" << rep.campaign.seeds.begin << ", "
+            << rep.campaign.seeds.end << "), jobs="
+            << rep.campaign.jobs_used << ", " << fmt(rep.campaign.wall_ms, 0)
+            << " ms wall:\n"
+            << runner::format_table(rep);
+
+  if (!opts.report_path.empty()) {
+    runner::JsonOptions jopts;
+    jopts.include_runtime = true;
+    std::ofstream out{opts.report_path, std::ios::binary};
+    if (out && (out << runner::to_json(rep, jopts))) {
+      std::cout << "JSON report: " << opts.report_path << "\n";
+    } else {
+      std::cerr << "error: could not write " << opts.report_path << "\n";
+      return 1;
+    }
+  }
+  return rep.campaign.failed_tasks() == 0 ? 0 : 1;
 }
 
 int cmd_sweep(int max_attackers) {
@@ -194,6 +274,42 @@ int main(int argc, char** argv) {
           argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42ull;
       const double dur = argc > 4 ? std::atof(argv[4]) : 2000.0;
       return cmd_experiment(n, seed, dur);
+    }
+    if (cmd == "fault-sweep") {
+      std::vector<std::string> scenarios;
+      std::vector<double> bers;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--bers") {
+          if (i + 1 >= argc) {
+            std::cerr << "error: --bers needs a value\n";
+            return usage();
+          }
+          try {
+            bers = parse_ber_list(argv[++i]);
+          } catch (const std::invalid_argument& e) {
+            std::cerr << "error: " << e.what() << "\n";
+            return usage();
+          }
+        } else if (arg.rfind("--bers=", 0) == 0) {
+          try {
+            bers = parse_ber_list(arg.substr(7));
+          } catch (const std::invalid_argument& e) {
+            std::cerr << "error: " << e.what() << "\n";
+            return usage();
+          }
+        } else {
+          scenarios.push_back(arg);
+        }
+      }
+      if (scenarios.empty()) scenarios = {"spoof", "dos", "ef"};
+      try {
+        return cmd_fault_sweep(runner_opts, scenarios, bers);
+      } catch (const std::invalid_argument& e) {
+        // Bad scenario names / BER values are usage errors, not failures.
+        std::cerr << "error: " << e.what() << "\n";
+        return usage();
+      }
     }
     if (cmd == "sweep") {
       return cmd_sweep(argc > 2 ? std::atoi(argv[2]) : 4);

@@ -1,22 +1,29 @@
 #!/usr/bin/env bash
 # CI entry point: configure, build, and run the test suite.
 #
-#   scripts/check.sh            build + `ctest -L fast` (the default tier)
-#   scripts/check.sh --all      full suite (fast + property + soak)
-#   scripts/check.sh --label L  one specific CTest label (fast|property|soak)
+#   scripts/check.sh                  build + `ctest -L fast` (the default tier)
+#   scripts/check.sh --all            full suite (fast + property + soak)
+#   scripts/check.sh --label L        one specific CTest label (fast|property|soak)
+#   scripts/check.sh --sanitize S     instrumented build: S = asan|ubsan|tsan
+#                                     (asan implies UBSan; tsan exercises the
+#                                     campaign thread pool).  Each sanitizer
+#                                     gets its own build tree (build-<S>) so
+#                                     instrumented and plain objects never mix;
+#                                     combine with --all/--label as usual.
 #
 # Extra environment knobs:
-#   BUILD_DIR   build tree location            (default: build)
+#   BUILD_DIR   build tree location            (default: build, or build-<S>
+#                                               when --sanitize is given)
 #   JOBS        parallel build/test jobs       (default: nproc)
 #   CMAKE_ARGS  extra args for the configure step
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="${JOBS:-$(nproc)}"
 LABEL="fast"
 ALL=0
+SANITIZE=""
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -27,8 +34,14 @@ while [[ $# -gt 0 ]]; do
       LABEL="$1"
       ;;
     --label=*) LABEL="${1#--label=}" ;;
+    --sanitize)
+      shift
+      [[ $# -gt 0 ]] || { echo "--sanitize needs a value" >&2; exit 2; }
+      SANITIZE="$1"
+      ;;
+    --sanitize=*) SANITIZE="${1#--sanitize=}" ;;
     -h|--help)
-      sed -n '2,12p' "$0"
+      sed -n '2,18p' "$0"
       exit 0
       ;;
     *)
@@ -38,6 +51,17 @@ while [[ $# -gt 0 ]]; do
   esac
   shift
 done
+
+if [[ -n "$SANITIZE" ]]; then
+  case "$SANITIZE" in
+    asan|ubsan|tsan) ;;
+    *) echo "--sanitize must be asan, ubsan or tsan" >&2; exit 2 ;;
+  esac
+  BUILD_DIR="${BUILD_DIR:-build-$SANITIZE}"
+  CMAKE_ARGS="${CMAKE_ARGS:-} -DMICHICAN_SANITIZE=$SANITIZE"
+else
+  BUILD_DIR="${BUILD_DIR:-build}"
+fi
 
 # shellcheck disable=SC2086
 cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS:-}

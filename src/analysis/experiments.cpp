@@ -1,6 +1,8 @@
 #include "analysis/experiments.hpp"
 
 #include <algorithm>
+#include <array>
+#include <charconv>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -74,6 +76,31 @@ ExperimentSpec multi_attacker_spec(int num_attackers) {
   return spec;
 }
 
+ExperimentSpec error_frame_experiment() {
+  ExperimentSpec spec;
+  spec.number = 0;
+  spec.label = "error-frame stomper on 0x173";
+  // The victim must transmit to be stompable: the defender sends its own
+  // 0x173 periodically and the stomper destroys every attempt from below
+  // the data-link layer.
+  spec.defender_period_ms = 100.0;
+  spec.error_attackers = {attack::ErrorFrameConfig{}};
+  return spec;
+}
+
+ExperimentSpec fault_variant(ExperimentSpec spec, double ber) {
+  if (ber <= 0.0) return spec;
+  spec.fault.bit_error_rate = ber;
+  std::array<char, 32> buf{};
+  const auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(),
+                                       ber);
+  spec.label += " [BER=" +
+                (ec == std::errc{} ? std::string{buf.data(), ptr}
+                                   : std::string{"?"}) +
+                "]";
+  return spec;
+}
+
 void validate(const ExperimentSpec& spec) {
   if (spec.duration_ms <= 0) {
     throw std::invalid_argument("experiment '" + spec.label +
@@ -97,6 +124,40 @@ void validate(const ExperimentSpec& spec) {
         throw std::invalid_argument("experiment '" + spec.label +
                                     "': CAN ID out of range");
       }
+    }
+  }
+  if (spec.fault.bit_error_rate < 0.0 || spec.fault.bit_error_rate >= 1.0) {
+    throw std::invalid_argument("experiment '" + spec.label +
+                                "': bit_error_rate must be in [0, 1)");
+  }
+  for (const auto& w : spec.fault.stuck) {
+    if (w.len == 0) {
+      throw std::invalid_argument("experiment '" + spec.label +
+                                  "': zero-length stuck-bus window");
+    }
+  }
+  for (const auto& s : spec.fault.skews) {
+    if (s.sjw < 0.0 || s.sjw >= 0.5 || s.drift_per_bit <= -0.5 ||
+        s.drift_per_bit >= 0.5) {
+      throw std::invalid_argument("experiment '" + spec.label +
+                                  "': sample skew out of range (|drift| and "
+                                  "sjw must stay below half a bit)");
+    }
+  }
+  for (const auto& e : spec.error_attackers) {
+    if (e.victim_id > can::kMaxStdId) {
+      throw std::invalid_argument("experiment '" + spec.label +
+                                  "': stomper victim ID out of range");
+    }
+    if (e.stomp_bits < 1) {
+      throw std::invalid_argument("experiment '" + spec.label +
+                                  "': stomp_bits must be >= 1");
+    }
+    // The ID (11 unstuffed bits after SOF, up to two stuff bits) must be
+    // fully decoded before the stomp is armed one bit early.
+    if (e.stomp_pos < 15) {
+      throw std::invalid_argument("experiment '" + spec.label +
+                                  "': stomp_pos must be >= 15");
     }
   }
 }
@@ -137,6 +198,22 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
                                         cfg);
     a->attach_to(bus);
     attackers.push_back(std::move(a));
+  }
+
+  // --- error-frame stompers (wire-level, not protocol controllers) ----------
+  std::vector<std::unique_ptr<attack::ErrorFrameAttacker>> stompers;
+  for (std::size_t i = 0; i < spec.error_attackers.size(); ++i) {
+    stompers.push_back(std::make_unique<attack::ErrorFrameAttacker>(
+        "stomper" + std::to_string(i + 1), spec.error_attackers[i]));
+    bus.attach(*stompers.back());
+  }
+
+  // --- physical-layer fault injection ---------------------------------------
+  std::unique_ptr<can::FaultInjector> injector;
+  if (spec.fault.any()) {
+    injector = std::make_unique<can::FaultInjector>(
+        spec.fault, sim::derive_seed(spec.seed, 0xFA117));
+    bus.set_fault_injector(injector.get());
   }
 
   // --- restbus --------------------------------------------------------------
@@ -218,6 +295,29 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
           ? 0.0
           : static_cast<double>(mon.detection_bit_sum) /
                 static_cast<double>(mon.attacks_detected);
+
+  // Classify detections: a verdict whose observed ID belongs to no attacker
+  // flagged legitimate traffic.  The denominator of the detection rate is
+  // the number of attack frames actually started.
+  std::vector<can::CanId> attacker_ids;
+  for (const auto& a : spec.attackers) {
+    for (const auto id : a.ids) {
+      attacker_ids.push_back(id);
+      if (a.extended) attacker_ids.push_back(can::ext_base(id));
+    }
+  }
+  for (const auto& ev : bus.log().events()) {
+    if (ev.kind != EventKind::AttackDetected) continue;
+    if (std::find(attacker_ids.begin(), attacker_ids.end(), ev.id) ==
+        attacker_ids.end()) {
+      ++res.false_detections;
+    }
+  }
+  for (const auto& out : res.attackers) {
+    res.attacker_frames += out.retransmissions;
+  }
+  if (injector) res.faults = injector->stats();
+  for (const auto& s : stompers) res.error_frame_stomps += s->stomps();
 
   if (rb) {
     const auto rbs = rb->total_stats();

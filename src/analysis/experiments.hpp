@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "attack/attacker.hpp"
+#include "attack/error_frame.hpp"
+#include "can/fault_injector.hpp"
 #include "can/types.hpp"
 #include "core/detection.hpp"
 #include "sim/stats.hpp"
@@ -43,6 +45,13 @@ struct ExperimentSpec {
   core::Scenario scenario{core::Scenario::Full};
   bool defense_enabled{true};
   std::uint64_t seed{42};
+  /// Physical-layer fault plan (bit flips, stuck-at windows, sample skew).
+  /// When no fault is configured the bus runs the clean fast path and the
+  /// result is bit-identical to a pre-fault-injection recording.
+  can::FaultSpec fault;
+  /// Below-the-data-link-layer frame stompers (Rogers/Rasmussen-style
+  /// error-frame abuse); they attack the wire, not through a controller.
+  std::vector<attack::ErrorFrameConfig> error_attackers;
 };
 
 struct AttackerOutcome {
@@ -79,6 +88,18 @@ struct ExperimentResult {
   std::uint64_t restbus_drops{};
   bool restbus_any_bus_off{};
 
+  // Fault-injection forensics (all zero on a clean bus).
+  can::FaultInjector::Stats faults;
+  /// AttackDetected verdicts whose observed ID is *not* one of the
+  /// attackers' IDs: the defense flagged legitimate traffic (arbitration
+  /// false positives, e.g. a bit flip inside a benign ID).
+  std::uint64_t false_detections{};
+  /// Frame transmissions started by compliant attackers — the denominator
+  /// of the arbitration detection (and miss) rate.
+  std::uint64_t attacker_frames{};
+  /// Frames destroyed by error-frame (Rogers/Rasmussen) stompers.
+  std::uint64_t error_frame_stomps{};
+
   double busy_fraction{};           // measured bus load over the recording
   double first_cycle_total_bits{};  // first malicious SOF -> last attacker
                                     // bus-off of the opening joint cycle
@@ -91,6 +112,17 @@ struct ExperimentResult {
 /// Exp.-5-style spec with `num_attackers` (2..4+) distinct DoS attackers
 /// on consecutive IDs starting at 0x066 (Sec. V-C, Fig. 5).
 [[nodiscard]] ExperimentSpec multi_attacker_spec(int num_attackers);
+
+/// Rogers/Rasmussen scenario: the defender transmits its own 0x173
+/// periodically while an error-frame stomper destroys every attempt from
+/// below the data-link layer.  MichiCAN's arbitration monitor is blind to
+/// this attacker; the experiment measures how fault confinement copes.
+[[nodiscard]] ExperimentSpec error_frame_experiment();
+
+/// The fault-sweep axis: `spec` with its bit-error rate set to `ber`.
+/// A BER of 0 returns the spec *unchanged* (label included), which is what
+/// makes a BER=0 sweep byte-identical to the clean-bus campaign.
+[[nodiscard]] ExperimentSpec fault_variant(ExperimentSpec spec, double ber);
 
 /// Throws std::invalid_argument if the spec cannot be simulated (no
 /// duration, zero bus speed, an attacker with an empty ID list, or an

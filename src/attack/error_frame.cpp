@@ -1,0 +1,70 @@
+#include "attack/error_frame.hpp"
+
+namespace mcan::attack {
+
+sim::BitLevel ErrorFrameAttacker::tx_level() {
+  return stomp_left_ > 0 ? sim::BitLevel::Dominant : sim::BitLevel::Recessive;
+}
+
+void ErrorFrameAttacker::on_bus_bit(sim::BitLevel bus) {
+  const bool exhausted =
+      cfg_.max_stomps != 0 && stomps_ >= cfg_.max_stomps;
+
+  if (!in_frame_) {
+    if (sim::is_dominant(bus) && recessive_run_ >= 11 && now_ >= cfg_.start &&
+        !exhausted) {
+      in_frame_ = true;
+      pos_ = 0;
+      destuff_.reset();
+      (void)destuff_.feed(bus);  // SOF opens the stuffed region
+      id_bits_ = 0;
+      id_len_ = 0;
+      match_ = false;
+    }
+    recessive_run_ = sim::is_recessive(bus) ? recessive_run_ + 1 : 0;
+    return;
+  }
+
+  ++pos_;
+  if (stomp_left_ > 0) --stomp_left_;
+
+  // Decode the (destuffed) base ID; both frame formats start with the same
+  // 11 arbitration bits after SOF.
+  if (id_len_ < can::kIdBits) {
+    switch (destuff_.feed(bus)) {
+      case can::Destuffer::Result::DataBit:
+        id_bits_ =
+            (id_bits_ << 1) | static_cast<std::uint32_t>(sim::to_bit(bus));
+        ++id_len_;
+        if (id_len_ == can::kIdBits && id_bits_ == cfg_.victim_id) {
+          match_ = true;
+        }
+        break;
+      case can::Destuffer::Result::StuffBit:
+        break;
+      case can::Destuffer::Result::StuffError:
+        // Someone's error flag is already on the wire; nothing to stomp.
+        id_len_ = can::kIdBits + 1;
+        match_ = false;
+        break;
+    }
+  }
+
+  // Arm one bit early: a level decided at the sample point of bit t drives
+  // the bus at t+1 (CanNode contract), so the burst covers raw positions
+  // [stomp_pos, stomp_pos + stomp_bits).
+  if (match_ && pos_ == cfg_.stomp_pos - 1 && !exhausted) {
+    match_ = false;
+    stomp_left_ = cfg_.stomp_bits;
+    ++stomps_;
+  }
+
+  // Stay passive until the error frame and intermission have passed.
+  if (sim::is_recessive(bus)) {
+    if (++recessive_run_ >= 11) in_frame_ = false;
+  } else {
+    recessive_run_ = 0;
+  }
+}
+
+}  // namespace mcan::attack

@@ -1,5 +1,7 @@
 #include "can/bus.hpp"
 
+#include "can/fault_injector.hpp"
+
 namespace mcan::can {
 
 void WiredAndBus::step() {
@@ -8,10 +10,21 @@ void WiredAndBus::step() {
   auto level = sim::BitLevel::Recessive;
   for (auto* n : nodes_) level = sim::wired_and(level, n->tx_level());
 
+  if (injector_ != nullptr) level = injector_->transform(now_, level, &log_);
+
   trace_.sample(level);
+  const auto previous = last_;
   last_ = level;
 
-  for (auto* n : nodes_) n->on_bus_bit(level);
+  if (injector_ != nullptr && injector_->has_skew()) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      nodes_[i]->on_bus_bit(
+          injector_->deliver(i, nodes_[i]->name(), level, previous, now_,
+                             &log_));
+    }
+  } else {
+    for (auto* n : nodes_) n->on_bus_bit(level);
+  }
   ++now_;
 }
 

@@ -1,5 +1,11 @@
 // The shared medium: a wired-AND bus stepped at nominal bit-time
 // granularity, with a logic-analyzer trace and a protocol event log.
+//
+// An optional FaultInjector hooks the step loop between wired-AND
+// resolution and the nodes' sample points: it may disturb the resolved
+// level (bit flips, stuck-at windows) and skew what individual nodes
+// sample (clock-tolerance modelling).  Without an injector the step loop
+// is exactly the clean-bus fast path.
 #pragma once
 
 #include <vector>
@@ -11,6 +17,8 @@
 
 namespace mcan::can {
 
+class FaultInjector;
+
 class WiredAndBus {
  public:
   explicit WiredAndBus(sim::BusSpeed speed = {}) : speed_(speed) {}
@@ -18,6 +26,15 @@ class WiredAndBus {
   /// Attach a node.  The bus does not own nodes; callers must keep them
   /// alive for the bus's lifetime.
   void attach(CanNode& node) { nodes_.push_back(&node); }
+
+  /// Install (or clear, with nullptr) a physical-layer fault injector.
+  /// The bus does not own it; the caller keeps it alive while attached.
+  void set_fault_injector(FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+  [[nodiscard]] FaultInjector* fault_injector() const noexcept {
+    return injector_;
+  }
 
   /// Advance one nominal bit time.
   void step();
@@ -48,6 +65,7 @@ class WiredAndBus {
  private:
   sim::BusSpeed speed_;
   std::vector<CanNode*> nodes_;
+  FaultInjector* injector_{nullptr};
   sim::BitTime now_{0};
   sim::BitLevel last_{sim::BitLevel::Recessive};
   sim::LogicAnalyzer trace_;

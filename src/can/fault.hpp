@@ -18,8 +18,12 @@
 //                                              REC = 127 if REC > 127
 //  - TEC > 127 or REC > 127 -> error-passive; TEC and REC <= 127 -> active
 //  - TEC >= 256 -> bus-off; recovery resets both counters to 0.
+//  - REC saturates at 255 (8-bit register semantics of integrated
+//    controllers; values past the passive threshold have no protocol
+//    meaning and must not grow without bound on a disturbed bus).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "can/types.hpp"
@@ -38,9 +42,9 @@ class FaultConfinement {
   }
 
   void on_transmitter_error() noexcept { tec_ += 8; }
-  void on_receiver_error() noexcept { rec_ += 1; }
+  void on_receiver_error() noexcept { bump_rec(1); }
   void on_dominant_after_error_flag_tx() noexcept { tec_ += 8; }
-  void on_dominant_after_error_flag_rx() noexcept { rec_ += 8; }
+  void on_dominant_after_error_flag_rx() noexcept { bump_rec(8); }
 
   void on_tx_success() noexcept {
     if (tec_ > 0) --tec_;
@@ -66,6 +70,12 @@ class FaultConfinement {
   }
 
  private:
+  // Integrated controllers hold REC in an 8-bit register that saturates
+  // (SJA1000, M_CAN); values past the error-passive threshold carry no
+  // protocol meaning, so the counter must not grow without bound on a
+  // heavily disturbed bus.
+  void bump_rec(int delta) noexcept { rec_ = std::min(rec_ + delta, 255); }
+
   int tec_{0};
   int rec_{0};
 };

@@ -71,7 +71,15 @@ SpecAggregate aggregate_spec(const analysis::ExperimentSpec& spec,
     agg.attacks_detected += res.attacks_detected;
     if (res.defender_bus_off) ++agg.defender_bus_off_runs;
     agg.max_defender_tec = std::max(agg.max_defender_tec, res.defender_tec);
+    agg.max_defender_rec = std::max(agg.max_defender_rec, res.defender_rec);
     agg.defender_frames_sent += res.defender_frames_sent;
+    agg.faults.random_flips += res.faults.random_flips;
+    agg.faults.scheduled_flips += res.faults.scheduled_flips;
+    agg.faults.stuck_bits += res.faults.stuck_bits;
+    agg.faults.sample_slips += res.faults.sample_slips;
+    agg.false_detections += res.false_detections;
+    agg.attacker_frames += res.attacker_frames;
+    agg.error_frame_stomps += res.error_frame_stomps;
     agg.restbus_frames_delivered += res.restbus_frames_delivered;
     agg.restbus_drops += res.restbus_drops;
     if (res.restbus_any_bus_off) ++agg.restbus_bus_off_runs;

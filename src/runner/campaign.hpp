@@ -100,7 +100,16 @@ struct SpecAggregate {
   std::uint64_t attacks_detected{};
   std::size_t defender_bus_off_runs{};
   int max_defender_tec{};
+  int max_defender_rec{};
   std::uint64_t defender_frames_sent{};
+
+  // Fault-sweep forensics (all zero on a clean bus; the `detection` and
+  // `faults` JSON objects are emitted unconditionally so the schema is
+  // stable across BER values).
+  can::FaultInjector::Stats faults;
+  std::uint64_t false_detections{};
+  std::uint64_t attacker_frames{};
+  std::uint64_t error_frame_stomps{};
   std::uint64_t restbus_frames_delivered{};
   std::uint64_t restbus_drops{};
   std::size_t restbus_bus_off_runs{};

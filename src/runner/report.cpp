@@ -83,8 +83,16 @@ void put_spec(std::ostringstream& os, const SpecAggregate& spec) {
   put_summary(os, spec.busy_fraction);
   os << ",\"counterattacks\":" << spec.counterattacks
      << ",\"attacks_detected\":" << spec.attacks_detected
-     << ",\"defender\":{\"bus_off_runs\":" << spec.defender_bus_off_runs
+     << ",\"detection\":{\"attacker_frames\":" << spec.attacker_frames
+     << ",\"false_detections\":" << spec.false_detections
+     << ",\"error_frame_stomps\":" << spec.error_frame_stomps
+     << "},\"faults\":{\"random_flips\":" << spec.faults.random_flips
+     << ",\"scheduled_flips\":" << spec.faults.scheduled_flips
+     << ",\"stuck_bits\":" << spec.faults.stuck_bits
+     << ",\"sample_slips\":" << spec.faults.sample_slips
+     << "},\"defender\":{\"bus_off_runs\":" << spec.defender_bus_off_runs
      << ",\"max_tec\":" << spec.max_defender_tec
+     << ",\"max_rec\":" << spec.max_defender_rec
      << ",\"frames_sent\":" << spec.defender_frames_sent
      << "},\"restbus\":{\"frames\":" << spec.restbus_frames_delivered
      << ",\"drops\":" << spec.restbus_drops

@@ -13,7 +13,11 @@
 //       "first_cycle_total_bits": {summary}, "mean_detection_bit": {summary},
 //       "busy_fraction": {summary},
 //       "counterattacks": <n>, "attacks_detected": <n>,
-//       "defender": {"bus_off_runs": <n>, "max_tec": <n>},
+//       "detection": {"attacker_frames": <n>, "false_detections": <n>,
+//                     "error_frame_stomps": <n>},
+//       "faults": {"random_flips": <n>, "scheduled_flips": <n>,
+//                  "stuck_bits": <n>, "sample_slips": <n>},
+//       "defender": {"bus_off_runs": <n>, "max_tec": <n>, "max_rec": <n>},
 //       "restbus": {"frames": <n>, "drops": <n>, "bus_off_runs": <n>}
 //     }],
 //     "tasks": [{"spec": <i>, "seed": <u64>, "derived_seed": <u64>,

@@ -20,6 +20,7 @@ std::string_view to_string(EventKind k) noexcept {
     case EventKind::CounterattackStart: return "CounterattackStart";
     case EventKind::CounterattackEnd: return "CounterattackEnd";
     case EventKind::OverloadFrame: return "OverloadFrame";
+    case EventKind::FaultInjected: return "FaultInjected";
     case EventKind::Custom: return "Custom";
   }
   return "Unknown";

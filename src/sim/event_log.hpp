@@ -32,6 +32,8 @@ enum class EventKind : std::uint8_t {
   CounterattackStart, // defense began pulling the bus dominant
   CounterattackEnd,   // defense released the bus
   OverloadFrame,      // node transmitted an overload flag
+  FaultInjected,      // physical-layer fault injected on the bus;
+                      // a = can::FaultKind, b = kind-specific (level/node)
   Custom,             // free-form; see detail
 };
 

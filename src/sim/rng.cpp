@@ -1,5 +1,7 @@
 #include "sim/rng.hpp"
 
+#include <cmath>
+
 namespace mcan::sim {
 namespace {
 
@@ -50,6 +52,15 @@ double Rng::uniform01() noexcept {
 }
 
 bool Rng::chance(double p) noexcept { return uniform01() < p; }
+
+std::uint64_t Rng::geometric(double p) noexcept {
+  if (p >= 1.0) return 0;
+  if (p <= 0.0) return std::numeric_limits<std::uint64_t>::max();
+  // Inverse-CDF sampling: floor(log(1-u) / log(1-p)) with u ~ U[0,1).
+  const double g = std::log1p(-uniform01()) / std::log1p(-p);
+  if (!(g < 9.2e18)) return std::numeric_limits<std::uint64_t>::max();
+  return static_cast<std::uint64_t>(g);
+}
 
 Rng Rng::fork() noexcept { return Rng{next()}; }
 

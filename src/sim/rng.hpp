@@ -28,6 +28,13 @@ class Rng {
   /// Bernoulli trial with probability p of returning true.
   [[nodiscard]] bool chance(double p) noexcept;
 
+  /// Number of failures before the first success of a Bernoulli(p) process
+  /// (geometric distribution, support {0, 1, ...}).  Lets rare-event
+  /// schedules (e.g. bit-error injection) draw one number per *event*
+  /// instead of one per trial.  p <= 0 returns the maximum representable
+  /// gap; p >= 1 returns 0.
+  [[nodiscard]] std::uint64_t geometric(double p) noexcept;
+
   /// Derive an independent child generator (for per-node streams).
   [[nodiscard]] Rng fork() noexcept;
 

@@ -90,5 +90,17 @@ TEST(FaultConfinement, DominantAfterErrorFlagPenalties) {
   EXPECT_EQ(f.rec(), 8);
 }
 
+TEST(FaultConfinement, RecSaturatesLikeAnEightBitRegister) {
+  FaultConfinement f;
+  for (int i = 0; i < 1000; ++i) f.on_dominant_after_error_flag_rx();
+  EXPECT_EQ(f.rec(), 255);
+  EXPECT_EQ(f.state(), ErrorState::ErrorPassive);
+  for (int i = 0; i < 1000; ++i) f.on_receiver_error();
+  EXPECT_EQ(f.rec(), 255);
+  // A successful reception still pulls a saturated REC back to 127.
+  f.on_rx_success();
+  EXPECT_EQ(f.rec(), 127);
+}
+
 }  // namespace
 }  // namespace mcan::can
