@@ -1,0 +1,203 @@
+// Simulator self-profiling baseline: bits simulated per wall-clock second
+// across scenarios of increasing protocol activity, plus the cost of the
+// observability layer itself (metrics-harvest share and timeline-capture
+// on-vs-off overhead).
+//
+//   bench_throughput [--seeds N] [--report PATH]
+//
+// --seeds N controls the repetitions per scenario (default 3; each rep uses
+// its own seed so the recordings differ).  The report is
+// "michican.throughput.v1":
+//   {
+//     "schema": "michican.throughput.v1",
+//     "reps": <n>, "duration_ms": <f>,
+//     "scenarios": [{"name": <str>, "bits": <u64>, "sim_ms": <f>,
+//                    "bits_per_second": <f>, "events": <u64>,
+//                    "busy_fraction": <f>}],
+//     "overhead": {"scenario": <str>, "trace_off_ms": <f>,
+//                  "trace_on_ms": <f>, "trace_overhead_pct": <f>,
+//                  "metrics_phase_pct": <f>}
+//   }
+// Timings are wall clocks — the one intentionally non-deterministic output
+// in the BENCH_* family.  The metrics-harvest share should stay well below
+// 5% of task wall time; the driver warns (but does not fail) above that.
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/experiments.hpp"
+#include "analysis/table.hpp"
+#include "obs/jsonfmt.hpp"
+#include "obs/timeline.hpp"
+#include "runner/cli.hpp"
+
+namespace {
+
+using namespace mcan;
+using analysis::fmt;
+using obs::fmt_double;
+
+struct ScenarioRun {
+  std::string name;
+  std::uint64_t bits{};
+  double sim_ms{};      // wall clock inside bus.run_ms, summed over reps
+  double total_ms{};    // whole run_experiment wall clock, summed over reps
+  double metrics_ms{};  // metrics-harvest phase, summed over reps
+  std::uint64_t events{};
+  double busy_fraction{};  // of the last rep
+
+  [[nodiscard]] double bits_per_second() const {
+    return sim_ms > 0 ? static_cast<double>(bits) / (sim_ms / 1e3) : 0.0;
+  }
+};
+
+std::vector<analysis::ExperimentSpec> scenarios(double duration_ms) {
+  std::vector<analysis::ExperimentSpec> specs;
+
+  analysis::ExperimentSpec idle;
+  idle.label = "idle_bus";
+  idle.defender_period_ms = 0;  // silent defender, empty bus
+  specs.push_back(idle);
+
+  analysis::ExperimentSpec busy;
+  busy.label = "controllers_only";
+  busy.defender_period_ms = 10.0;
+  busy.restbus = true;  // replayed Veh. D matrix, no attackers
+  specs.push_back(busy);
+
+  auto spoof = analysis::table2_experiment(2);
+  spoof.label = "spoof_isolated";
+  specs.push_back(spoof);
+
+  auto multi = analysis::table2_experiment(5);
+  multi.label = "two_attackers";
+  specs.push_back(multi);
+
+  auto noisy = analysis::fault_variant(analysis::table2_experiment(4), 1e-4);
+  noisy.label = "dos_ber1e-4";
+  specs.push_back(noisy);
+
+  for (auto& s : specs) s.duration_ms = duration_ms;
+  return specs;
+}
+
+ScenarioRun run_scenario(analysis::ExperimentSpec spec, std::size_t reps,
+                         bool capture_timeline) {
+  ScenarioRun run;
+  run.name = spec.label;
+  spec.capture_timeline = capture_timeline;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    spec.seed = 42 + rep;
+    const auto res = analysis::run_experiment(spec);
+    run.bits += res.metrics.counter_value("bus.bits_simulated");
+    run.events += res.metrics.counter_value("bus.events");
+    run.sim_ms += res.profile.total_ms("task.sim");
+    for (const auto& [name, phase] : res.profile.phases()) {
+      run.total_ms += phase.total_ms;
+    }
+    run.metrics_ms += res.profile.total_ms("task.metrics");
+    run.busy_fraction = res.busy_fraction;
+  }
+  return run;
+}
+
+bool write_report(const std::string& path,
+                  const std::vector<ScenarioRun>& runs, std::size_t reps,
+                  double duration_ms, const ScenarioRun& trace_off,
+                  const ScenarioRun& trace_on) {
+  std::string os;
+  os += "{\"schema\":\"michican.throughput.v1\",\"reps\":";
+  os += std::to_string(reps);
+  os += ",\"duration_ms\":" + fmt_double(duration_ms);
+  os += ",\"scenarios\":[";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& r = runs[i];
+    if (i != 0) os += ",";
+    os += "{\"name\":\"" + obs::json_escape(r.name) + "\",\"bits\":";
+    os += std::to_string(r.bits);
+    os += ",\"sim_ms\":" + fmt_double(r.sim_ms);
+    os += ",\"bits_per_second\":" + fmt_double(r.bits_per_second());
+    os += ",\"events\":" + std::to_string(r.events);
+    os += ",\"busy_fraction\":" + fmt_double(r.busy_fraction) + "}";
+  }
+  const double overhead_pct =
+      trace_off.total_ms > 0
+          ? 100.0 * (trace_on.total_ms - trace_off.total_ms) /
+                trace_off.total_ms
+          : 0.0;
+  const double metrics_pct = trace_off.total_ms > 0
+                                 ? 100.0 * trace_off.metrics_ms /
+                                       trace_off.total_ms
+                                 : 0.0;
+  os += "],\"overhead\":{\"scenario\":\"" + obs::json_escape(trace_off.name);
+  os += "\",\"trace_off_ms\":" + fmt_double(trace_off.total_ms);
+  os += ",\"trace_on_ms\":" + fmt_double(trace_on.total_ms);
+  os += ",\"trace_overhead_pct\":" + fmt_double(overhead_pct);
+  os += ",\"metrics_phase_pct\":" + fmt_double(metrics_pct);
+  os += "}}\n";
+  return obs::write_text_file(path, os);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  runner::CliOptions defaults;
+  defaults.seeds = {0, 3};  // --seeds N = repetitions per scenario
+  defaults.report_path = "BENCH_throughput.json";
+  const auto opts = runner::parse_cli(argc, argv, defaults);
+  const std::size_t reps = opts.seeds.size();
+  const double duration_ms = 500.0;
+
+  std::vector<ScenarioRun> runs;
+  for (const auto& spec : scenarios(duration_ms)) {
+    runs.push_back(run_scenario(spec, reps, /*capture_timeline=*/false));
+  }
+
+  analysis::AsciiTable t{{"Scenario", "Bits", "Sim (ms)", "Mbit/s (sim)",
+                          "Events", "Busy"}};
+  for (const auto& r : runs) {
+    t.add_row({r.name, std::to_string(r.bits), fmt(r.sim_ms, 1),
+               fmt(r.bits_per_second() / 1e6, 2), std::to_string(r.events),
+               analysis::fmt_pct(r.busy_fraction)});
+  }
+  t.print(std::cout, "Simulated-bit throughput (" + std::to_string(reps) +
+                         " reps x " + fmt(duration_ms, 0) + " ms at 50 kbit/s):");
+
+  // Observability overhead, measured on the busiest attack scenario: the
+  // timeline exporter is the only per-event cost, everything else is
+  // counter increments and a harvest pass.
+  const auto trace_off =
+      run_scenario(scenarios(duration_ms)[3], reps, /*capture_timeline=*/false);
+  const auto trace_on =
+      run_scenario(scenarios(duration_ms)[3], reps, /*capture_timeline=*/true);
+  const double overhead_pct =
+      trace_off.total_ms > 0
+          ? 100.0 * (trace_on.total_ms - trace_off.total_ms) /
+                trace_off.total_ms
+          : 0.0;
+  const double metrics_pct =
+      trace_off.total_ms > 0
+          ? 100.0 * trace_off.metrics_ms / trace_off.total_ms
+          : 0.0;
+  std::cout << "\nObservability cost (" << trace_off.name
+            << "): metrics harvest " << fmt(metrics_pct, 2)
+            << "% of task wall, timeline capture "
+            << (overhead_pct >= 0 ? "+" : "") << fmt(overhead_pct, 1)
+            << "% on top\n";
+  if (metrics_pct > 5.0) {
+    std::cout << "warning: metrics harvest above the 5% budget (timing "
+                 "noise is likely at short durations)\n";
+  }
+
+  if (!opts.report_path.empty()) {
+    if (write_report(opts.report_path, runs, reps, duration_ms, trace_off,
+                     trace_on)) {
+      std::cout << "JSON report: " << opts.report_path << "\n";
+    } else {
+      std::cerr << "error: could not write " << opts.report_path << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -3,10 +3,12 @@
 //   michican_cli experiment <1..6> [seed] [duration_ms]
 //       run one of the paper's Table II experiments and print the outcome
 //   michican_cli campaign [exp...] [--jobs N] [--seeds A..B]
-//                         [--report PATH] [--progress]
+//                         [--report PATH] [--trace-out PATH] [--progress]
 //       fan the listed experiments (default: all six) over a seed range
 //       across a worker pool and print/write the aggregated statistics;
-//       results are bit-identical for any --jobs value
+//       results are bit-identical for any --jobs value.  --trace-out
+//       re-simulates the first grid cell with timeline capture and writes
+//       a Chrome trace-event JSON (plus a sibling .jsonl event dump)
 //   michican_cli sweep [max_attackers]
 //       multi-attacker total-bus-off sweep (Sec. V-C)
 //   michican_cli fault-sweep [scenario...] [--bers B1,B2,..] [--jobs N]
@@ -14,6 +16,11 @@
 //       robustness campaign: sweep bit-error rate x attacker scenario
 //       (spoof | dos | ef) and report detection FP/FN rates, defender
 //       TEC/REC cleanliness and bus-off degradation vs the clean bus
+//   michican_cli trace <1..6|spoof|dos|ef> [seed] [duration_ms]
+//                      [--out PATH] [--jsonl PATH]
+//       run one recording with timeline capture and write a Chrome
+//       trace-event JSON (open in Perfetto or chrome://tracing; one track
+//       per node plus a bus track) and optionally a JSONL event dump
 //   michican_cli latency [num_fsms]
 //       detection-latency study (Sec. V-B)
 //   michican_cli rta <bus_index 0..7> [attack_blocking_bits]
@@ -30,6 +37,7 @@
 #include "analysis/experiments.hpp"
 #include "analysis/latency.hpp"
 #include "analysis/table.hpp"
+#include "obs/timeline.hpp"
 #include "restbus/dbc.hpp"
 #include "restbus/schedulability.hpp"
 #include "restbus/vehicles.hpp"
@@ -46,12 +54,17 @@ using analysis::fmt;
 int usage() {
   std::cerr << "usage: michican_cli experiment <1..6> [seed] [duration_ms]\n"
             << "       michican_cli campaign [exp...] [--jobs N] "
-               "[--seeds A..B] [--report PATH] [--progress]\n"
+               "[--seeds A..B] [--report PATH]\n"
+            << "                             [--trace-out PATH] [--progress]\n"
             << "       michican_cli sweep [max_attackers]\n"
             << "       michican_cli fault-sweep [spoof|dos|ef ...] "
                "[--bers B1,B2,..] [--jobs N]\n"
             << "                                [--seeds A..B] [--report "
-               "PATH] [--progress]\n"
+               "PATH] [--trace-out PATH]\n"
+            << "                                [--progress]\n"
+            << "       michican_cli trace <1..6|spoof|dos|ef> [seed] "
+               "[duration_ms]\n"
+            << "                          [--out PATH] [--jsonl PATH]\n"
             << "       michican_cli latency [num_fsms]\n"
             << "       michican_cli rta <bus 0..7> [attack_blocking_bits]\n"
             << "       michican_cli dbc <bus 0..7>\n";
@@ -80,6 +93,44 @@ int cmd_experiment(int number, std::uint64_t seed, double duration_ms) {
             << ", defender TEC: " << res.defender_tec
             << ", bus busy: " << analysis::fmt_pct(res.busy_fraction) << "\n";
   return 0;
+}
+
+/// "foo.trace.json" -> "foo.trace.jsonl"; otherwise append ".jsonl".
+std::string sibling_jsonl_path(const std::string& trace_path) {
+  const std::string suffix = ".json";
+  if (trace_path.size() > suffix.size() &&
+      trace_path.compare(trace_path.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+    return trace_path + "l";
+  }
+  return trace_path + ".jsonl";
+}
+
+int write_trace_outputs(const analysis::ExperimentResult& res,
+                        const std::string& trace_path,
+                        const std::string& jsonl_path) {
+  if (!obs::write_text_file(trace_path, res.timeline_json)) {
+    std::cerr << "error: could not write " << trace_path << "\n";
+    return 1;
+  }
+  std::cout << "trace: " << trace_path
+            << " (open in Perfetto / chrome://tracing)\n";
+  if (!jsonl_path.empty()) {
+    if (!obs::write_text_file(jsonl_path, res.events_jsonl)) {
+      std::cerr << "error: could not write " << jsonl_path << "\n";
+      return 1;
+    }
+    std::cout << "events: " << jsonl_path << "\n";
+  }
+  return 0;
+}
+
+/// --trace-out for the campaign drivers: re-simulate the first grid cell
+/// with timeline capture and write the trace plus a sibling .jsonl dump.
+int write_campaign_trace(const runner::CampaignConfig& cfg,
+                         const std::string& trace_path) {
+  const auto res = runner::rerun_cell(cfg, 0, cfg.seeds.begin);
+  return write_trace_outputs(res, trace_path, sibling_jsonl_path(trace_path));
 }
 
 int cmd_campaign(const runner::CliOptions& opts,
@@ -120,6 +171,11 @@ int cmd_campaign(const runner::CliOptions& opts,
     } else {
       std::cerr << "error: could not write " << opts.report_path << "\n";
       return 1;
+    }
+  }
+  if (!opts.trace_path.empty()) {
+    if (const int rc = write_campaign_trace(cfg, opts.trace_path); rc != 0) {
+      return rc;
     }
   }
   return rep.failed_tasks() == 0 ? 0 : 1;
@@ -190,7 +246,72 @@ int cmd_fault_sweep(const runner::CliOptions& opts,
       return 1;
     }
   }
+  if (!opts.trace_path.empty()) {
+    if (const int rc = write_campaign_trace(runner::fault_sweep_campaign(cfg),
+                                            opts.trace_path);
+        rc != 0) {
+      return rc;
+    }
+  }
   return rep.campaign.failed_tasks() == 0 ? 0 : 1;
+}
+
+analysis::ExperimentSpec trace_scenario(const std::string& name) {
+  if (name.size() == 1 && name[0] >= '1' && name[0] <= '6') {
+    return analysis::table2_experiment(name[0] - '0');
+  }
+  if (name == "spoof") return analysis::table2_experiment(2);
+  if (name == "dos") return analysis::table2_experiment(4);
+  if (name == "ef" || name == "error-frame") {
+    return analysis::error_frame_experiment();
+  }
+  throw std::invalid_argument("unknown trace scenario '" + name +
+                              "' (expected 1..6, spoof, dos or ef)");
+}
+
+int cmd_trace(const std::vector<std::string>& args) {
+  std::string out_path = "michican_trace.json";
+  std::string jsonl_path;
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const auto& arg = args[i];
+    const auto take = [&](const std::string& flag) -> std::string {
+      if (arg.size() > flag.size() && arg[flag.size()] == '=') {
+        return arg.substr(flag.size() + 1);
+      }
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument(flag + " needs a value");
+      }
+      return args[++i];
+    };
+    if (arg.rfind("--out", 0) == 0 && (arg.size() == 5 || arg[5] == '=')) {
+      out_path = take("--out");
+    } else if (arg.rfind("--jsonl", 0) == 0 &&
+               (arg.size() == 7 || arg[7] == '=')) {
+      jsonl_path = take("--jsonl");
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.empty() || positional.size() > 3) {
+    throw std::invalid_argument(
+        "trace: expected <1..6|spoof|dos|ef> [seed] [duration_ms]");
+  }
+  auto spec = trace_scenario(positional[0]);
+  spec.seed = positional.size() > 1
+                  ? std::strtoull(positional[1].c_str(), nullptr, 10)
+                  : 42ull;
+  // 120 ms covers several bus-off cycles at 50 kbit/s while keeping the
+  // trace small enough for an instant Perfetto load.
+  spec.duration_ms = positional.size() > 2 ? std::atof(positional[2].c_str())
+                                           : 120.0;
+  spec.capture_timeline = true;
+  const auto res = analysis::run_experiment(spec);
+  std::cout << "scenario: " << spec.label << ", seed " << spec.seed << ", "
+            << fmt(spec.duration_ms, 0) << " ms, "
+            << res.metrics.counter_value("bus.events") << " events, "
+            << res.attacks_detected << " attacks detected\n";
+  return write_trace_outputs(res, out_path, jsonl_path);
 }
 
 int cmd_sweep(int max_attackers) {
@@ -311,6 +432,16 @@ int main(int argc, char** argv) {
         return usage();
       }
     }
+    if (cmd == "trace") {
+      std::vector<std::string> args;
+      for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+      try {
+        return cmd_trace(args);
+      } catch (const std::invalid_argument& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return usage();
+      }
+    }
     if (cmd == "sweep") {
       return cmd_sweep(argc > 2 ? std::atoi(argv[2]) : 4);
     }
@@ -332,6 +463,22 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
+  }
+  // Known subcommands fall through to here only on bad operands; anything
+  // else is a typo'd subcommand — name it instead of silently printing
+  // the generic usage text.
+  static const char* const kCommands[] = {"experiment", "campaign",   "sweep",
+                                          "fault-sweep", "trace",     "latency",
+                                          "rta",         "dbc"};
+  bool known = false;
+  for (const char* const c : kCommands) {
+    if (cmd == c) known = true;
+  }
+  if (!known) {
+    std::cerr << "error: unknown subcommand '" << cmd
+              << "'\navailable subcommands: experiment, campaign, sweep, "
+                 "fault-sweep, trace, latency, rta, dbc\n";
+    return 2;
   }
   return usage();
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 #include <charconv>
+#include <chrono>
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -11,6 +13,7 @@
 #include "can/bus.hpp"
 #include "can/periodic.hpp"
 #include "core/michican_node.hpp"
+#include "obs/timeline.hpp"
 #include "restbus/replay.hpp"
 #include "restbus/vehicles.hpp"
 
@@ -162,7 +165,62 @@ void validate(const ExperimentSpec& spec) {
   }
 }
 
+namespace {
+
+using ProfileClock = std::chrono::steady_clock;
+
+double ms_between(ProfileClock::time_point from, ProfileClock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+// Event-log-derived distributions: detection latency (ID bit position of the
+// verdict), attacker TEC at each transmit error, and counterattack window
+// lengths in raw bits.  Bounds follow the protocol's natural breakpoints
+// (TEC thresholds 96/127, the paper's bit-5 detection for Table II IDs).
+void export_log_histograms(const sim::EventLog& log,
+                           const std::vector<AttackerOutcome>& attackers,
+                           obs::Registry& reg) {
+  auto& detect = reg.histogram("monitor.detection_bit",
+                               {2.0, 4.0, 6.0, 8.0, 10.0, 12.0});
+  auto& tec = reg.histogram(
+      "attackers.tec_on_tx_error",
+      {0.0, 16.0, 32.0, 64.0, 96.0, 127.0, 160.0, 192.0, 224.0, 255.0});
+  auto& window = reg.histogram("monitor.counterattack_bits",
+                               {2.0, 4.0, 6.0, 8.0, 12.0, 16.0});
+
+  const auto is_attacker = [&](const std::string& node) {
+    return std::any_of(attackers.begin(), attackers.end(),
+                       [&](const AttackerOutcome& o) { return o.node == node; });
+  };
+  std::map<std::string, sim::BitTime> open_attack;
+  for (const auto& ev : log.events()) {
+    switch (ev.kind) {
+      case sim::EventKind::AttackDetected:
+        detect.observe(static_cast<double>(ev.a));
+        break;
+      case sim::EventKind::TxError:
+        if (is_attacker(ev.node)) tec.observe(static_cast<double>(ev.b));
+        break;
+      case sim::EventKind::CounterattackStart:
+        open_attack[ev.node] = ev.at;
+        break;
+      case sim::EventKind::CounterattackEnd:
+        if (const auto it = open_attack.find(ev.node);
+            it != open_attack.end()) {
+          window.observe(static_cast<double>(ev.at - it->second));
+          open_attack.erase(it);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
 ExperimentResult run_experiment(const ExperimentSpec& spec) {
+  const auto t_begin = ProfileClock::now();
   validate(spec);
   can::WiredAndBus bus{spec.speed};
   const double bits_per_ms =
@@ -230,7 +288,9 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   }
 
   // --- run the recording ----------------------------------------------------
+  const auto t_setup = ProfileClock::now();
   bus.run_ms(spec.duration_ms);
+  const auto t_sim = ProfileClock::now();
 
   // --- harvest --------------------------------------------------------------
   ExperimentResult res;
@@ -326,6 +386,40 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     res.restbus_any_bus_off = rb->any_bus_off();
   }
   res.busy_fraction = bus.trace().busy_fraction(0, bus.now());
+  const auto t_harvest = ProfileClock::now();
+
+  // --- metrics shard --------------------------------------------------------
+  bus.export_metrics(res.metrics);
+  defender.controller().export_metrics(res.metrics, "defender");
+  defender.monitor().export_metrics(res.metrics, "monitor");
+  for (const auto& a : attackers) {
+    a->node().export_metrics(res.metrics, "attackers");
+  }
+  if (rb) {
+    res.metrics.counter("restbus.frames_delivered") +=
+        res.restbus_frames_delivered;
+    res.metrics.counter("restbus.drops") += res.restbus_drops;
+  }
+  if (injector) injector->export_metrics(res.metrics);
+  export_log_histograms(bus.log(), res.attackers, res.metrics);
+  const auto t_metrics = ProfileClock::now();
+
+  // --- timeline export (opt-in: the only obs feature with per-event cost) ---
+  if (spec.capture_timeline) {
+    obs::TimelineOptions topt;
+    topt.speed = spec.speed;
+    res.timeline_json = obs::to_chrome_trace(bus.log(), &bus.trace(), topt);
+    res.events_jsonl = obs::to_jsonl(bus.log());
+  }
+  const auto t_timeline = ProfileClock::now();
+
+  res.profile.add("task.setup", ms_between(t_begin, t_setup));
+  res.profile.add("task.sim", ms_between(t_setup, t_sim));
+  res.profile.add("task.harvest", ms_between(t_sim, t_harvest));
+  res.profile.add("task.metrics", ms_between(t_harvest, t_metrics));
+  if (spec.capture_timeline) {
+    res.profile.add("task.timeline", ms_between(t_metrics, t_timeline));
+  }
   return res;
 }
 

@@ -18,6 +18,8 @@
 #include "can/fault_injector.hpp"
 #include "can/types.hpp"
 #include "core/detection.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
@@ -52,6 +54,10 @@ struct ExperimentSpec {
   /// Below-the-data-link-layer frame stompers (Rogers/Rasmussen-style
   /// error-frame abuse); they attack the wire, not through a controller.
   std::vector<attack::ErrorFrameConfig> error_attackers;
+  /// Render the recording's event log as a Chrome trace-event timeline plus
+  /// a JSONL event dump (ExperimentResult::timeline_json / events_jsonl).
+  /// Off by default: export is the only obs feature with per-event cost.
+  bool capture_timeline{false};
 };
 
 struct AttackerOutcome {
@@ -104,6 +110,18 @@ struct ExperimentResult {
   double first_cycle_total_bits{};  // first malicious SOF -> last attacker
                                     // bus-off of the opening joint cycle
   std::string fig6_trace;           // rendered waveform of the first cycle
+
+  /// Per-task metrics shard, registered by the bus, the controllers, the
+  /// detector and the fault injector at harvest time.  Campaigns merge the
+  /// shards deterministically; the content is a pure function of the spec
+  /// (wall clocks live in `profile`, never here).
+  obs::Registry metrics;
+  /// Wall-clock self-profile of this task's phases (setup / sim / harvest /
+  /// metrics export / timeline render).  Runtime facts — not deterministic.
+  obs::Profiler profile;
+  /// Chrome trace-event JSON + JSONL dump when spec.capture_timeline.
+  std::string timeline_json;
+  std::string events_jsonl;
 };
 
 /// Spec for one of the paper's Table II experiments (1..6).

@@ -1,8 +1,16 @@
 #include "can/bus.hpp"
 
 #include "can/fault_injector.hpp"
+#include "obs/metrics.hpp"
 
 namespace mcan::can {
+
+void WiredAndBus::export_metrics(obs::Registry& reg) const {
+  reg.counter("bus.bits_simulated") += now_;
+  reg.counter("bus.dominant_bits") += trace_.dominant_count(0, now_);
+  reg.counter("bus.events") += log_.size();
+  reg.counter("bus.nodes") += nodes_.size();
+}
 
 void WiredAndBus::step() {
   for (auto* n : nodes_) n->tick(now_);

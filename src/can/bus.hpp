@@ -15,6 +15,10 @@
 #include "sim/trace.hpp"
 #include "sim/types.hpp"
 
+namespace mcan::obs {
+class Registry;
+}  // namespace mcan::obs
+
 namespace mcan::can {
 
 class FaultInjector;
@@ -61,6 +65,11 @@ class WiredAndBus {
 
   /// Resolved level of the most recent bit (recessive before any step).
   [[nodiscard]] sim::BitLevel last_level() const noexcept { return last_; }
+
+  /// Register bus-level metrics (bits simulated, dominant bits, logged
+  /// events, attached nodes) into a metrics shard.  Harvest-time only —
+  /// nothing on the per-bit step path.
+  void export_metrics(obs::Registry& reg) const;
 
  private:
   sim::BusSpeed speed_;

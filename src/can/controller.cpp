@@ -1,8 +1,10 @@
 #include "can/controller.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "can/crc15.hpp"
+#include "obs/metrics.hpp"
 
 namespace mcan::can {
 
@@ -308,6 +310,9 @@ void BitController::on_bus_bit(BitLevel bus) {
 void BitController::start_transmit_next_bit() {
   assert(!txq_.empty());
   txbits_ = wire_bits(txq_.front());
+  for (const auto& b : txbits_) {
+    if (b.is_stuff) ++stats_.stuff_bits_tx;
+  }
   txpos_ = 0;
   phase_ = Phase::Transmit;
   drive_ = BitLevel::Dominant;  // SOF appears on the next bit
@@ -615,6 +620,25 @@ void BitController::enter_bus_off() {
   log_event(EventKind::BusOff, txq_.empty() ? 0 : txq_.front().id, 0,
             fault_.tec());
   if (cfg_.clear_queue_on_bus_off) txq_.clear();
+}
+
+void BitController::export_metrics(obs::Registry& reg,
+                                   std::string_view prefix) const {
+  const std::string p{prefix};
+  reg.counter(p + ".frames_sent") += stats_.frames_sent;
+  reg.counter(p + ".frames_received") += stats_.frames_received;
+  reg.counter(p + ".tx_errors") += stats_.tx_errors;
+  reg.counter(p + ".rx_errors") += stats_.rx_errors;
+  reg.counter(p + ".arbitration_losses") += stats_.arbitration_losses;
+  reg.counter(p + ".bus_off_entries") += stats_.bus_off_entries;
+  reg.counter(p + ".recoveries") += stats_.recoveries;
+  reg.counter(p + ".dropped_frames") += stats_.dropped_frames;
+  reg.counter(p + ".overload_frames") += stats_.overload_frames;
+  reg.counter(p + ".stuff_bits_tx") += stats_.stuff_bits_tx;
+  auto& tec = reg.gauge(p + ".tec_final_max");
+  tec = std::max(tec, static_cast<std::int64_t>(fault_.tec()));
+  auto& rec = reg.gauge(p + ".rec_final_max");
+  rec = std::max(rec, static_cast<std::int64_t>(fault_.rec()));
 }
 
 }  // namespace mcan::can

@@ -57,6 +57,10 @@ class BitController : public CanNode {
     std::uint64_t recoveries{};
     std::uint64_t dropped_frames{};  // enqueue on full queue
     std::uint64_t overload_frames{};
+    /// Stuff bits in the wire encodings this controller started driving
+    /// (counted per transmission attempt, so retransmissions count again —
+    /// it measures bits actually put on the wire, not unique frames).
+    std::uint64_t stuff_bits_tx{};
   };
 
   explicit BitController(std::string name);
@@ -104,6 +108,10 @@ class BitController : public CanNode {
 
   /// Fault injection / test setup: force the error counters.
   void force_error_counters(int tec, int rec) { fault_.set_counters(tec, rec); }
+
+  /// Register this controller's Stats plus TEC/REC high-water gauges into a
+  /// metrics shard, every name prefixed "<prefix>." (harvest-time only).
+  void export_metrics(obs::Registry& reg, std::string_view prefix) const;
 
   // --- CanNode ------------------------------------------------------------
   void tick(sim::BitTime now) override;

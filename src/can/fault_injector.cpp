@@ -2,7 +2,16 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace mcan::can {
+
+void FaultInjector::export_metrics(obs::Registry& reg) const {
+  reg.counter("faults.random_flips") += stats_.random_flips;
+  reg.counter("faults.scheduled_flips") += stats_.scheduled_flips;
+  reg.counter("faults.stuck_bits") += stats_.stuck_bits;
+  reg.counter("faults.sample_slips") += stats_.sample_slips;
+}
 
 std::string_view to_string(FaultKind k) noexcept {
   switch (k) {

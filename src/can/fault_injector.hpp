@@ -44,6 +44,10 @@
 #include "sim/rng.hpp"
 #include "sim/types.hpp"
 
+namespace mcan::obs {
+class Registry;
+}  // namespace mcan::obs
+
 namespace mcan::can {
 
 /// What kind of fault a FaultInjected event describes (Event::a).
@@ -148,6 +152,9 @@ class FaultInjector {
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] const FaultSpec& spec() const noexcept { return spec_; }
+
+  /// Register the fault counters ("faults.*") into a metrics shard.
+  void export_metrics(obs::Registry& reg) const;
 
  private:
   struct SkewState {

@@ -1,8 +1,23 @@
 #include "core/monitor.hpp"
 
+#include <string>
+
 #include "can/bitstream.hpp"
+#include "obs/metrics.hpp"
 
 namespace mcan::core {
+
+void BitMonitor::export_metrics(obs::Registry& reg,
+                                std::string_view prefix) const {
+  const std::string p{prefix};
+  reg.counter(p + ".frames_observed") += stats_.frames_observed;
+  reg.counter(p + ".attacks_detected") += stats_.attacks_detected;
+  reg.counter(p + ".counterattacks") += stats_.counterattacks;
+  reg.counter(p + ".suppressed_self") += stats_.suppressed_self;
+  reg.counter(p + ".idle_bits") += stats_.idle_bits;
+  reg.counter(p + ".fsm_bits") += stats_.fsm_bits;
+  reg.counter(p + ".track_bits") += stats_.track_bits;
+}
 
 using sim::BitLevel;
 using sim::BitTime;

@@ -25,6 +25,10 @@
 #include "sim/event_log.hpp"
 #include "sim/types.hpp"
 
+namespace mcan::obs {
+class Registry;
+}  // namespace mcan::obs
+
 namespace mcan::core {
 
 struct MonitorConfig {
@@ -76,6 +80,11 @@ class BitMonitor {
   void on_bit(sim::BitTime now, sim::BitLevel value);
 
   [[nodiscard]] const MonitorStats& stats() const noexcept { return stats_; }
+
+  /// Register the detector's counters ("<prefix>.*", including the
+  /// per-path handler invocation counts behind the Sec. V-D CPU model)
+  /// into a metrics shard (harvest-time only).
+  void export_metrics(obs::Registry& reg, std::string_view prefix) const;
   [[nodiscard]] bool counterattack_active() const noexcept {
     return attacking_;
   }

@@ -1,0 +1,48 @@
+// Deterministic JSON fragment formatting shared by every observability
+// serializer (metrics registry, timeline exporter, campaign reports).
+//
+// Doubles are rendered shortest-round-trip via std::to_chars, so equal
+// doubles always produce equal text regardless of locale or stream state —
+// the foundation of the jobs=1-vs-N byte-identity guarantee.
+#pragma once
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+#include <string>
+
+namespace mcan::obs {
+
+/// Shortest round-trip decimal rendering — deterministic and locale-free.
+[[nodiscard]] inline std::string fmt_double(double v) {
+  std::array<char, 64> buf{};
+  const auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  if (ec != std::errc{}) return "0";
+  return std::string{buf.data(), ptr};
+}
+
+[[nodiscard]] inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::array<char, 8> buf{};
+          std::snprintf(buf.data(), buf.size(), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf.data();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace mcan::obs

@@ -1,0 +1,23 @@
+#include "obs/profile.hpp"
+
+#include <sstream>
+
+#include "obs/jsonfmt.hpp"
+
+namespace mcan::obs {
+
+std::string Profiler::to_json() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [name, ph] : phases_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":{\"calls\":" << ph.calls
+       << ",\"ms\":" << fmt_double(ph.total_ms) << "}";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace mcan::obs

@@ -1,0 +1,95 @@
+// Simulator self-profiling: named scoped wall-clock timers.
+//
+// A Profiler accumulates (call count, total wall milliseconds) per phase
+// name.  Like the metrics Registry it is a single-threaded value: each
+// campaign task owns one, and the reduction merges them in grid order.
+// Phase *times* are runtime facts (they vary run to run and are only ever
+// emitted inside the report's non-deterministic "runtime" block); phase
+// *call counts* are deterministic for a fixed config.
+//
+// The timers are intentionally coarse — around whole simulator phases
+// (task setup, the bus-step loop, result harvest, metrics export, timeline
+// render, campaign aggregation, report serialization), never per bit — so
+// the clock cost is a handful of steady_clock reads per task.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace mcan::obs {
+
+class Profiler {
+ public:
+  struct Phase {
+    std::uint64_t calls{};
+    double total_ms{};
+  };
+
+  /// RAII timer: records one call and the elapsed wall time on destruction.
+  class Scope {
+   public:
+    Scope(Profiler& p, std::string_view name)
+        : phase_(&p.phase(name)),
+          start_(std::chrono::steady_clock::now()) {}
+    ~Scope() {
+      ++phase_->calls;
+      phase_->total_ms +=
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start_)
+              .count();
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Phase* phase_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  [[nodiscard]] Scope scope(std::string_view name) {
+    return Scope(*this, name);
+  }
+
+  /// Record an externally-measured duration.
+  void add(std::string_view name, double ms, std::uint64_t calls = 1) {
+    auto& ph = phase(name);
+    ph.calls += calls;
+    ph.total_ms += ms;
+  }
+
+  /// Fold another profiler in (sums calls and milliseconds).  Summed times
+  /// from parallel workers read as aggregate CPU time, not wall time.
+  void merge(const Profiler& other) {
+    for (const auto& [name, ph] : other.phases_) {
+      add(name, ph.total_ms, ph.calls);
+    }
+  }
+
+  [[nodiscard]] const std::map<std::string, Phase, std::less<>>& phases()
+      const noexcept {
+    return phases_;
+  }
+  [[nodiscard]] double total_ms(std::string_view name) const {
+    const auto it = phases_.find(name);
+    return it == phases_.end() ? 0.0 : it->second.total_ms;
+  }
+  [[nodiscard]] bool empty() const noexcept { return phases_.empty(); }
+
+  /// {"phase":{"calls":n,"ms":x},...} in lexicographic phase order.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  [[nodiscard]] Phase& phase(std::string_view name) {
+    const auto it = phases_.find(name);
+    if (it != phases_.end()) return it->second;
+    return phases_.emplace(std::string{name}, Phase{}).first->second;
+  }
+
+  std::map<std::string, Phase, std::less<>> phases_;
+};
+
+}  // namespace mcan::obs

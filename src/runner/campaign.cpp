@@ -83,6 +83,7 @@ SpecAggregate aggregate_spec(const analysis::ExperimentSpec& spec,
     agg.restbus_frames_delivered += res.restbus_frames_delivered;
     agg.restbus_drops += res.restbus_drops;
     if (res.restbus_any_bus_off) ++agg.restbus_bus_off_runs;
+    agg.metrics.merge(res.metrics);
   }
 
   agg.busoff_ms = sim::summarize(pooled_cycles);
@@ -111,6 +112,14 @@ std::size_t CampaignReport::failed_tasks() const noexcept {
     if (!t.ok) ++n;
   }
   return n;
+}
+
+std::uint64_t CampaignReport::bits_simulated() const {
+  std::uint64_t bits = 0;
+  for (const auto& spec : specs) {
+    bits += spec.metrics.counter_value("bus.bits_simulated");
+  }
+  return bits;
 }
 
 CampaignReport run_campaign(const CampaignConfig& cfg) {
@@ -169,13 +178,34 @@ CampaignReport run_campaign(const CampaignConfig& cfg) {
   }
   pool.wait_idle();
 
+  const auto aggregate_start = Clock::now();
   report.specs.reserve(cfg.specs.size());
   for (std::size_t si = 0; si < cfg.specs.size(); ++si) {
     report.specs.push_back(
         aggregate_spec(cfg.specs[si], report.tasks, si, num_seeds));
   }
+  for (const auto& task : report.tasks) {
+    if (task.ok) report.profile.merge(task.result.profile);
+  }
+  report.profile.add("campaign.aggregate", elapsed_ms(aggregate_start));
   report.wall_ms = elapsed_ms(campaign_start);
   return report;
+}
+
+analysis::ExperimentResult rerun_cell(const CampaignConfig& cfg,
+                                      std::size_t spec_index,
+                                      std::uint64_t seed) {
+  if (spec_index >= cfg.specs.size()) {
+    throw std::out_of_range("rerun_cell: spec_index out of range");
+  }
+  if (seed < cfg.seeds.begin || seed >= cfg.seeds.end) {
+    throw std::out_of_range("rerun_cell: seed outside the campaign range");
+  }
+  auto spec = cfg.specs[spec_index];
+  spec.seed =
+      sim::derive_seed(sim::derive_seed(cfg.base_seed, spec_index), seed);
+  spec.capture_timeline = true;
+  return analysis::run_experiment(spec);
 }
 
 }  // namespace mcan::runner

@@ -113,6 +113,10 @@ struct SpecAggregate {
   std::uint64_t restbus_frames_delivered{};
   std::uint64_t restbus_drops{};
   std::size_t restbus_bus_off_runs{};
+
+  /// Per-task metrics shards merged in seed order — deterministic like every
+  /// other field here (counters sum, gauges max, histogram buckets sum).
+  obs::Registry metrics;
 };
 
 struct CampaignReport {
@@ -126,13 +130,30 @@ struct CampaignReport {
   // Runtime facts (excluded from the deterministic JSON section).
   unsigned jobs_used{};
   double wall_ms{};
+  /// Self-profile: per-task phase timings summed over the grid plus the
+  /// campaign-level aggregate pass.  Wall clocks — runtime info only.
+  obs::Profiler profile;
 
   [[nodiscard]] std::size_t failed_tasks() const noexcept;
+
+  /// Total bits simulated across every successful task (from the merged
+  /// `bus.bits_simulated` counters) — the numerator of the campaign's
+  /// bits-per-second throughput figure.
+  [[nodiscard]] std::uint64_t bits_simulated() const;
 };
 
 /// Run the grid.  Specs that fail validation or throw mid-run are recorded
 /// as failed tasks (crash isolation) — the campaign itself only throws if
 /// the config is unusable (no specs or an empty seed range).
 [[nodiscard]] CampaignReport run_campaign(const CampaignConfig& cfg);
+
+/// Re-run one (spec_index, seed) grid cell with timeline capture on,
+/// reproducing exactly the recording the campaign task saw (same two-level
+/// derived seed).  Backs `--trace-out`: the campaign itself never pays the
+/// per-event export cost.  Throws std::out_of_range for a bad spec_index or
+/// a seed outside the range.
+[[nodiscard]] analysis::ExperimentResult rerun_cell(const CampaignConfig& cfg,
+                                                    std::size_t spec_index,
+                                                    std::uint64_t seed);
 
 }  // namespace mcan::runner

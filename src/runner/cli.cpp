@@ -72,6 +72,9 @@ CliOptions parse_cli(int& argc, char** argv, CliOptions defaults) {
     } else if (arg.rfind("--report", 0) == 0 &&
                (arg.size() == 8 || arg[8] == '=')) {
       opts.report_path = take_value(i, arg, "--report");
+    } else if (arg.rfind("--trace-out", 0) == 0 &&
+               (arg.size() == 11 || arg[11] == '=')) {
+      opts.trace_path = take_value(i, arg, "--trace-out");
     } else {
       kept.push_back(argv[i]);
     }

@@ -9,6 +9,9 @@
 //   --jobs N        worker threads (0 = hardware concurrency)
 //   --seeds A..B    half-open seed range [A, B); "--seeds N" means [0, N)
 //   --report PATH   write the JSON report here
+//   --trace-out P   after the run, re-simulate the first grid cell with
+//                   timeline capture and write a Chrome trace-event JSON
+//                   there (plus a sibling .jsonl event dump)
 //   --progress      stream per-task progress to stderr
 #pragma once
 
@@ -22,6 +25,7 @@ struct CliOptions {
   unsigned jobs{1};
   SeedRange seeds{0, 8};
   std::string report_path;
+  std::string trace_path;
   bool progress{false};
 };
 

@@ -1,21 +1,16 @@
 #include "runner/fault_sweep.hpp"
 
 #include <array>
-#include <charconv>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/jsonfmt.hpp"
+
 namespace mcan::runner {
 namespace {
 
-std::string fmt_double(double v) {
-  std::array<char, 64> buf{};
-  const auto [ptr, ec] =
-      std::to_chars(buf.data(), buf.data() + buf.size(), v);
-  if (ec != std::errc{}) return "0";
-  return std::string{buf.data(), ptr};
-}
+using obs::fmt_double;
 
 FaultSweepRow distil_row(const SpecAggregate& agg, std::size_t scenario,
                          double ber) {
@@ -50,7 +45,7 @@ FaultSweepRow distil_row(const SpecAggregate& agg, std::size_t scenario,
 
 }  // namespace
 
-FaultSweepReport run_fault_sweep(const FaultSweepConfig& cfg) {
+CampaignConfig fault_sweep_campaign(const FaultSweepConfig& cfg) {
   if (cfg.base_specs.empty()) {
     throw std::invalid_argument("fault-sweep: no base specs");
   }
@@ -75,6 +70,11 @@ FaultSweepReport run_fault_sweep(const FaultSweepConfig& cfg) {
       campaign.specs.push_back(analysis::fault_variant(base, ber));
     }
   }
+  return campaign;
+}
+
+FaultSweepReport run_fault_sweep(const FaultSweepConfig& cfg) {
+  const CampaignConfig campaign = fault_sweep_campaign(cfg);
 
   FaultSweepReport report;
   report.bers = cfg.bers;

@@ -73,6 +73,12 @@ struct FaultSweepReport {
   CampaignReport campaign;
 };
 
+/// The campaign grid a sweep expands to (scenario-major, BER-minor spec
+/// order).  Exposed so drivers can address individual grid cells — e.g.
+/// rerun_cell() for `--trace-out` — with the same seeds the sweep used.
+/// Performs the same config validation as run_fault_sweep().
+[[nodiscard]] CampaignConfig fault_sweep_campaign(const FaultSweepConfig& cfg);
+
 /// Expand the grid, run it, distil the rows.  Throws std::invalid_argument
 /// on an unusable config (no specs, no BERs, a BER outside [0, 1)).
 [[nodiscard]] FaultSweepReport run_fault_sweep(const FaultSweepConfig& cfg);

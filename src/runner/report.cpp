@@ -1,46 +1,18 @@
 #include "runner/report.hpp"
 
 #include <array>
-#include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "obs/jsonfmt.hpp"
+
 namespace mcan::runner {
 namespace {
 
-/// Shortest round-trip decimal rendering — deterministic and locale-free.
-std::string fmt_double(double v) {
-  std::array<char, 64> buf{};
-  const auto [ptr, ec] =
-      std::to_chars(buf.data(), buf.data() + buf.size(), v);
-  if (ec != std::errc{}) return "0";
-  return std::string{buf.data(), ptr};
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          std::array<char, 8> buf{};
-          std::snprintf(buf.data(), buf.size(), "\\u%04x",
-                        static_cast<unsigned>(c));
-          out += buf.data();
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+using obs::fmt_double;
+using obs::json_escape;
 
 std::string fmt_hex_id(can::CanId id) {
   std::array<char, 16> buf{};
@@ -96,7 +68,8 @@ void put_spec(std::ostringstream& os, const SpecAggregate& spec) {
      << ",\"frames_sent\":" << spec.defender_frames_sent
      << "},\"restbus\":{\"frames\":" << spec.restbus_frames_delivered
      << ",\"drops\":" << spec.restbus_drops
-     << ",\"bus_off_runs\":" << spec.restbus_bus_off_runs << "}}";
+     << ",\"bus_off_runs\":" << spec.restbus_bus_off_runs
+     << "},\"metrics\":" << spec.metrics.to_json() << "}";
 }
 
 void put_task(std::ostringstream& os, const TaskResult& task) {
@@ -117,6 +90,7 @@ void put_task(std::ostringstream& os, const TaskResult& task) {
 }  // namespace
 
 std::string to_json(const CampaignReport& report, JsonOptions opts) {
+  const auto serialize_start = std::chrono::steady_clock::now();
   std::ostringstream os;
   os << "{\"schema\":\"michican.campaign.v1\",\"base_seed\":"
      << report.base_seed << ",\"seeds\":{\"begin\":" << report.seeds.begin
@@ -135,13 +109,27 @@ std::string to_json(const CampaignReport& report, JsonOptions opts) {
     os << "]";
   }
   if (opts.include_runtime) {
+    // Wall clock spent rendering the deterministic section above — the
+    // "report serialization" phase of the self-profile.
+    const double serialize_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - serialize_start)
+            .count();
     std::vector<double> task_wall;
     task_wall.reserve(report.tasks.size());
     for (const auto& t : report.tasks) task_wall.push_back(t.wall_ms);
+    const std::uint64_t bits = report.bits_simulated();
+    const double sim_ms = report.profile.total_ms("task.sim");
     os << ",\"runtime\":{\"jobs\":" << report.jobs_used
        << ",\"wall_ms\":" << fmt_double(report.wall_ms)
        << ",\"task_wall_ms\":";
     put_summary(os, sim::summarize(task_wall));
+    os << ",\"perf\":{\"phases\":" << report.profile.to_json()
+       << ",\"serialize_ms\":" << fmt_double(serialize_ms)
+       << ",\"bits_simulated\":" << bits << ",\"bits_per_second\":"
+       << fmt_double(sim_ms > 0 ? static_cast<double>(bits) / (sim_ms / 1e3)
+                                : 0.0)
+       << "}";
     if (opts.baseline_wall_ms > 0) {
       os << ",\"baseline_jobs\":1,\"baseline_wall_ms\":"
          << fmt_double(opts.baseline_wall_ms) << ",\"speedup\":"

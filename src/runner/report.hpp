@@ -18,13 +18,22 @@
 //       "faults": {"random_flips": <n>, "scheduled_flips": <n>,
 //                  "stuck_bits": <n>, "sample_slips": <n>},
 //       "defender": {"bus_off_runs": <n>, "max_tec": <n>, "max_rec": <n>},
-//       "restbus": {"frames": <n>, "drops": <n>, "bus_off_runs": <n>}
+//       "restbus": {"frames": <n>, "drops": <n>, "bus_off_runs": <n>},
+//       "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}}
 //     }],
 //     "tasks": [{"spec": <i>, "seed": <u64>, "derived_seed": <u64>,
 //                "ok": <bool>, "error": <str?>, "cycles": <n>,
 //                "counterattacks": <n>}],
-//     "runtime": {"jobs": <n>, "wall_ms": <f>, "task_wall_ms": {summary}}
+//     "runtime": {"jobs": <n>, "wall_ms": <f>, "task_wall_ms": {summary},
+//                 "perf": {"phases": {"<phase>": {"calls","ms"}, ...},
+//                          "serialize_ms": <f>, "bits_simulated": <u64>,
+//                          "bits_per_second": <f>}}
 //   }
+//
+// Per-spec "metrics" are the merged per-task registry shards (counters sum,
+// gauges max, histogram buckets sum; merged in seed order) — deterministic
+// like the rest of the section.  "perf" holds wall clocks and lives inside
+// the runtime object, which stays excluded by default.
 //
 // Everything except the "runtime" object is a pure function of
 // (specs, seed range, base_seed): rendering the same campaign with any

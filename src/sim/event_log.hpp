@@ -6,6 +6,7 @@
 // detection latency, retransmission counts.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -36,6 +37,13 @@ enum class EventKind : std::uint8_t {
                       // a = can::FaultKind, b = kind-specific (level/node)
   Custom,             // free-form; see detail
 };
+
+/// Number of EventKind members.  Custom must stay the last member; the
+/// to_string() exhaustiveness test iterates [0, kEventKindCount) and the
+/// timeline exporter's switch has no default, so extending the enum
+/// without updating both is a compile/test failure, not a silent gap.
+inline constexpr std::size_t kEventKindCount =
+    static_cast<std::size_t>(EventKind::Custom) + 1;
 
 [[nodiscard]] std::string_view to_string(EventKind k) noexcept;
 

@@ -1,0 +1,159 @@
+// Metrics-registry and profiler semantics: the shard-per-worker model only
+// works if merge is associative over shards and serialization is a pure
+// function of the merged content.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "obs/jsonfmt.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+
+namespace mcan::obs {
+namespace {
+
+TEST(Registry, CountersAccumulateAndDefaultToZero) {
+  Registry reg;
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.counter_value("missing"), 0u);
+
+  reg.counter("bits") += 10;
+  auto& c = reg.counter("bits");  // cached reference, hot-path style
+  c += 5;
+  EXPECT_EQ(reg.counter_value("bits"), 15u);
+  EXPECT_FALSE(reg.empty());
+}
+
+TEST(Registry, MergeSumsCountersAndMaxesGauges) {
+  Registry a;
+  a.counter("frames") += 3;
+  a.gauge("tec") = 96;
+
+  Registry b;
+  b.counter("frames") += 4;
+  b.counter("only_b") += 1;
+  b.gauge("tec") = 32;
+
+  a.merge(b);
+  EXPECT_EQ(a.counter_value("frames"), 7u);
+  EXPECT_EQ(a.counter_value("only_b"), 1u);
+  EXPECT_EQ(a.gauge_value("tec"), 96);
+
+  Registry c;
+  c.gauge("tec") = 128;
+  a.merge(c);
+  EXPECT_EQ(a.gauge_value("tec"), 128);
+}
+
+TEST(Registry, MergeIsOrderIndependent) {
+  // Three worker shards merged in different orders must serialize
+  // identically — the campaign's jobs=1-vs-N byte-identity in miniature.
+  const auto shard = [](std::uint64_t n) {
+    Registry r;
+    r.counter("x") += n;
+    r.gauge("g") = static_cast<std::int64_t>(n);
+    r.histogram("h", {1.0, 2.0}).observe(static_cast<double>(n));
+    return r;
+  };
+  Registry fwd;
+  for (const auto n : {1u, 2u, 3u}) fwd.merge(shard(n));
+  Registry rev;
+  for (const auto n : {3u, 2u, 1u}) rev.merge(shard(n));
+  EXPECT_EQ(fwd.to_json(), rev.to_json());
+}
+
+TEST(Histogram, ObserveUsesInclusiveUpperBounds) {
+  Registry reg;
+  auto& h = reg.histogram("lat", {1.0, 2.0, 4.0});
+  h.observe(0.5);  // <= 1        -> bucket 0
+  h.observe(1.0);  // == bound    -> bucket 0 (inclusive)
+  h.observe(3.0);  //             -> bucket 2
+  h.observe(9.0);  // > last      -> overflow
+  ASSERT_EQ(h.buckets.size(), 4u);
+  EXPECT_EQ(h.buckets[0], 2u);
+  EXPECT_EQ(h.buckets[1], 0u);
+  EXPECT_EQ(h.buckets[2], 1u);
+  EXPECT_EQ(h.buckets[3], 1u);
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_DOUBLE_EQ(h.sum, 13.5);
+}
+
+TEST(Histogram, MergeSumsBucketsAndRejectsBoundMismatch) {
+  Registry a;
+  a.histogram("h", {1.0, 2.0}).observe(0.5);
+  Registry b;
+  b.histogram("h", {1.0, 2.0}).observe(5.0);
+  a.merge(b);
+  const auto* h = a.find_histogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2u);
+  EXPECT_EQ(h->buckets[0], 1u);
+  EXPECT_EQ(h->buckets[2], 1u);
+
+  Registry c;
+  (void)c.histogram("h", {1.0, 3.0});
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+  EXPECT_THROW((void)a.histogram("h", {9.0}), std::invalid_argument);
+}
+
+TEST(Registry, ToJsonIsSortedAndStable) {
+  Registry reg;
+  reg.counter("z.last") += 1;
+  reg.counter("a.first") += 2;
+  reg.gauge("g") = -7;
+  reg.histogram("h", {0.5}).observe(0.25);
+
+  const auto json = reg.to_json();
+  // std::map ordering: "a.first" renders before "z.last".
+  EXPECT_LT(json.find("a.first"), json.find("z.last"));
+  EXPECT_NE(json.find("\"g\":-7"), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\":[0.5]"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_EQ(json, reg.to_json());
+
+  EXPECT_EQ(Registry{}.to_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(Profiler, AddAndMergeSumPhases) {
+  Profiler a;
+  a.add("sim", 10.0);
+  a.add("sim", 5.0);
+  a.add("harvest", 1.0);
+
+  Profiler b;
+  b.add("sim", 2.5, 3);
+
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.total_ms("sim"), 17.5);
+  EXPECT_DOUBLE_EQ(a.total_ms("missing"), 0.0);
+  ASSERT_EQ(a.phases().count("sim"), 1u);
+  EXPECT_EQ(a.phases().at("sim").calls, 5u);
+
+  const auto json = a.to_json();
+  EXPECT_NE(json.find("\"sim\":{\"calls\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"harvest\""), std::string::npos);
+}
+
+TEST(Profiler, ScopeMeasuresNonNegativeTime) {
+  Profiler p;
+  EXPECT_TRUE(p.empty());
+  {
+    const auto s = p.scope("work");
+    (void)s;
+  }
+  EXPECT_FALSE(p.empty());
+  EXPECT_EQ(p.phases().at("work").calls, 1u);
+  EXPECT_GE(p.total_ms("work"), 0.0);
+}
+
+TEST(JsonFmt, DoubleRoundTripAndEscapes) {
+  EXPECT_EQ(fmt_double(0.5), "0.5");
+  EXPECT_EQ(fmt_double(-3.0), "-3");
+  EXPECT_EQ(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_EQ(json_escape(std::string{"\x01"}), "\\u0001");
+}
+
+}  // namespace
+}  // namespace mcan::obs

@@ -183,5 +183,42 @@ TEST(EventKindNames, AllDistinct) {
             static_cast<std::size_t>(EventKind::Custom) + 1);
 }
 
+// A switch with no default over every member: adding an EventKind without
+// updating this function (and, by the same rule, to_string and the timeline
+// exporter) is a -Wswitch -Werror build failure, not a silent gap.
+constexpr bool covers_every_kind(EventKind k) {
+  switch (k) {
+    case EventKind::FrameTxStart:
+    case EventKind::FrameTxSuccess:
+    case EventKind::FrameRxSuccess:
+    case EventKind::ArbitrationLost:
+    case EventKind::TxError:
+    case EventKind::RxError:
+    case EventKind::ErrorStateChange:
+    case EventKind::BusOff:
+    case EventKind::BusOffRecovered:
+    case EventKind::SuspendStart:
+    case EventKind::AttackDetected:
+    case EventKind::CounterattackStart:
+    case EventKind::CounterattackEnd:
+    case EventKind::OverloadFrame:
+    case EventKind::FaultInjected:
+    case EventKind::Custom:
+      return true;
+  }
+  return false;
+}
+
+TEST(EventKindNames, ToStringIsExhaustive) {
+  EXPECT_EQ(kEventKindCount, static_cast<std::size_t>(EventKind::Custom) + 1);
+  for (std::size_t k = 0; k < kEventKindCount; ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    EXPECT_TRUE(covers_every_kind(kind));
+    const auto name = to_string(kind);
+    EXPECT_FALSE(name.empty()) << "EventKind " << k << " has no name";
+    EXPECT_NE(name, "Unknown") << "EventKind " << k << " misses its case";
+  }
+}
+
 }  // namespace
 }  // namespace mcan::sim

@@ -1,0 +1,185 @@
+// Timeline-exporter regression: the Fig. 6 scenario (Exp. 5, two
+// intertwined attackers) rendered as Chrome trace-event JSON for a fixed
+// seed is diffed against a checked-in golden file, plus structural checks
+// on the trace and JSONL dumps and the campaign-level determinism guarantee
+// (metrics block included) across worker counts.
+//
+//   MICHICAN_UPDATE_GOLDEN=1 ./test_timeline
+//
+// rewrites tests/golden/fig6_trace_events.json from the current simulation.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/experiments.hpp"
+#include "obs/timeline.hpp"
+#include "runner/campaign.hpp"
+#include "runner/report.hpp"
+
+#ifndef MICHICAN_GOLDEN_DIR
+#error "MICHICAN_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace mcan {
+namespace {
+
+constexpr std::uint64_t kGoldenSeed = 42;
+
+std::string golden_path() {
+  return std::string{MICHICAN_GOLDEN_DIR} + "/fig6_trace_events.json";
+}
+
+analysis::ExperimentResult run_fig6() {
+  auto spec = analysis::table2_experiment(5);
+  spec.duration_ms = 120.0;  // one joint bus-off cycle
+  spec.seed = kGoldenSeed;
+  spec.capture_timeline = true;
+  return analysis::run_experiment(spec);
+}
+
+/// Brace/bracket balance outside of strings — catches unterminated arrays,
+/// stray commas closing objects early, and unescaped quotes without
+/// needing a JSON parser dependency.
+bool json_structure_balanced(const std::string& s) {
+  int depth = 0;
+  bool in_str = false;
+  bool esc = false;
+  for (const char c : s) {
+    if (in_str) {
+      if (esc) {
+        esc = false;
+      } else if (c == '\\') {
+        esc = true;
+      } else if (c == '"') {
+        in_str = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_str = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_str;
+}
+
+TEST(Timeline, Fig6TraceMatchesGoldenFile) {
+  const auto res = run_fig6();
+  ASSERT_FALSE(res.timeline_json.empty());
+
+  if (std::getenv("MICHICAN_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out{golden_path(), std::ios::binary};
+    ASSERT_TRUE(out) << "cannot write " << golden_path();
+    out << res.timeline_json;
+    GTEST_SKIP() << "golden file regenerated: " << golden_path();
+  }
+
+  std::ifstream in{golden_path(), std::ios::binary};
+  ASSERT_TRUE(in) << "missing golden file " << golden_path()
+                  << " — regenerate with MICHICAN_UPDATE_GOLDEN=1";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(res.timeline_json, expected.str())
+      << "the Fig. 6 trace-event timeline changed; if the protocol change "
+         "is intentional, rerun with MICHICAN_UPDATE_GOLDEN=1 and review "
+         "the diff";
+}
+
+TEST(Timeline, TraceIsStructurallyValidChromeJson) {
+  const auto res = run_fig6();
+  const auto& json = res.timeline_json;
+  EXPECT_TRUE(json_structure_balanced(json));
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\"", 0), 0u);
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("michican.trace.v1"), std::string::npos);
+  // One track per node plus the bus track, named via metadata events.
+  EXPECT_NE(json.find("\"name\":\"bus\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"attacker1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"attacker2\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"defender\""), std::string::npos);
+  // The recording's protocol activity shows up as slices and instants.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"counterattack\""), std::string::npos);
+  EXPECT_NE(json.find("\"bus-off\""), std::string::npos);
+}
+
+TEST(Timeline, JsonlHasOneLinePerEvent) {
+  const auto res = run_fig6();
+  ASSERT_FALSE(res.events_jsonl.empty());
+  std::size_t lines = 0;
+  std::istringstream in{res.events_jsonl};
+  std::string line;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_TRUE(json_structure_balanced(line));
+    ++lines;
+  }
+  EXPECT_EQ(lines, res.metrics.counter_value("bus.events"));
+  EXPECT_NE(res.events_jsonl.find("\"kind\":\"BusOff\""), std::string::npos);
+}
+
+TEST(Timeline, ExportIsDeterministic) {
+  const auto a = run_fig6();
+  const auto b = run_fig6();
+  EXPECT_EQ(a.timeline_json, b.timeline_json);
+  EXPECT_EQ(a.events_jsonl, b.events_jsonl);
+}
+
+TEST(CampaignMetrics, ReportIsByteIdenticalAcrossWorkerCounts) {
+  runner::CampaignConfig cfg;
+  cfg.specs = {analysis::table2_experiment(5)};
+  cfg.specs[0].duration_ms = 250.0;
+  cfg.seeds = {0, 4};
+
+  cfg.jobs = 1;
+  const auto serial = runner::run_campaign(cfg);
+  cfg.jobs = 4;
+  const auto parallel = runner::run_campaign(cfg);
+
+  // Default JsonOptions exclude the runtime block: everything that remains
+  // — the merged metrics registries included — must not depend on thread
+  // scheduling.
+  const auto a = runner::to_json(serial);
+  const auto b = runner::to_json(parallel);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"metrics\":{"), std::string::npos);
+  EXPECT_NE(a.find("bus.bits_simulated"), std::string::npos);
+  EXPECT_NE(a.find("monitor.detection_bit"), std::string::npos);
+
+  // The registry itself merged identically, not just its rendering.
+  EXPECT_EQ(serial.specs.at(0).metrics.to_json(),
+            parallel.specs.at(0).metrics.to_json());
+  EXPECT_GT(serial.bits_simulated(), 0u);
+}
+
+TEST(CampaignMetrics, RerunCellReproducesTheTaskRecording) {
+  runner::CampaignConfig cfg;
+  cfg.specs = {analysis::table2_experiment(4)};
+  cfg.specs[0].duration_ms = 200.0;
+  cfg.seeds = {3, 5};
+
+  const auto report = runner::run_campaign(cfg);
+  const auto& task = report.tasks.at(0);  // (spec 0, seed 3)
+  ASSERT_TRUE(task.ok);
+
+  const auto replay = runner::rerun_cell(cfg, 0, 3);
+  EXPECT_EQ(replay.spec.seed, task.derived_seed);
+  EXPECT_FALSE(replay.timeline_json.empty());
+  EXPECT_EQ(replay.metrics.to_json(), task.result.metrics.to_json());
+
+  EXPECT_THROW((void)runner::rerun_cell(cfg, 1, 3), std::out_of_range);
+  EXPECT_THROW((void)runner::rerun_cell(cfg, 0, 5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mcan
