@@ -37,7 +37,7 @@ void print_counterattack_spike() {
   // Exp. 3 with restbus: compare the bus busy fraction inside bus-off
   // windows against quiet windows.
   auto spec = analysis::table2_experiment(3);
-  spec.duration_ms = 2000;
+  spec.duration = sim::Millis{2000};
   const auto res = analysis::run_experiment(spec);
 
   // One clean 8-byte frame at 50 kbit/s is ~2.5 ms; a counterattacked one
@@ -66,13 +66,13 @@ void print_counterattack_spike() {
 void print_defense_off_baseline() {
   auto spec = analysis::table2_experiment(3);
   spec.defense_enabled = false;
-  spec.duration_ms = 500;
+  spec.duration = sim::Millis{500};
   const auto res = analysis::run_experiment(spec);
   analysis::AsciiTable t{{"Scenario", "Busy fraction", "Attacker bused off?"}};
   t.add_row({"defense disabled (flood rules the bus)",
              fmt_pct(res.busy_fraction), "no"});
   auto spec_on = analysis::table2_experiment(3);
-  spec_on.duration_ms = 500;
+  spec_on.duration = sim::Millis{500};
   const auto on = analysis::run_experiment(spec_on);
   t.add_row({"MichiCAN enabled", fmt_pct(on.busy_fraction),
              on.attackers[0].busoff_count > 0 ? "yes" : "no"});
@@ -81,7 +81,7 @@ void print_defense_off_baseline() {
 
 void BM_BusLoadMeasurement(benchmark::State& state) {
   auto spec = analysis::table2_experiment(3);
-  spec.duration_ms = 200;
+  spec.duration = sim::Millis{200};
   for (auto _ : state) {
     auto res = analysis::run_experiment(spec);
     benchmark::DoNotOptimize(res.busy_fraction);

@@ -18,7 +18,7 @@ using sim::EventKind;
 
 void print_pattern() {
   auto spec = analysis::table2_experiment(5);
-  spec.duration_ms = 120.0;  // one joint cycle is enough for the figure
+  spec.duration = sim::Millis{120.0};  // one joint cycle is enough for the figure
   const auto res = analysis::run_experiment(spec);
 
   std::cout << "Fig. 6: bus waveform of the first joint bus-off cycle\n"
@@ -53,7 +53,7 @@ void print_pattern() {
 
 void BM_Fig6Cycle(benchmark::State& state) {
   auto spec = analysis::table2_experiment(5);
-  spec.duration_ms = 120.0;
+  spec.duration = sim::Millis{120.0};
   for (auto _ : state) {
     auto res = analysis::run_experiment(spec);
     benchmark::DoNotOptimize(res);

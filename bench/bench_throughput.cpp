@@ -1,9 +1,16 @@
 // Simulator self-profiling baseline: bits simulated per wall-clock second
-// across scenarios of increasing protocol activity, plus the cost of the
-// observability layer itself (metrics-harvest share and timeline-capture
-// on-vs-off overhead).
+// across scenarios of increasing protocol activity, the speedup of the
+// quiescence-skipping kernel over the naive per-bit kernel, and the cost of
+// the observability layer itself (metrics-harvest share and
+// timeline-capture on-vs-off overhead).
 //
-//   bench_throughput [--seeds N] [--report PATH]
+//   bench_throughput [--seeds N] [--report PATH] [--no-fast-path]
+//
+// The workload mix comes from analysis::ScenarioRegistry — the same names
+// `michican_cli list-scenarios` prints — so a scenario row here and a
+// campaign invocation mean the same spec.  Every scenario runs twice, fast
+// path on and off; both recordings are byte-identical (the equivalence
+// tests enforce it), so the speedup column isolates pure kernel cost.
 //
 // --seeds N controls the repetitions per scenario (default 3; each rep uses
 // its own seed so the recordings differ).  The report is
@@ -13,7 +20,10 @@
 //     "reps": <n>, "duration_ms": <f>,
 //     "scenarios": [{"name": <str>, "bits": <u64>, "sim_ms": <f>,
 //                    "bits_per_second": <f>, "events": <u64>,
-//                    "busy_fraction": <f>}],
+//                    "busy_fraction": <f>, "bits_skipped": <u64>,
+//                    "naive_sim_ms": <f>, "naive_bits_per_second": <f>,
+//                    "speedup": <f>}],
+//     "fast_path_speedup": <f>,   // the idle-heavy rest-bus scenario's row
 //     "overhead": {"scenario": <str>, "trace_off_ms": <f>,
 //                  "trace_on_ms": <f>, "trace_overhead_pct": <f>,
 //                  "metrics_phase_pct": <f>}
@@ -27,6 +37,7 @@
 #include <vector>
 
 #include "analysis/experiments.hpp"
+#include "analysis/scenarios.hpp"
 #include "analysis/table.hpp"
 #include "obs/jsonfmt.hpp"
 #include "obs/timeline.hpp"
@@ -38,74 +49,93 @@ using namespace mcan;
 using analysis::fmt;
 using obs::fmt_double;
 
+/// Registry names of the workload mix, in increasing protocol activity.
+/// kIdleHeavy is the CI reference row for the fast-path speedup gate: a
+/// periodic defender plus the replayed rest-bus matrix leaves most of the
+/// 50 kbit/s bus quiescent — exactly the regime the skipping kernel targets.
+constexpr const char* kScenarioNames[] = {
+    "idle-bus",         "restbus-idle", "controllers-only",
+    "exp2",             "exp5",         "dos-ber1e-4"};
+constexpr const char* kIdleHeavy = "restbus-idle";
+
 struct ScenarioRun {
   std::string name;
   std::uint64_t bits{};
-  double sim_ms{};      // wall clock inside bus.run_ms, summed over reps
+  double sim_ms{};      // wall clock inside bus.run, summed over reps
   double total_ms{};    // whole run_experiment wall clock, summed over reps
   double metrics_ms{};  // metrics-harvest phase, summed over reps
   std::uint64_t events{};
-  double busy_fraction{};  // of the last rep
+  std::uint64_t bits_skipped{};  // covered by the quiescence-skipping kernel
+  double busy_fraction{};        // of the last rep
+  double naive_sim_ms{};         // same reps with the fast path off
+  std::uint64_t naive_bits{};
 
   [[nodiscard]] double bits_per_second() const {
     return sim_ms > 0 ? static_cast<double>(bits) / (sim_ms / 1e3) : 0.0;
   }
+  [[nodiscard]] double naive_bits_per_second() const {
+    return naive_sim_ms > 0
+               ? static_cast<double>(naive_bits) / (naive_sim_ms / 1e3)
+               : 0.0;
+  }
+  /// Fast-kernel throughput over naive-kernel throughput (1 = no gain).
+  [[nodiscard]] double speedup() const {
+    const double naive = naive_bits_per_second();
+    return naive > 0 ? bits_per_second() / naive : 0.0;
+  }
 };
 
-std::vector<analysis::ExperimentSpec> scenarios(double duration_ms) {
-  std::vector<analysis::ExperimentSpec> specs;
-
-  analysis::ExperimentSpec idle;
-  idle.label = "idle_bus";
-  idle.defender_period_ms = 0;  // silent defender, empty bus
-  specs.push_back(idle);
-
-  analysis::ExperimentSpec busy;
-  busy.label = "controllers_only";
-  busy.defender_period_ms = 10.0;
-  busy.restbus = true;  // replayed Veh. D matrix, no attackers
-  specs.push_back(busy);
-
-  auto spoof = analysis::table2_experiment(2);
-  spoof.label = "spoof_isolated";
-  specs.push_back(spoof);
-
-  auto multi = analysis::table2_experiment(5);
-  multi.label = "two_attackers";
-  specs.push_back(multi);
-
-  auto noisy = analysis::fault_variant(analysis::table2_experiment(4), 1e-4);
-  noisy.label = "dos_ber1e-4";
-  specs.push_back(noisy);
-
-  for (auto& s : specs) s.duration_ms = duration_ms;
-  return specs;
+analysis::ExperimentSpec bench_spec(const std::string& name,
+                                    double duration_ms) {
+  auto spec = analysis::ScenarioRegistry::built_in().make(name);
+  spec.duration = sim::Millis{duration_ms};
+  spec.capture_timeline = false;
+  return spec;
 }
 
-ScenarioRun run_scenario(analysis::ExperimentSpec spec, std::size_t reps,
-                         bool capture_timeline) {
-  ScenarioRun run;
-  run.name = spec.label;
+/// Accumulate `reps` recordings of `spec` into `run` (fast-path flavour
+/// fills the primary columns, naive flavour the naive_* ones).
+void accumulate(ScenarioRun& run, analysis::ExperimentSpec spec,
+                std::size_t reps, bool fast_path, bool capture_timeline) {
+  spec.fast_path = fast_path;
   spec.capture_timeline = capture_timeline;
   for (std::size_t rep = 0; rep < reps; ++rep) {
     spec.seed = 42 + rep;
     const auto res = analysis::run_experiment(spec);
-    run.bits += res.metrics.counter_value("bus.bits_simulated");
-    run.events += res.metrics.counter_value("bus.events");
-    run.sim_ms += res.profile.total_ms("task.sim");
-    for (const auto& [name, phase] : res.profile.phases()) {
-      run.total_ms += phase.total_ms;
+    const auto bits = res.metrics.counter_value("bus.bits_simulated");
+    const auto sim_ms = res.profile.total_ms("task.sim");
+    if (fast_path) {
+      run.bits += bits;
+      run.events += res.metrics.counter_value("bus.events");
+      run.sim_ms += sim_ms;
+      for (const auto& [name, phase] : res.profile.phases()) {
+        run.total_ms += phase.total_ms;
+      }
+      run.metrics_ms += res.profile.total_ms("task.metrics");
+      run.bits_skipped += res.bits_skipped;
+      run.busy_fraction = res.busy_fraction;
+    } else {
+      run.naive_bits += bits;
+      run.naive_sim_ms += sim_ms;
     }
-    run.metrics_ms += res.profile.total_ms("task.metrics");
-    run.busy_fraction = res.busy_fraction;
   }
+}
+
+ScenarioRun run_scenario(const std::string& name, double duration_ms,
+                         std::size_t reps, bool capture_timeline) {
+  ScenarioRun run;
+  run.name = name;
+  accumulate(run, bench_spec(name, duration_ms), reps, /*fast_path=*/true,
+             capture_timeline);
+  accumulate(run, bench_spec(name, duration_ms), reps, /*fast_path=*/false,
+             capture_timeline);
   return run;
 }
 
 bool write_report(const std::string& path,
                   const std::vector<ScenarioRun>& runs, std::size_t reps,
-                  double duration_ms, const ScenarioRun& trace_off,
-                  const ScenarioRun& trace_on) {
+                  double duration_ms, double fast_path_speedup,
+                  const ScenarioRun& trace_off, const ScenarioRun& trace_on) {
   std::string os;
   os += "{\"schema\":\"michican.throughput.v1\",\"reps\":";
   os += std::to_string(reps);
@@ -119,7 +149,11 @@ bool write_report(const std::string& path,
     os += ",\"sim_ms\":" + fmt_double(r.sim_ms);
     os += ",\"bits_per_second\":" + fmt_double(r.bits_per_second());
     os += ",\"events\":" + std::to_string(r.events);
-    os += ",\"busy_fraction\":" + fmt_double(r.busy_fraction) + "}";
+    os += ",\"busy_fraction\":" + fmt_double(r.busy_fraction);
+    os += ",\"bits_skipped\":" + std::to_string(r.bits_skipped);
+    os += ",\"naive_sim_ms\":" + fmt_double(r.naive_sim_ms);
+    os += ",\"naive_bits_per_second\":" + fmt_double(r.naive_bits_per_second());
+    os += ",\"speedup\":" + fmt_double(r.speedup()) + "}";
   }
   const double overhead_pct =
       trace_off.total_ms > 0
@@ -130,7 +164,8 @@ bool write_report(const std::string& path,
                                  ? 100.0 * trace_off.metrics_ms /
                                        trace_off.total_ms
                                  : 0.0;
-  os += "],\"overhead\":{\"scenario\":\"" + obs::json_escape(trace_off.name);
+  os += "],\"fast_path_speedup\":" + fmt_double(fast_path_speedup);
+  os += ",\"overhead\":{\"scenario\":\"" + obs::json_escape(trace_off.name);
   os += "\",\"trace_off_ms\":" + fmt_double(trace_off.total_ms);
   os += ",\"trace_on_ms\":" + fmt_double(trace_on.total_ms);
   os += ",\"trace_overhead_pct\":" + fmt_double(overhead_pct);
@@ -150,27 +185,34 @@ int main(int argc, char** argv) {
   const double duration_ms = 500.0;
 
   std::vector<ScenarioRun> runs;
-  for (const auto& spec : scenarios(duration_ms)) {
-    runs.push_back(run_scenario(spec, reps, /*capture_timeline=*/false));
+  for (const char* name : kScenarioNames) {
+    runs.push_back(
+        run_scenario(name, duration_ms, reps, /*capture_timeline=*/false));
   }
 
+  double fast_path_speedup = 0.0;
   analysis::AsciiTable t{{"Scenario", "Bits", "Sim (ms)", "Mbit/s (sim)",
-                          "Events", "Busy"}};
+                          "Skipped", "Speedup", "Busy"}};
   for (const auto& r : runs) {
+    if (r.name == kIdleHeavy) fast_path_speedup = r.speedup();
     t.add_row({r.name, std::to_string(r.bits), fmt(r.sim_ms, 1),
-               fmt(r.bits_per_second() / 1e6, 2), std::to_string(r.events),
+               fmt(r.bits_per_second() / 1e6, 2),
+               std::to_string(r.bits_skipped), fmt(r.speedup(), 2) + "x",
                analysis::fmt_pct(r.busy_fraction)});
   }
   t.print(std::cout, "Simulated-bit throughput (" + std::to_string(reps) +
-                         " reps x " + fmt(duration_ms, 0) + " ms at 50 kbit/s):");
+                         " reps x " + fmt(duration_ms, 0) +
+                         " ms at 50 kbit/s, fast vs naive kernel):");
+  std::cout << "fast-path speedup on " << kIdleHeavy << ": "
+            << fmt(fast_path_speedup, 2) << "x\n";
 
   // Observability overhead, measured on the busiest attack scenario: the
   // timeline exporter is the only per-event cost, everything else is
   // counter increments and a harvest pass.
-  const auto trace_off =
-      run_scenario(scenarios(duration_ms)[3], reps, /*capture_timeline=*/false);
-  const auto trace_on =
-      run_scenario(scenarios(duration_ms)[3], reps, /*capture_timeline=*/true);
+  const auto trace_off = run_scenario(kScenarioNames[4], duration_ms, reps,
+                                      /*capture_timeline=*/false);
+  const auto trace_on = run_scenario(kScenarioNames[4], duration_ms, reps,
+                                     /*capture_timeline=*/true);
   const double overhead_pct =
       trace_off.total_ms > 0
           ? 100.0 * (trace_on.total_ms - trace_off.total_ms) /
@@ -191,8 +233,8 @@ int main(int argc, char** argv) {
   }
 
   if (!opts.report_path.empty()) {
-    if (write_report(opts.report_path, runs, reps, duration_ms, trace_off,
-                     trace_on)) {
+    if (write_report(opts.report_path, runs, reps, duration_ms,
+                     fast_path_speedup, trace_off, trace_on)) {
       std::cout << "JSON report: " << opts.report_path << "\n";
     } else {
       std::cerr << "error: could not write " << opts.report_path << "\n";

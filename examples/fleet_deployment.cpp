@@ -33,7 +33,7 @@ Outcome run(core::DeploymentPolicy policy) {
   attack::Attacker attacker{"attacker", acfg};
   attacker.attach_to(bus);
 
-  bus.run_ms(1000.0);
+  bus.run_for(sim::Millis{1000.0});
 
   Outcome out;
   out.full = fleet.full_nodes();

@@ -1,32 +1,14 @@
 // michican_cli — drive the library from the command line.
 //
-//   michican_cli experiment <1..6> [seed] [duration_ms]
-//       run one of the paper's Table II experiments and print the outcome
-//   michican_cli campaign [exp...] [--jobs N] [--seeds A..B]
-//                         [--report PATH] [--trace-out PATH] [--progress]
-//       fan the listed experiments (default: all six) over a seed range
-//       across a worker pool and print/write the aggregated statistics;
-//       results are bit-identical for any --jobs value.  --trace-out
-//       re-simulates the first grid cell with timeline capture and writes
-//       a Chrome trace-event JSON (plus a sibling .jsonl event dump)
-//   michican_cli sweep [max_attackers]
-//       multi-attacker total-bus-off sweep (Sec. V-C)
-//   michican_cli fault-sweep [scenario...] [--bers B1,B2,..] [--jobs N]
-//                            [--seeds A..B] [--report PATH] [--progress]
-//       robustness campaign: sweep bit-error rate x attacker scenario
-//       (spoof | dos | ef) and report detection FP/FN rates, defender
-//       TEC/REC cleanliness and bus-off degradation vs the clean bus
-//   michican_cli trace <1..6|spoof|dos|ef> [seed] [duration_ms]
-//                      [--out PATH] [--jsonl PATH]
-//       run one recording with timeline capture and write a Chrome
-//       trace-event JSON (open in Perfetto or chrome://tracing; one track
-//       per node plus a bus track) and optionally a JSONL event dump
-//   michican_cli latency [num_fsms]
-//       detection-latency study (Sec. V-B)
-//   michican_cli rta <bus_index 0..7> [attack_blocking_bits]
-//       response-time analysis of a vehicle bus, optionally under attack
-//   michican_cli dbc <bus_index 0..7>
-//       print a vehicle matrix in DBC-subset format
+// Subcommands are one table handed to runner::dispatch(): the shared
+// runner flags (--jobs, --seeds, --report, --trace-out, --progress,
+// --no-fast-path) are extracted once, `--help` and the usage text are
+// generated from the table, and an unknown subcommand is named explicitly
+// (exit 2).  Scenario operands — `experiment`, `campaign`, `trace`,
+// `fault-sweep` — resolve through analysis::ScenarioRegistry, the same
+// registry `list-scenarios` enumerates and bench_throughput draws from, so
+// a name means the same spec everywhere.
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -36,6 +18,7 @@
 
 #include "analysis/experiments.hpp"
 #include "analysis/latency.hpp"
+#include "analysis/scenarios.hpp"
 #include "analysis/table.hpp"
 #include "obs/timeline.hpp"
 #include "restbus/dbc.hpp"
@@ -51,30 +34,35 @@ namespace {
 using namespace mcan;
 using analysis::fmt;
 
-int usage() {
-  std::cerr << "usage: michican_cli experiment <1..6> [seed] [duration_ms]\n"
-            << "       michican_cli campaign [exp...] [--jobs N] "
-               "[--seeds A..B] [--report PATH]\n"
-            << "                             [--trace-out PATH] [--progress]\n"
-            << "       michican_cli sweep [max_attackers]\n"
-            << "       michican_cli fault-sweep [spoof|dos|ef ...] "
-               "[--bers B1,B2,..] [--jobs N]\n"
-            << "                                [--seeds A..B] [--report "
-               "PATH] [--trace-out PATH]\n"
-            << "                                [--progress]\n"
-            << "       michican_cli trace <1..6|spoof|dos|ef> [seed] "
-               "[duration_ms]\n"
-            << "                          [--out PATH] [--jsonl PATH]\n"
-            << "       michican_cli latency [num_fsms]\n"
-            << "       michican_cli rta <bus 0..7> [attack_blocking_bits]\n"
-            << "       michican_cli dbc <bus 0..7>\n";
-  return 2;
+const analysis::ScenarioRegistry& registry() {
+  return analysis::ScenarioRegistry::built_in();
 }
 
-int cmd_experiment(int number, std::uint64_t seed, double duration_ms) {
-  auto spec = analysis::table2_experiment(number);
-  spec.seed = seed;
-  spec.duration_ms = duration_ms;
+std::uint64_t parse_seed(const std::string& text) {
+  return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+int parse_int(const std::string& text, int lo, int hi, const char* what) {
+  const int v = std::atoi(text.c_str());
+  if (v < lo || v > hi) {
+    throw std::invalid_argument(std::string{what} + " out of range: '" +
+                                text + "'");
+  }
+  return v;
+}
+
+int cmd_experiment(const runner::CliOptions& opts,
+                   const std::vector<std::string>& args) {
+  if (args.empty() || args.size() > 3) {
+    throw std::invalid_argument(
+        "experiment: expected <scenario> [seed] [duration_ms]");
+  }
+  auto spec = registry().make(args[0]);
+  spec.seed = args.size() > 1 ? parse_seed(args[1]) : 42ull;
+  const double duration_ms =
+      args.size() > 2 ? std::atof(args[2].c_str()) : spec.duration.value();
+  spec.duration = sim::Millis{duration_ms};
+  spec.fast_path = opts.fast_path;
   const auto res = analysis::run_experiment(spec);
 
   analysis::AsciiTable t{{"Attacker", "Cycles", "mu (ms)", "sigma (ms)",
@@ -85,9 +73,11 @@ int cmd_experiment(int number, std::uint64_t seed, double duration_ms) {
                fmt(a.busoff_ms.stddev, 2), fmt(a.busoff_ms.max, 1),
                a.ended_bus_off ? "bus-off" : "active"});
   }
-  t.print(std::cout, "Experiment " + std::to_string(number) + " (" +
-                         spec.label + ", seed " + std::to_string(seed) +
-                         ", " + fmt(duration_ms, 0) + " ms):");
+  const std::string which =
+      spec.number > 0 ? std::to_string(spec.number) : args[0];
+  t.print(std::cout, "Experiment " + which + " (" + spec.label + ", seed " +
+                         std::to_string(spec.seed) + ", " +
+                         fmt(duration_ms, 0) + " ms):");
   std::cout << "counterattacks: " << res.counterattacks
             << ", mean detection bit: " << fmt(res.mean_detection_bit, 1)
             << ", defender TEC: " << res.defender_tec
@@ -134,10 +124,14 @@ int write_campaign_trace(const runner::CampaignConfig& cfg,
 }
 
 int cmd_campaign(const runner::CliOptions& opts,
-                 const std::vector<int>& experiments) {
+                 const std::vector<std::string>& args) {
+  std::vector<std::string> names{args};
+  if (names.empty()) names = {"1", "2", "3", "4", "5", "6"};
   runner::CampaignConfig cfg;
-  for (const int n : experiments) {
-    cfg.specs.push_back(analysis::table2_experiment(n));
+  for (const auto& name : names) {
+    auto spec = registry().make(name);
+    spec.fast_path = opts.fast_path;
+    cfg.specs.push_back(std::move(spec));
   }
   cfg.seeds = opts.seeds;
   cfg.jobs = opts.jobs;
@@ -208,21 +202,31 @@ std::vector<double> parse_ber_list(const std::string& text) {
   return bers;
 }
 
-analysis::ExperimentSpec fault_scenario(const std::string& name) {
-  if (name == "spoof") return analysis::table2_experiment(2);
-  if (name == "dos") return analysis::table2_experiment(4);
-  if (name == "ef" || name == "error-frame") {
-    return analysis::error_frame_experiment();
-  }
-  throw std::invalid_argument("unknown fault-sweep scenario '" + name +
-                              "' (expected spoof, dos or ef)");
-}
-
 int cmd_fault_sweep(const runner::CliOptions& opts,
-                    const std::vector<std::string>& scenarios,
-                    const std::vector<double>& bers) {
+                    const std::vector<std::string>& args) {
+  std::vector<std::string> scenarios;
+  std::vector<double> bers;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const auto& arg = args[i];
+    if (arg == "--bers") {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument("--bers needs a value");
+      }
+      bers = parse_ber_list(args[++i]);
+    } else if (arg.rfind("--bers=", 0) == 0) {
+      bers = parse_ber_list(arg.substr(7));
+    } else {
+      scenarios.push_back(arg);
+    }
+  }
+  if (scenarios.empty()) scenarios = {"spoof", "dos", "ef"};
+
   runner::FaultSweepConfig cfg;
-  for (const auto& s : scenarios) cfg.base_specs.push_back(fault_scenario(s));
+  for (const auto& s : scenarios) {
+    auto spec = registry().make(s);
+    spec.fast_path = opts.fast_path;
+    cfg.base_specs.push_back(std::move(spec));
+  }
   if (!bers.empty()) cfg.bers = bers;
   cfg.seeds = opts.seeds;
   cfg.jobs = opts.jobs;
@@ -256,20 +260,8 @@ int cmd_fault_sweep(const runner::CliOptions& opts,
   return rep.campaign.failed_tasks() == 0 ? 0 : 1;
 }
 
-analysis::ExperimentSpec trace_scenario(const std::string& name) {
-  if (name.size() == 1 && name[0] >= '1' && name[0] <= '6') {
-    return analysis::table2_experiment(name[0] - '0');
-  }
-  if (name == "spoof") return analysis::table2_experiment(2);
-  if (name == "dos") return analysis::table2_experiment(4);
-  if (name == "ef" || name == "error-frame") {
-    return analysis::error_frame_experiment();
-  }
-  throw std::invalid_argument("unknown trace scenario '" + name +
-                              "' (expected 1..6, spoof, dos or ef)");
-}
-
-int cmd_trace(const std::vector<std::string>& args) {
+int cmd_trace(const runner::CliOptions& opts,
+              const std::vector<std::string>& args) {
   std::string out_path = "michican_trace.json";
   std::string jsonl_path;
   std::vector<std::string> positional;
@@ -295,31 +287,35 @@ int cmd_trace(const std::vector<std::string>& args) {
   }
   if (positional.empty() || positional.size() > 3) {
     throw std::invalid_argument(
-        "trace: expected <1..6|spoof|dos|ef> [seed] [duration_ms]");
+        "trace: expected <scenario> [seed] [duration_ms]");
   }
-  auto spec = trace_scenario(positional[0]);
-  spec.seed = positional.size() > 1
-                  ? std::strtoull(positional[1].c_str(), nullptr, 10)
-                  : 42ull;
+  auto spec = registry().make(positional[0]);
+  spec.seed = positional.size() > 1 ? parse_seed(positional[1]) : 42ull;
   // 120 ms covers several bus-off cycles at 50 kbit/s while keeping the
   // trace small enough for an instant Perfetto load.
-  spec.duration_ms = positional.size() > 2 ? std::atof(positional[2].c_str())
-                                           : 120.0;
+  const double duration_ms =
+      positional.size() > 2 ? std::atof(positional[2].c_str()) : 120.0;
+  spec.duration = sim::Millis{duration_ms};
   spec.capture_timeline = true;
+  spec.fast_path = opts.fast_path;
   const auto res = analysis::run_experiment(spec);
   std::cout << "scenario: " << spec.label << ", seed " << spec.seed << ", "
-            << fmt(spec.duration_ms, 0) << " ms, "
+            << fmt(duration_ms, 0) << " ms, "
             << res.metrics.counter_value("bus.events") << " events, "
             << res.attacks_detected << " attacks detected\n";
   return write_trace_outputs(res, out_path, jsonl_path);
 }
 
-int cmd_sweep(int max_attackers) {
+int cmd_sweep(const runner::CliOptions& opts,
+              const std::vector<std::string>& args) {
+  const int max_attackers =
+      args.empty() ? 4 : parse_int(args[0], 1, 16, "max_attackers");
   analysis::AsciiTable t{{"Attackers", "Total bus-off (bits)", "ms @50k"}};
   const sim::BusSpeed speed{50'000};
   for (int a = 1; a <= max_attackers; ++a) {
     auto spec = analysis::multi_attacker_spec(a);
-    spec.duration_ms = 3000;
+    spec.duration = sim::Millis{3000};
+    spec.fast_path = opts.fast_path;
     const auto res = analysis::run_experiment(spec);
     t.add_row({std::to_string(a), fmt(res.first_cycle_total_bits, 0),
                fmt(speed.bits_to_ms(res.first_cycle_total_bits), 1)});
@@ -328,7 +324,10 @@ int cmd_sweep(int max_attackers) {
   return 0;
 }
 
-int cmd_latency(int num_fsms) {
+int cmd_latency(const runner::CliOptions&,
+                const std::vector<std::string>& args) {
+  const int num_fsms =
+      args.empty() ? 10'000 : parse_int(args[0], 1, 10'000'000, "num_fsms");
   analysis::LatencyStudyConfig cfg;
   cfg.num_fsms = num_fsms;
   cfg.verify_fsms = std::min(num_fsms, 200);
@@ -342,7 +341,12 @@ int cmd_latency(int num_fsms) {
   return 0;
 }
 
-int cmd_rta(int bus_index, double attack_bits) {
+int cmd_rta(const runner::CliOptions&, const std::vector<std::string>& args) {
+  if (args.empty()) {
+    throw std::invalid_argument("rta: expected <bus_index 0..7>");
+  }
+  const int bus_index = parse_int(args[0], 0, 7, "bus index");
+  const double attack_bits = args.size() > 1 ? std::atof(args[1].c_str()) : 0.0;
   const auto matrices = restbus::all_vehicle_matrices();
   const auto& m = matrices[static_cast<std::size_t>(bus_index)];
   restbus::RtaConfig cfg;
@@ -362,123 +366,65 @@ int cmd_rta(int bus_index, double attack_bits) {
   return rep.all_schedulable ? 0 : 1;
 }
 
+int cmd_dbc(const runner::CliOptions&, const std::vector<std::string>& args) {
+  if (args.empty()) {
+    throw std::invalid_argument("dbc: expected <bus_index 0..7>");
+  }
+  const int bus_index = parse_int(args[0], 0, 7, "bus index");
+  std::cout << restbus::to_dbc(
+      restbus::all_vehicle_matrices()[static_cast<std::size_t>(bus_index)]);
+  return 0;
+}
+
+int cmd_list_scenarios(const runner::CliOptions&,
+                       const std::vector<std::string>&) {
+  analysis::AsciiTable t{{"Name", "Aliases", "Description"}};
+  for (const auto& s : registry().all()) {
+    std::string aliases;
+    for (const auto& a : s.aliases) {
+      if (!aliases.empty()) aliases += ", ";
+      aliases += a;
+    }
+    t.add_row({s.name, aliases, s.description});
+  }
+  t.print(std::cout, "Registered scenarios:");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  mcan::runner::CliOptions runner_defaults;
-  runner_defaults.jobs = 0;  // hardware concurrency
-  runner_defaults.seeds = {0, 32};
-  mcan::runner::CliOptions runner_opts;
-  try {
-    runner_opts = mcan::runner::parse_cli(argc, argv, runner_defaults);
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return usage();
-  }
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
-  try {
-    if (cmd == "campaign") {
-      std::vector<int> experiments;
-      for (int i = 2; i < argc; ++i) {
-        const int n = std::atoi(argv[i]);
-        if (n < 1 || n > 6) return usage();
-        experiments.push_back(n);
-      }
-      if (experiments.empty()) experiments = {1, 2, 3, 4, 5, 6};
-      return cmd_campaign(runner_opts, experiments);
-    }
-    if (cmd == "experiment" && argc >= 3) {
-      const int n = std::atoi(argv[2]);
-      if (n < 1 || n > 6) return usage();
-      const auto seed =
-          argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42ull;
-      const double dur = argc > 4 ? std::atof(argv[4]) : 2000.0;
-      return cmd_experiment(n, seed, dur);
-    }
-    if (cmd == "fault-sweep") {
-      std::vector<std::string> scenarios;
-      std::vector<double> bers;
-      for (int i = 2; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--bers") {
-          if (i + 1 >= argc) {
-            std::cerr << "error: --bers needs a value\n";
-            return usage();
-          }
-          try {
-            bers = parse_ber_list(argv[++i]);
-          } catch (const std::invalid_argument& e) {
-            std::cerr << "error: " << e.what() << "\n";
-            return usage();
-          }
-        } else if (arg.rfind("--bers=", 0) == 0) {
-          try {
-            bers = parse_ber_list(arg.substr(7));
-          } catch (const std::invalid_argument& e) {
-            std::cerr << "error: " << e.what() << "\n";
-            return usage();
-          }
-        } else {
-          scenarios.push_back(arg);
-        }
-      }
-      if (scenarios.empty()) scenarios = {"spoof", "dos", "ef"};
-      try {
-        return cmd_fault_sweep(runner_opts, scenarios, bers);
-      } catch (const std::invalid_argument& e) {
-        // Bad scenario names / BER values are usage errors, not failures.
-        std::cerr << "error: " << e.what() << "\n";
-        return usage();
-      }
-    }
-    if (cmd == "trace") {
-      std::vector<std::string> args;
-      for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
-      try {
-        return cmd_trace(args);
-      } catch (const std::invalid_argument& e) {
-        std::cerr << "error: " << e.what() << "\n";
-        return usage();
-      }
-    }
-    if (cmd == "sweep") {
-      return cmd_sweep(argc > 2 ? std::atoi(argv[2]) : 4);
-    }
-    if (cmd == "latency") {
-      return cmd_latency(argc > 2 ? std::atoi(argv[2]) : 10'000);
-    }
-    if (cmd == "rta" && argc >= 3) {
-      const int bus = std::atoi(argv[2]);
-      if (bus < 0 || bus > 7) return usage();
-      return cmd_rta(bus, argc > 3 ? std::atof(argv[3]) : 0.0);
-    }
-    if (cmd == "dbc" && argc >= 3) {
-      const int bus = std::atoi(argv[2]);
-      if (bus < 0 || bus > 7) return usage();
-      std::cout << restbus::to_dbc(
-          restbus::all_vehicle_matrices()[static_cast<std::size_t>(bus)]);
-      return 0;
-    }
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
-  }
-  // Known subcommands fall through to here only on bad operands; anything
-  // else is a typo'd subcommand — name it instead of silently printing
-  // the generic usage text.
-  static const char* const kCommands[] = {"experiment", "campaign",   "sweep",
-                                          "fault-sweep", "trace",     "latency",
-                                          "rta",         "dbc"};
-  bool known = false;
-  for (const char* const c : kCommands) {
-    if (cmd == c) known = true;
-  }
-  if (!known) {
-    std::cerr << "error: unknown subcommand '" << cmd
-              << "'\navailable subcommands: experiment, campaign, sweep, "
-                 "fault-sweep, trace, latency, rta, dbc\n";
-    return 2;
-  }
-  return usage();
+  const std::vector<runner::Subcommand> table{
+      {"experiment", "<scenario> [seed] [duration_ms]",
+       "run one named scenario (e.g. a Table II experiment) and print the "
+       "outcome",
+       cmd_experiment},
+      {"campaign", "[scenario...]",
+       "fan scenarios (default: exp1..exp6) over a seed range across a "
+       "worker pool; results are bit-identical for any --jobs value",
+       cmd_campaign},
+      {"sweep", "[max_attackers]",
+       "multi-attacker total-bus-off sweep (Sec. V-C)", cmd_sweep},
+      {"fault-sweep", "[scenario...] [--bers B1,B2,..]",
+       "robustness campaign: bit-error rate x attacker scenario "
+       "(default: spoof dos ef)",
+       cmd_fault_sweep},
+      {"trace", "<scenario> [seed] [duration_ms] [--out PATH] [--jsonl PATH]",
+       "run one recording with timeline capture and write a Chrome "
+       "trace-event JSON",
+       cmd_trace},
+      {"latency", "[num_fsms]", "detection-latency study (Sec. V-B)",
+       cmd_latency},
+      {"rta", "<bus 0..7> [attack_blocking_bits]",
+       "response-time analysis of a vehicle bus, optionally under attack",
+       cmd_rta},
+      {"dbc", "<bus 0..7>", "print a vehicle matrix in DBC-subset format",
+       cmd_dbc},
+      {"list-scenarios", "", "enumerate the named scenario registry",
+       cmd_list_scenarios},
+  };
+  mcan::runner::CliOptions defaults;
+  defaults.jobs = 0;  // hardware concurrency
+  defaults.seeds = {0, 32};
+  return mcan::runner::dispatch(argc, argv, "michican_cli", table, defaults);
 }

@@ -20,7 +20,7 @@ int main() {
   bool fifth_breaks = false;
   for (int a = 1; a <= 5; ++a) {
     auto spec = analysis::multi_attacker_spec(a);
-    spec.duration_ms = 3000;
+    spec.duration = sim::Millis{3000};
     const auto res = analysis::run_experiment(spec);
     const double total = res.first_cycle_total_bits;
     const bool ok = total > 0 && total <= budget;

@@ -110,7 +110,7 @@ int run_scenario(bool with_michican) {
     guard->attach_to(bus);
   }
 
-  bus.run_ms(300.0);  // healthy operation
+  bus.run_for(sim::Millis{300.0});  // healthy operation
 
   // The attack device on the OBD-II port: periodic injection of 0x25F.
   std::cout << "[" << bus.now() << "] attacker: injecting CAN ID 0x25F\n";
@@ -118,7 +118,7 @@ int run_scenario(bool with_michican) {
   attack::Attacker attacker{"obd_attacker", acfg};
   attacker.attach_to(bus);
 
-  bus.run_ms(1500.0);
+  bus.run_for(sim::Millis{1500.0});
 
   std::cout << "--- results ---\n"
             << "last decoded distance:    " << dash.last_distance_m

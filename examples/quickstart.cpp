@@ -54,7 +54,7 @@ int main() {
       });
 
   // Phase 1: benign operation.
-  bus.run_ms(40.0);
+  bus.run_for(sim::Millis{40.0});
   std::cout << "benign phase: " << received << " frames received, "
             << defender.monitor().stats().frames_observed
             << " frames observed by the monitor, "
@@ -67,7 +67,7 @@ int main() {
   acfg.persistent = false;
   attack::Attacker attacker{"attacker", acfg};
   attacker.attach_to(bus);
-  bus.run_ms(20.0);
+  bus.run_for(sim::Millis{20.0});
 
   const auto& mon = defender.monitor().stats();
   std::cout << "attacks detected:     " << mon.attacks_detected << "\n"
@@ -80,7 +80,7 @@ int main() {
 
   // Phase 3: normal traffic continues unharmed.
   const int before = received;
-  bus.run_ms(40.0);
+  bus.run_for(sim::Millis{40.0});
   std::cout << "after the attack: " << received - before
             << " more benign frames delivered\n";
 

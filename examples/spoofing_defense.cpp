@@ -43,7 +43,7 @@ int main() {
   attack::Attacker attacker{"attacker", attack::Attacker::spoof(0x173)};
   attacker.attach_to(bus);
 
-  bus.run_ms(2000.0);
+  bus.run_for(sim::Millis{2000.0});
 
   // Narrate the first bus-off cycle from the event log.
   const auto cycles = analysis::busoff_cycles(bus.log(), "attacker");

@@ -31,7 +31,7 @@ ExperimentSpec table2_experiment(int number) {
   // in Exp. 6 — rule out defender-side interference).  The interaction of
   // an actively-transmitting victim with a same-ID flood is studied
   // separately (SpoofedVictimCollisions test / EXPERIMENTS.md).
-  spec.defender_period_ms = 0;
+  spec.defender_period = sim::Millis{0.0};
   switch (number) {
     case 1:
       spec.label = "spoofing 0x173, restbus";
@@ -70,7 +70,7 @@ ExperimentSpec table2_experiment(int number) {
 ExperimentSpec multi_attacker_spec(int num_attackers) {
   ExperimentSpec spec;
   spec.number = 0;
-  spec.defender_period_ms = 0;
+  spec.defender_period = sim::Millis{0.0};
   spec.label = "multi-attacker (A=" + std::to_string(num_attackers) + ")";
   for (int i = 0; i < num_attackers; ++i) {
     spec.attackers.push_back(
@@ -86,7 +86,7 @@ ExperimentSpec error_frame_experiment() {
   // The victim must transmit to be stompable: the defender sends its own
   // 0x173 periodically and the stomper destroys every attempt from below
   // the data-link layer.
-  spec.defender_period_ms = 100.0;
+  spec.defender_period = sim::Millis{100.0};
   spec.error_attackers = {attack::ErrorFrameConfig{}};
   return spec;
 }
@@ -105,17 +105,17 @@ ExperimentSpec fault_variant(ExperimentSpec spec, double ber) {
 }
 
 void validate(const ExperimentSpec& spec) {
-  if (spec.duration_ms <= 0) {
+  if (spec.duration.value() <= 0) {
     throw std::invalid_argument("experiment '" + spec.label +
-                                "': duration_ms must be > 0");
+                                "': duration must be > 0");
   }
   if (spec.speed.bits_per_second == 0) {
     throw std::invalid_argument("experiment '" + spec.label +
                                 "': bus speed must be > 0");
   }
-  if (spec.defender_period_ms < 0) {
+  if (spec.defender_period.value() < 0) {
     throw std::invalid_argument("experiment '" + spec.label +
-                                "': defender_period_ms must be >= 0");
+                                "': defender_period must be >= 0");
   }
   for (const auto& a : spec.attackers) {
     if (a.ids.empty()) {
@@ -237,12 +237,12 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   def_cfg.defense_enabled = spec.defense_enabled;
   core::MichiCanNode defender{"defender", ivn, def_cfg};
   defender.attach_to(bus);
-  if (spec.defender_period_ms > 0) {
+  if (spec.defender_period.value() > 0) {
     can::CanFrame own;
     own.id = spec.defender_id;
     own.dlc = 8;
     can::attach_periodic(defender.controller(), own,
-                         spec.defender_period_ms * bits_per_ms,
+                         spec.defender_period.value() * bits_per_ms,
                          /*phase_bits=*/50.0, can::PayloadMode::Random,
                          sim::Rng{spec.seed ^ 0xDEF});
   }
@@ -288,13 +288,15 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   }
 
   // --- run the recording ----------------------------------------------------
+  bus.set_fast_path(spec.fast_path);
   const auto t_setup = ProfileClock::now();
-  bus.run_ms(spec.duration_ms);
+  bus.run_for(spec.duration);
   const auto t_sim = ProfileClock::now();
 
   // --- harvest --------------------------------------------------------------
   ExperimentResult res;
   res.spec = spec;
+  res.bits_skipped = bus.bits_skipped();
 
   sim::BitTime first_attack_start = 0;
   sim::BitTime last_first_busoff = 0;

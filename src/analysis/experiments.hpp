@@ -37,9 +37,9 @@ struct ExperimentSpec {
   /// flooded suffers same-ID collisions that destroy both frames and drive
   /// *both* error counters up (Cho & Shin bus-off physics) — see the
   /// dedicated SpoofedVictimCollisions test and EXPERIMENTS.md.
-  double defender_period_ms{100.0};
+  sim::Millis defender_period{100.0};
   sim::BusSpeed speed{50'000};
-  double duration_ms{2000.0};
+  sim::Millis duration{2000.0};
   /// Analytical load the replayed Veh. D matrix is scaled to.  Table II's
   /// restbus runs show only mild interference with the bus-off sequences
   /// (mu moves < 1 ms while max doubles), matching a light replay load.
@@ -58,6 +58,10 @@ struct ExperimentSpec {
   /// a JSONL event dump (ExperimentResult::timeline_json / events_jsonl).
   /// Off by default: export is the only obs feature with per-event cost.
   bool capture_timeline{false};
+  /// Quiescence-skipping kernel (WiredAndBus fast path).  The recording is
+  /// byte-identical either way; forcing it off (--no-fast-path) pins the
+  /// naive per-bit kernel when bisecting.
+  bool fast_path{true};
 };
 
 struct AttackerOutcome {
@@ -119,6 +123,10 @@ struct ExperimentResult {
   /// Wall-clock self-profile of this task's phases (setup / sim / harvest /
   /// metrics export / timeline render).  Runtime facts — not deterministic.
   obs::Profiler profile;
+  /// Bits the quiescence-skipping kernel covered without per-bit stepping.
+  /// Runtime perf info (varies with spec.fast_path) — kept out of `metrics`
+  /// so the deterministic sections stay identical with the fast path on/off.
+  std::uint64_t bits_skipped{};
   /// Chrome trace-event JSON + JSONL dump when spec.capture_timeline.
   std::string timeline_json;
   std::string events_jsonl;

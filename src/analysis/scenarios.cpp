@@ -1,0 +1,164 @@
+#include "analysis/scenarios.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mcan::analysis {
+namespace {
+
+/// Does `scenario` answer to `key` (canonical name or alias)?
+bool matches(const Scenario& scenario, std::string_view key) {
+  if (scenario.name == key) return true;
+  for (const auto& alias : scenario.aliases) {
+    if (alias == key) return true;
+  }
+  return false;
+}
+
+ExperimentSpec fig6_spec() {
+  // 120 ms covers several bus-off cycles at 50 kbit/s while keeping the
+  // rendered timeline small enough for an instant Perfetto load.
+  auto spec = table2_experiment(2);
+  spec.label = "fig6";
+  spec.duration = sim::Millis{120.0};
+  spec.capture_timeline = true;
+  return spec;
+}
+
+ExperimentSpec idle_bus_spec() {
+  ExperimentSpec spec;
+  spec.label = "idle_bus";
+  spec.defender_period = sim::Millis{0};  // silent defender, empty bus
+  return spec;
+}
+
+ExperimentSpec controllers_only_spec() {
+  ExperimentSpec spec;
+  spec.label = "controllers_only";
+  spec.defender_period = sim::Millis{10.0};
+  spec.restbus = true;  // replayed Veh. D matrix, no attackers
+  return spec;
+}
+
+ExperimentSpec restbus_idle_spec() {
+  // The quiescence-skipping kernel's home turf: the defender at its normal
+  // 100 ms period plus the light rest-bus replay keeps the 50 kbit/s bus
+  // ~85% recessive — the typical idle-heavy shape of a real vehicle bus.
+  ExperimentSpec spec;
+  spec.label = "restbus_idle";
+  spec.restbus = true;
+  return spec;
+}
+
+ScenarioRegistry make_built_in() {
+  ScenarioRegistry reg;
+  reg.add({"exp1",
+           {"1"},
+           "Table II Exp. 1: spoofing attack on 0x173, rest-bus traffic on",
+           [] { return table2_experiment(1); }});
+  reg.add({"exp2",
+           {"2", "spoof"},
+           "Table II Exp. 2: spoofing attack on 0x173, isolated bus",
+           [] { return table2_experiment(2); }});
+  reg.add({"exp3",
+           {"3"},
+           "Table II Exp. 3: DoS attack on 0x064, rest-bus traffic on",
+           [] { return table2_experiment(3); }});
+  reg.add({"exp4",
+           {"4", "dos"},
+           "Table II Exp. 4: DoS attack on 0x064, isolated bus",
+           [] { return table2_experiment(4); }});
+  reg.add({"exp5",
+           {"5"},
+           "Table II Exp. 5: two simultaneous DoS attackers (0x066 + 0x067)",
+           [] { return table2_experiment(5); }});
+  reg.add({"exp6",
+           {"6"},
+           "Table II Exp. 6: one attacker toggling 0x050 / 0x051",
+           [] { return table2_experiment(6); }});
+  reg.add({"ef",
+           {"error-frame"},
+           "Rogers/Rasmussen error-frame stomper vs the transmitting "
+           "defender",
+           [] { return error_frame_experiment(); }});
+  reg.add({"fig6",
+           {},
+           "Fig. 6 waveform recording: 120 ms spoofing duel with timeline "
+           "capture on",
+           fig6_spec});
+  reg.add({"multi3",
+           {},
+           "Sec. V-C sweep cell: three simultaneous DoS attackers",
+           [] { return multi_attacker_spec(3); }});
+  reg.add({"multi4",
+           {},
+           "Sec. V-C sweep cell: four simultaneous DoS attackers",
+           [] { return multi_attacker_spec(4); }});
+  reg.add({"idle-bus",
+           {},
+           "bench workload: silent defender on an empty bus (pure "
+           "quiescence)",
+           idle_bus_spec});
+  reg.add({"controllers-only",
+           {},
+           "bench workload: fast-periodic defender plus replayed rest-bus "
+           "matrix, no attackers",
+           controllers_only_spec});
+  reg.add({"restbus-idle",
+           {},
+           "bench workload: idle-heavy rest-bus replay (defender at its "
+           "normal 100 ms period)",
+           restbus_idle_spec});
+  reg.add({"spoof-ber1e-4",
+           {},
+           "fault-sweep cell: Exp. 2 spoofing on a bus with BER 1e-4",
+           [] { return fault_variant(table2_experiment(2), 1e-4); }});
+  reg.add({"dos-ber1e-4",
+           {},
+           "fault-sweep cell: Exp. 4 DoS on a bus with BER 1e-4",
+           [] { return fault_variant(table2_experiment(4), 1e-4); }});
+  reg.add({"ef-ber1e-4",
+           {},
+           "fault-sweep cell: error-frame stomper on a bus with BER 1e-4",
+           [] { return fault_variant(error_frame_experiment(), 1e-4); }});
+  return reg;
+}
+
+}  // namespace
+
+const ScenarioRegistry& ScenarioRegistry::built_in() {
+  static const ScenarioRegistry reg = make_built_in();
+  return reg;
+}
+
+void ScenarioRegistry::add(Scenario scenario) {
+  const auto check = [this](const std::string& key) {
+    if (find(key) != nullptr) {
+      throw std::invalid_argument("ScenarioRegistry: duplicate scenario key '" +
+                                  key + "'");
+    }
+  };
+  check(scenario.name);
+  for (const auto& alias : scenario.aliases) check(alias);
+  scenarios_.push_back(std::move(scenario));
+}
+
+const Scenario* ScenarioRegistry::find(std::string_view name) const noexcept {
+  for (const auto& s : scenarios_) {
+    if (matches(s, name)) return &s;
+  }
+  return nullptr;
+}
+
+ExperimentSpec ScenarioRegistry::make(std::string_view name) const {
+  if (const Scenario* s = find(name)) return s->make();
+  std::string known;
+  for (const auto& s : scenarios_) {
+    if (!known.empty()) known += ", ";
+    known += s.name;
+  }
+  throw std::invalid_argument("unknown scenario '" + std::string{name} +
+                              "' (known: " + known + ")");
+}
+
+}  // namespace mcan::analysis

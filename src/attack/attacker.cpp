@@ -1,5 +1,7 @@
 #include "attack/attacker.hpp"
 
+#include <cmath>
+
 namespace mcan::attack {
 namespace {
 
@@ -22,7 +24,21 @@ Attacker::Attacker(std::string name, AttackerConfig cfg)
     : cfg_(std::move(cfg)),
       ctrl_(std::move(name), attacker_controller_config(cfg_)),
       rng_(cfg_.seed) {
-  ctrl_.add_app([this](sim::BitTime now, can::BitController&) { pump(now); });
+  ctrl_.add_app(
+      [this](sim::BitTime now, can::BitController&) { pump(now); },
+      [this](sim::BitTime now) { return pump_next(now); });
+}
+
+sim::BitTime Attacker::pump_next(sim::BitTime now) const {
+  if (ctrl_.is_bus_off() && !cfg_.persistent) return can::kNever;
+  if (cfg_.period_bits > 0.0) {
+    if (static_cast<double>(now) >= next_due_) return can::kAlways;
+    return static_cast<sim::BitTime>(std::ceil(next_due_));
+  }
+  // Continuous flood: pump() only does work when the queue has run dry,
+  // which can change solely on a stepped bit (a transmission completing or
+  // bus-off clearing the queue) — the horizon is re-evaluated after those.
+  return ctrl_.queue_depth() == 0 ? can::kAlways : can::kNever;
 }
 
 void Attacker::pump(sim::BitTime now) {

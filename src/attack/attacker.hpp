@@ -66,6 +66,8 @@ class Attacker {
 
  private:
   void pump(sim::BitTime now);
+  /// Scheduling companion to pump() for the quiescence-skipping kernel.
+  [[nodiscard]] sim::BitTime pump_next(sim::BitTime now) const;
 
   AttackerConfig cfg_;
   can::BitController ctrl_;

@@ -1,5 +1,7 @@
 #include "attack/cannon.hpp"
 
+#include <algorithm>
+
 namespace mcan::attack {
 
 using sim::BitLevel;
@@ -15,6 +17,20 @@ void CannonAttacker::end_frame() {
   in_frame_ = false;
   firing_ = false;
   cnt_sof_ = 0;
+}
+
+sim::BitTime CannonAttacker::next_activity(sim::BitTime /*now*/) const {
+  // Purely reactive SOF-watcher while idle; mid-frame every bit matters.
+  return in_frame_ ? can::kAlways : can::kNever;
+}
+
+void CannonAttacker::on_idle_skip(sim::BitTime count) {
+  // Idle recessive bits only grow the SOF counter; saturate above the
+  // >= 11 eligibility threshold.
+  constexpr int kSofCap = 1 << 20;
+  cnt_sof_ = static_cast<int>(std::min<sim::BitTime>(
+      static_cast<sim::BitTime>(cnt_sof_) + count, kSofCap));
+  now_ += count;
 }
 
 void CannonAttacker::on_bus_bit(BitLevel bus) {

@@ -1,9 +1,26 @@
 #include "attack/error_frame.hpp"
 
+#include <algorithm>
+
 namespace mcan::attack {
 
 sim::BitLevel ErrorFrameAttacker::tx_level() {
   return stomp_left_ > 0 ? sim::BitLevel::Dominant : sim::BitLevel::Recessive;
+}
+
+sim::BitTime ErrorFrameAttacker::next_activity(sim::BitTime /*now*/) const {
+  // Purely reactive: while idle it only watches for a SOF edge someone else
+  // must create; mid-frame (or mid-stomp) it needs every bit.
+  return (in_frame_ || stomp_left_ > 0) ? can::kAlways : can::kNever;
+}
+
+void ErrorFrameAttacker::on_idle_skip(sim::BitTime count) {
+  // Idle recessive bits only grow the run; saturate above the >= 11
+  // SOF-eligibility threshold.
+  constexpr int kRunCap = 1 << 20;
+  recessive_run_ = static_cast<int>(std::min<sim::BitTime>(
+      static_cast<sim::BitTime>(recessive_run_) + count, kRunCap));
+  now_ += count;
 }
 
 void ErrorFrameAttacker::on_bus_bit(sim::BitLevel bus) {

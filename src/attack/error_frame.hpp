@@ -58,6 +58,8 @@ class ErrorFrameAttacker final : public can::CanNode {
   void tick(sim::BitTime now) override { now_ = now; }
   [[nodiscard]] sim::BitLevel tx_level() override;
   void on_bus_bit(sim::BitLevel bus) override;
+  [[nodiscard]] sim::BitTime next_activity(sim::BitTime now) const override;
+  void on_idle_skip(sim::BitTime count) override;
   [[nodiscard]] std::string_view name() const override { return name_; }
 
  private:

@@ -8,6 +8,7 @@
 // is exactly the clean-bus fast path.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "can/node.hpp"
@@ -43,14 +44,27 @@ class WiredAndBus {
   /// Advance one nominal bit time.
   void step();
 
-  /// Advance `bits` bit times.
-  void run(sim::BitTime bits) {
-    for (sim::BitTime i = 0; i < bits; ++i) step();
-  }
+  /// Advance `bits` bit times.  With the fast path enabled (default) the
+  /// loop consults every node's next_activity() whenever the bus has been
+  /// recessive long enough to be idle, and jumps now_ straight to the
+  /// quiescence horizon instead of stepping bit by bit.  Trace, event log,
+  /// metrics and node state are byte-identical either way.
+  void run(sim::Bits bits);
+  void run(sim::BitTime bits) { run(sim::Bits{bits}); }
 
   /// Advance until `ms` milliseconds of bus time have elapsed.
-  void run_ms(double ms) {
-    run(static_cast<sim::BitTime>(speed_.ms_to_bits(ms)));
+  void run_for(sim::Millis ms) { run(speed_.to_bits(ms)); }
+
+  /// Toggle the quiescence-skipping fast path (on by default).  Forcing it
+  /// off (--no-fast-path) pins the naive per-bit kernel for bisection.
+  void set_fast_path(bool enabled) noexcept { fast_path_ = enabled; }
+  [[nodiscard]] bool fast_path() const noexcept { return fast_path_; }
+
+  /// Bits covered by quiescence skips instead of per-bit stepping.  Runtime
+  /// perf information — deliberately kept out of export_metrics() so the
+  /// deterministic metrics registry is identical with the fast path on/off.
+  [[nodiscard]] std::uint64_t bits_skipped() const noexcept {
+    return bits_skipped_;
   }
 
   [[nodiscard]] sim::BitTime now() const noexcept { return now_; }
@@ -72,11 +86,26 @@ class WiredAndBus {
   void export_metrics(obs::Registry& reg) const;
 
  private:
+  /// min over all nodes' next_activity(now_) and the injector's
+  /// next_disturbance(now_).  <= now_ means "cannot skip".
+  [[nodiscard]] sim::BitTime quiescent_horizon() const;
+
+  /// Jump now_ to `horizon`, recording the stretch as one recessive run and
+  /// bulk-advancing every node and the injector.  Throws std::logic_error if
+  /// any node is currently driving dominant (stale next_activity contract).
+  void skip_to(sim::BitTime horizon);
+
   sim::BusSpeed speed_;
   std::vector<CanNode*> nodes_;
   FaultInjector* injector_{nullptr};
   sim::BitTime now_{0};
   sim::BitLevel last_{sim::BitLevel::Recessive};
+  bool fast_path_{true};
+  std::uint64_t bits_skipped_{0};
+  /// Consecutive recessive bits ending at now_ (tracks bus idle state).
+  sim::BitTime idle_run_{0};
+  /// Cheap backoff: after a failed horizon probe, don't re-probe until here.
+  sim::BitTime skip_retry_at_{0};
   sim::LogicAnalyzer trace_;
   sim::EventLog log_;
 };

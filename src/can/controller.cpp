@@ -35,7 +35,13 @@ bool BitController::enqueue(const CanFrame& frame) {
 
 void BitController::add_app(
     std::function<void(sim::BitTime, BitController&)> app) {
-  apps_.push_back(std::move(app));
+  apps_.push_back({std::move(app), nullptr});
+}
+
+void BitController::add_app(
+    std::function<void(sim::BitTime, BitController&)> app,
+    std::function<sim::BitTime(sim::BitTime)> next) {
+  apps_.push_back({std::move(app), std::move(next)});
 }
 
 void BitController::set_rx_callback(
@@ -55,7 +61,95 @@ std::optional<CanId> BitController::active_tx_id() const noexcept {
 
 void BitController::tick(BitTime now) {
   now_ = now;
-  for (auto& app : apps_) app(now, *this);
+  for (auto& app : apps_) app.fn(now, *this);
+}
+
+BitTime BitController::next_activity(BitTime now) const {
+  // Application hooks run every tick: a hook without a scheduling companion
+  // could enqueue at any bit, so it pins the controller to kAlways.
+  BitTime app_next = kNever;
+  for (const auto& app : apps_) {
+    if (!app.next) return kAlways;
+    const BitTime t = app.next(now);
+    if (t <= now) return kAlways;
+    app_next = std::min(app_next, t);
+  }
+  switch (phase_) {
+    case Phase::Idle:
+    case Phase::Integrating:
+    case Phase::Intermission:
+    case Phase::Suspend:
+      // A queued frame starts transmitting as soon as the current phase
+      // allows — give no quiescence promise rather than model exactly when.
+      if (!txq_.empty()) return kAlways;
+      return app_next;
+    case Phase::BusOff: {
+      if (!cfg_.auto_recover) return app_next;
+      // Recovery completes (and logs) after `remaining` further recessive
+      // bits; keep that bit itself on the stepped path so the events carry
+      // their exact timestamps.
+      const BitTime remaining =
+          static_cast<BitTime>(128 - busoff_idle_seqs_) * 11 -
+          static_cast<BitTime>(busoff_recessive_run_);
+      if (remaining <= 1) return kAlways;
+      return std::min(app_next, now + remaining - 1);
+    }
+    case Phase::Transmit:
+    case Phase::Receive:
+    case Phase::ActiveFlag:
+    case Phase::PassiveFlag:
+    case Phase::OverloadFlag:
+    case Phase::ErrorDelim:
+      return kAlways;
+  }
+  return kAlways;
+}
+
+void BitController::on_idle_skip(BitTime count) {
+  const BitTime orig_now = now_;
+  switch (phase_) {
+    case Phase::Idle:
+      break;  // recessive bits on an idle bus change nothing
+    case Phase::Integrating: {
+      const BitTime need = static_cast<BitTime>(11 - integrate_count_);
+      if (count >= need) {
+        integrate_count_ = 0;
+        phase_ = Phase::Idle;
+      } else {
+        integrate_count_ += static_cast<int>(count);
+      }
+      break;
+    }
+    case Phase::BusOff:
+      if (cfg_.auto_recover) {
+        // next_activity capped the horizon below the recovery bit, so the
+        // bulk update can never complete the 128th sequence here.
+        const BitTime total =
+            static_cast<BitTime>(busoff_recessive_run_) + count;
+        busoff_idle_seqs_ += static_cast<int>(total / 11);
+        busoff_recessive_run_ = static_cast<int>(total % 11);
+        assert(busoff_idle_seqs_ < 128);
+      }
+      break;
+    case Phase::Intermission:
+    case Phase::Suspend:
+      // Replay bit by bit (at most ~11 iterations until Idle), advancing
+      // now_ so a SuspendStart event lands on its exact bit time.
+      for (BitTime i = 0; i < count && phase_ != Phase::Idle; ++i) {
+        now_ = orig_now + 1 + i;
+        on_bus_bit(BitLevel::Recessive);
+      }
+      break;
+    case Phase::Transmit:
+    case Phase::Receive:
+    case Phase::ActiveFlag:
+    case Phase::PassiveFlag:
+    case Phase::OverloadFlag:
+    case Phase::ErrorDelim:
+      assert(false && "on_idle_skip in a non-quiescent phase");
+      break;
+  }
+  now_ = orig_now + count;
 }
 
 void BitController::log_event(EventKind kind, std::uint32_t id, std::int64_t a,

@@ -81,6 +81,13 @@ class BitController : public CanNode {
   /// used by periodic senders and attack strategies.
   void add_app(std::function<void(sim::BitTime, BitController&)> app);
 
+  /// Like add_app, with a scheduling companion: `next(now)` returns the
+  /// earliest future bit at which the hook may do anything (enqueue a frame,
+  /// mutate state).  Hooks registered without one pin the controller to
+  /// kAlways — the quiescence-skipping kernel then never skips past it.
+  void add_app(std::function<void(sim::BitTime, BitController&)> app,
+               std::function<sim::BitTime(sim::BitTime)> next);
+
   /// Called for every complete, valid frame received from the bus.
   void set_rx_callback(std::function<void(const CanFrame&, sim::BitTime)> cb);
 
@@ -117,6 +124,8 @@ class BitController : public CanNode {
   void tick(sim::BitTime now) override;
   [[nodiscard]] sim::BitLevel tx_level() override { return drive_; }
   void on_bus_bit(sim::BitLevel bus) override;
+  [[nodiscard]] sim::BitTime next_activity(sim::BitTime now) const override;
+  void on_idle_skip(sim::BitTime count) override;
   [[nodiscard]] std::string_view name() const override { return name_; }
 
  private:
@@ -207,7 +216,14 @@ class BitController : public CanNode {
   int busoff_recessive_run_{0};
   int busoff_idle_seqs_{0};
 
-  std::vector<std::function<void(sim::BitTime, BitController&)>> apps_;
+  /// Application hook plus its optional scheduling companion (next_activity
+  /// contribution); a null `next` opts the whole controller out of skipping.
+  struct App {
+    std::function<void(sim::BitTime, BitController&)> fn;
+    std::function<sim::BitTime(sim::BitTime)> next;
+  };
+
+  std::vector<App> apps_;
   std::function<void(const CanFrame&, sim::BitTime)> rx_cb_;
   std::function<void(const CanFrame&, sim::BitTime)> tx_cb_;
 };

@@ -1,6 +1,7 @@
 #include "can/fault_injector.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "obs/metrics.hpp"
 
@@ -139,6 +140,57 @@ void FaultInjector::track(sim::BitLevel out) {
     if (++recessive_run_ >= 11) in_frame_ = false;
   } else {
     recessive_run_ = 0;
+  }
+}
+
+sim::BitTime FaultInjector::next_disturbance(sim::BitTime now) const {
+  // Mid-frame (per the wire tracker) every bit moves pos_, which scheduled
+  // flips key off, and every bit drifts skewed sample points — both are
+  // per-bit effects a skip cannot replay, so refuse until the tracker sees
+  // the frame end.
+  if (in_frame_ && (!spec_.flips.empty() || has_skew())) return now;
+  sim::BitTime horizon = std::numeric_limits<sim::BitTime>::max();
+  if (spec_.bit_error_rate > 0.0) {
+    // The pending geometric gap counts transform() calls until the flip
+    // fires: it lands exactly at now + next_flip_gap_.
+    horizon = std::min(horizon, now + next_flip_gap_);
+  }
+  for (const auto& w : spec_.stuck) {
+    if (w.len == 0 || now >= w.start + w.len) continue;
+    // Inside a window this yields `now` (stuck_bits counts per bit);
+    // otherwise the window's first bit bounds the skip.
+    horizon = std::min(horizon, std::max(w.start, now));
+  }
+  return horizon;
+}
+
+void FaultInjector::on_idle_skip(sim::BitTime count) {
+  // Replay the frame-exit tail bit by bit: at most 11 recessive bits until
+  // the tracker leaves the frame (only reachable with no flips/skews, per
+  // next_disturbance).
+  sim::BitTime replayed = 0;
+  while (in_frame_ && replayed < count) {
+    track(sim::BitLevel::Recessive);
+    ++replayed;
+  }
+  const sim::BitTime rest = count - replayed;
+  if (rest > 0) {
+    // Idle recessive bits only grow the run; saturate well above the 11
+    // SOF-eligibility threshold to keep the int in range.
+    constexpr int kRunCap = 1 << 20;
+    recessive_run_ = static_cast<int>(std::min<sim::BitTime>(
+        static_cast<sim::BitTime>(recessive_run_) + rest, kRunCap));
+  }
+  // The skip horizon never exceeds the pending flip position, so the gap
+  // cannot underflow.
+  if (spec_.bit_error_rate > 0.0) next_flip_gap_ -= count;
+  // Per idle bit deliver() resets each skewed node's phase; count resets
+  // collapse to one.
+  for (auto& st : skew_) {
+    if (st.configured) {
+      st.phase = 0.0;
+      st.slipping = false;
+    }
   }
 }
 

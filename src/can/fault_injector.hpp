@@ -150,6 +150,19 @@ class FaultInjector {
   /// per-node deliver() path entirely otherwise).
   [[nodiscard]] bool has_skew() const noexcept { return !spec_.skews.empty(); }
 
+  /// Quiescence-skipping contract (mirrors CanNode::next_activity): the
+  /// earliest bit >= now at which this injector may disturb the bus or
+  /// accumulate per-bit state that a skip could not replay.  Returns `now`
+  /// itself (= cannot skip) while inside a stuck window, or while the
+  /// frame tracker is mid-frame with scheduled flips or skews configured.
+  [[nodiscard]] sim::BitTime next_disturbance(sim::BitTime now) const;
+
+  /// Bulk-apply `count` recessive bus bits (mirrors CanNode::on_idle_skip):
+  /// advances the geometric flip gap, the frame tracker's recessive run and
+  /// the skew states exactly as `count` per-bit transform()/deliver() calls
+  /// on a recessive bus would.
+  void on_idle_skip(sim::BitTime count);
+
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] const FaultSpec& spec() const noexcept { return spec_; }
 

@@ -1,5 +1,8 @@
 #include "can/periodic.hpp"
 
+#include <cmath>
+#include <memory>
+
 namespace mcan::can {
 
 PeriodicSender::PeriodicSender(CanFrame frame, double period_bits,
@@ -34,10 +37,22 @@ void PeriodicSender::operator()(sim::BitTime now, BitController& ctrl) {
   ctrl.enqueue(frame_);
 }
 
+sim::BitTime PeriodicSender::next_activity(sim::BitTime now) const {
+  if (static_cast<double>(now) >= next_due_) return kAlways;
+  // operator() fires at the first integer bit with (double)t >= next_due_.
+  return static_cast<sim::BitTime>(std::ceil(next_due_));
+}
+
 void attach_periodic(BitController& ctrl, const CanFrame& frame,
                      double period_bits, double phase_bits, PayloadMode mode,
                      sim::Rng rng) {
-  ctrl.add_app(PeriodicSender{frame, period_bits, phase_bits, mode, rng});
+  // Shared between the tick hook and its scheduling companion so the
+  // quiescence-skipping kernel sees the sender's live next_due_.
+  auto sender = std::make_shared<PeriodicSender>(frame, period_bits,
+                                                 phase_bits, mode, rng);
+  ctrl.add_app(
+      [sender](sim::BitTime now, BitController& c) { (*sender)(now, c); },
+      [sender](sim::BitTime now) { return sender->next_activity(now); });
 }
 
 }  // namespace mcan::can

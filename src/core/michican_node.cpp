@@ -46,4 +46,19 @@ void MichiCanNode::on_bus_bit(sim::BitLevel bus) {
   }
 }
 
+sim::BitTime MichiCanNode::next_activity(sim::BitTime now) const {
+  // While the monitor tracks a frame (or counterattacks) its per-bit
+  // handler has real work each bit — no quiescence promise possible.
+  if (cfg_.defense_enabled && !monitor_.quiescent()) return can::kAlways;
+  return ctrl_.next_activity(now);
+}
+
+void MichiCanNode::on_idle_skip(sim::BitTime count) {
+  // pio_.latch_rx(Recessive) x count collapses to its current state: the
+  // bus was already recessive on the last stepped bit.
+  ctrl_.on_idle_skip(count);
+  if (cfg_.defense_enabled) monitor_.on_idle_bits(count);
+  now_ += count;
+}
+
 }  // namespace mcan::core

@@ -48,6 +48,8 @@ class MichiCanNode : public can::CanNode {
   void tick(sim::BitTime now) override;
   [[nodiscard]] sim::BitLevel tx_level() override;
   void on_bus_bit(sim::BitLevel bus) override;
+  [[nodiscard]] sim::BitTime next_activity(sim::BitTime now) const override;
+  void on_idle_skip(sim::BitTime count) override;
   [[nodiscard]] std::string_view name() const override { return name_; }
 
  private:

@@ -47,6 +47,15 @@ void BitMonitor::end_frame() {
   if (pio_->tx_mux_enabled()) pio_->disable_tx_mux();
 }
 
+void BitMonitor::on_idle_bits(BitTime count) {
+  stats_.idle_bits += count;
+  // cnt_sof_ only ever feeds a >= 11 comparison; saturate far above it to
+  // keep the int in range over arbitrarily long skipped idle stretches.
+  constexpr int kSofCap = 1 << 20;
+  const BitTime grown = static_cast<BitTime>(cnt_sof_) + count;
+  cnt_sof_ = grown > kSofCap ? kSofCap : static_cast<int>(grown);
+}
+
 void BitMonitor::on_bit(BitTime now, BitLevel value) {
   if (!in_frame_) {
     ++stats_.idle_bits;

@@ -79,6 +79,17 @@ class BitMonitor {
   /// read from CAN_RX via the PIO register.
   void on_bit(sim::BitTime now, sim::BitLevel value);
 
+  /// True while the monitor is SOF-watching (not tracking a frame or
+  /// counterattacking) — recessive bus bits then only grow counters, which
+  /// lets the quiescence-skipping kernel bulk-apply them.
+  [[nodiscard]] bool quiescent() const noexcept { return !in_frame_; }
+
+  /// Bulk-apply `count` recessive idle bits: exactly what `count` on_bit(
+  /// Recessive) calls in the SOF-watching state would do (idle_bits is
+  /// metrics-visible and advances exactly; cnt_sof_ saturates — only the
+  /// >= 11 threshold matters).
+  void on_idle_bits(sim::BitTime count);
+
   [[nodiscard]] const MonitorStats& stats() const noexcept { return stats_; }
 
   /// Register the detector's counters ("<prefix>.*", including the

@@ -153,6 +153,19 @@ std::string to_chrome_trace(const sim::EventLog& log,
     }
   }
 
+  // Idle slices: long recessive stretches on the bus track, straight from
+  // the run-length-encoded trace.  These are the windows the
+  // quiescence-skipping kernel jumps over — but they render identically for
+  // a per-bit recording of the same bus.
+  if (trace != nullptr && opts.idle_min_bits > 0) {
+    for (const auto& r : trace->runs()) {
+      if (r.level == sim::BitLevel::Recessive && r.length >= opts.idle_min_bits) {
+        w.slice(kBusTid, "idle", "idle", r.start, r.start + r.length,
+                "\"bits\":" + std::to_string(r.length));
+      }
+    }
+  }
+
   const auto close_frame = [&](NodeState& n, sim::BitTime at,
                                const char* how, std::uint32_t id) {
     if (!n.open_frame) return;

@@ -37,6 +37,11 @@ struct TimelineOptions {
   sim::BitTime load_window{500};
   /// Emit TEC/REC counter tracks.
   bool counters{true};
+  /// Emit "idle" slices on the bus track for recessive runs of at least
+  /// `idle_min_bits` (derived from the logic-analyzer trace, so identical
+  /// whether or not the quiescence-skipping kernel produced them); 0
+  /// disables them.
+  sim::BitTime idle_min_bits{64};
 };
 
 /// Render the log (plus, optionally, the logic-analyzer trace for the bus

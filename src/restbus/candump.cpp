@@ -1,6 +1,7 @@
 #include "restbus/candump.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <sstream>
@@ -113,16 +114,24 @@ void attach_candump_replay(can::BitController& ctrl,
   auto pending = std::make_shared<std::vector<CandumpEntry>>(std::move(trace));
   auto next = std::make_shared<std::size_t>(0);
   const double bps = speed.bits_per_second;
-  ctrl.add_app([pending, next, t0, bps, time_scale](sim::BitTime now,
-                                                    can::BitController& c) {
-    while (*next < pending->size()) {
-      const auto& e = (*pending)[*next];
-      const double due_bits = (e.t_seconds - t0) * time_scale * bps;
-      if (static_cast<double>(now) < due_bits) break;
-      c.enqueue(e.frame);
-      ++*next;
-    }
-  });
+  ctrl.add_app(
+      [pending, next, t0, bps, time_scale](sim::BitTime now,
+                                           can::BitController& c) {
+        while (*next < pending->size()) {
+          const auto& e = (*pending)[*next];
+          const double due_bits = (e.t_seconds - t0) * time_scale * bps;
+          if (static_cast<double>(now) < due_bits) break;
+          c.enqueue(e.frame);
+          ++*next;
+        }
+      },
+      [pending, next, t0, bps, time_scale](sim::BitTime now) -> sim::BitTime {
+        if (*next >= pending->size()) return can::kNever;
+        const double due_bits =
+            ((*pending)[*next].t_seconds - t0) * time_scale * bps;
+        if (static_cast<double>(now) >= due_bits) return can::kAlways;
+        return static_cast<sim::BitTime>(std::ceil(due_bits));
+      });
 }
 
 }  // namespace mcan::restbus

@@ -140,6 +140,11 @@ struct CampaignReport {
   /// `bus.bits_simulated` counters) — the numerator of the campaign's
   /// bits-per-second throughput figure.
   [[nodiscard]] std::uint64_t bits_simulated() const;
+
+  /// Bits covered by the quiescence-skipping kernel across every successful
+  /// task.  Runtime perf info (zero with the fast path off) — lives next to
+  /// wall clocks, never in the deterministic section.
+  [[nodiscard]] std::uint64_t bits_skipped() const;
 };
 
 /// Run the grid.  Specs that fail validation or throw mid-run are recorded

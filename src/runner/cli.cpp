@@ -1,6 +1,8 @@
 #include "runner/cli.hpp"
 
 #include <cstdio>
+#include <iostream>
+#include <sstream>
 #include <stdexcept>
 #include <string_view>
 #include <vector>
@@ -62,6 +64,8 @@ CliOptions parse_cli(int& argc, char** argv, CliOptions defaults) {
     const std::string_view arg{argv[i]};
     if (arg == "--progress") {
       opts.progress = true;
+    } else if (arg == "--no-fast-path") {
+      opts.fast_path = false;
     } else if (arg.rfind("--jobs", 0) == 0 &&
                (arg.size() == 6 || arg[6] == '=')) {
       opts.jobs = static_cast<unsigned>(
@@ -90,6 +94,79 @@ void print_progress(std::size_t done, std::size_t total) {
   std::fprintf(stderr, "\r  [%zu/%zu] campaign tasks done%s", done, total,
                done == total ? "\n" : "");
   std::fflush(stderr);
+}
+
+std::string usage_text(std::string_view prog,
+                       const std::vector<Subcommand>& table) {
+  std::ostringstream os;
+  os << "usage:\n";
+  for (const auto& sub : table) {
+    os << "  " << prog << " " << sub.name;
+    if (!sub.operands.empty()) os << " " << sub.operands;
+    os << "\n      " << sub.help << "\n";
+  }
+  os << "shared flags (any subcommand):\n"
+        "  --jobs N        worker threads (0 = hardware concurrency)\n"
+        "  --seeds A..B    half-open seed range [A, B); \"--seeds N\" means "
+        "[0, N)\n"
+        "  --report PATH   write the JSON report here\n"
+        "  --trace-out P   write a Chrome trace-event JSON of the first "
+        "grid cell\n"
+        "  --progress      stream per-task progress to stderr\n"
+        "  --no-fast-path  pin the naive per-bit kernel (disable "
+        "quiescence skipping)\n";
+  return os.str();
+}
+
+int dispatch(int argc, char** argv, std::string_view prog,
+             const std::vector<Subcommand>& table, CliOptions defaults) {
+  CliOptions opts;
+  try {
+    opts = parse_cli(argc, argv, defaults);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n" << usage_text(prog, table);
+    return 2;
+  }
+  if (argc < 2) {
+    std::cerr << usage_text(prog, table);
+    return 2;
+  }
+  const std::string_view cmd{argv[1]};
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    std::cout << usage_text(prog, table);
+    return 0;
+  }
+  const Subcommand* sub = nullptr;
+  for (const auto& s : table) {
+    if (cmd == s.name) {
+      sub = &s;
+      break;
+    }
+  }
+  if (sub == nullptr) {
+    std::cerr << "error: unknown subcommand '" << cmd
+              << "'\navailable subcommands:";
+    for (const auto& s : table) std::cerr << " " << s.name;
+    std::cerr << "\n";
+    return 2;
+  }
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc > 2 ? argc - 2 : 0));
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+  try {
+    return sub->run(opts, args);
+  } catch (const std::invalid_argument& e) {
+    // Bad operands are usage errors: name the problem, then show how this
+    // one subcommand is called.
+    std::cerr << "error: " << e.what() << "\nusage: " << prog << " "
+              << sub->name;
+    if (!sub->operands.empty()) std::cerr << " " << sub->operands;
+    std::cerr << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
 }
 
 }  // namespace mcan::runner

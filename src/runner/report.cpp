@@ -126,7 +126,9 @@ std::string to_json(const CampaignReport& report, JsonOptions opts) {
     put_summary(os, sim::summarize(task_wall));
     os << ",\"perf\":{\"phases\":" << report.profile.to_json()
        << ",\"serialize_ms\":" << fmt_double(serialize_ms)
-       << ",\"bits_simulated\":" << bits << ",\"bits_per_second\":"
+       << ",\"bits_simulated\":" << bits
+       << ",\"bits_skipped\":" << report.bits_skipped()
+       << ",\"bits_per_second\":"
        << fmt_double(sim_ms > 0 ? static_cast<double>(bits) / (sim_ms / 1e3)
                                 : 0.0)
        << "}";

@@ -6,6 +6,12 @@
 // level for every bit time, plus free-form annotations, and supports the
 // queries the evaluation needs (idle-run detection, busy fraction, edge
 // positions, ASCII rendering of a window).
+//
+// Storage is run-length encoded: the quiescence-skipping kernel records a
+// multi-thousand-bit idle stretch as a single run via sample_run(), and a
+// CAN trace is naturally runs of a few bits anyway.  Every query is defined
+// over the logical per-bit sequence, so results are byte-identical to the
+// old one-vector-entry-per-bit representation.
 #pragma once
 
 #include <cstddef>
@@ -19,14 +25,33 @@ namespace mcan::sim {
 
 class LogicAnalyzer {
  public:
+  /// Maximal constant-level run in the recording.
+  struct Run {
+    BitTime start;
+    BitTime length;
+    BitLevel level;
+  };
+
   /// Record the resolved bus level for the current bit time.
-  void sample(BitLevel level);
+  void sample(BitLevel level) { sample_run(level, 1); }
+
+  /// Record `count` consecutive bits of the same level (a skipped idle
+  /// stretch).  Equivalent to calling sample(level) `count` times.
+  void sample_run(BitLevel level, BitTime count);
 
   /// Attach a text annotation at a given bit time (e.g. "0x066 SOF").
   void annotate(BitTime at, std::string text);
 
-  [[nodiscard]] std::size_t size() const noexcept { return levels_.size(); }
-  [[nodiscard]] BitLevel at(BitTime t) const { return levels_.at(t); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>(size_);
+  }
+  [[nodiscard]] BitLevel at(BitTime t) const;
+
+  /// Maximal constant-level runs covering [0, size()), in order.  Adjacent
+  /// runs always differ in level.
+  [[nodiscard]] const std::vector<Run>& runs() const noexcept {
+    return runs_;
+  }
 
   /// Number of dominant bits in [from, to).
   [[nodiscard]] std::size_t dominant_count(BitTime from, BitTime to) const;
@@ -60,7 +85,11 @@ class LogicAnalyzer {
   }
 
  private:
-  std::vector<BitLevel> levels_;
+  /// Index of the run containing bit t (t must be < size_).
+  [[nodiscard]] std::size_t run_index(BitTime t) const;
+
+  std::vector<Run> runs_;
+  BitTime size_{0};
   std::vector<Annotation> annotations_;
 };
 

@@ -47,6 +47,54 @@ enum class BitLevel : std::uint8_t {
 /// Monotone simulation time, counted in nominal bit times since start.
 using BitTime = std::uint64_t;
 
+/// Strongly-typed duration.  Bits and milliseconds used to travel through
+/// the API as raw doubles, which made `run_ms(2000)` vs `run(2000)` a silent
+/// unit bug; Duration makes the unit part of the type and forces the
+/// conversion through BusSpeed, where the bit rate actually lives.
+template <class Rep, class UnitTag>
+class Duration {
+ public:
+  using rep = Rep;
+
+  constexpr Duration() noexcept = default;
+  constexpr explicit Duration(Rep value) noexcept : value_{value} {}
+
+  [[nodiscard]] constexpr Rep value() const noexcept { return value_; }
+
+  friend constexpr bool operator==(Duration a, Duration b) noexcept {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(Duration a, Duration b) noexcept {
+    return !(a == b);
+  }
+  friend constexpr bool operator<(Duration a, Duration b) noexcept {
+    return a.value_ < b.value_;
+  }
+  friend constexpr bool operator<=(Duration a, Duration b) noexcept {
+    return a.value_ <= b.value_;
+  }
+  friend constexpr bool operator>(Duration a, Duration b) noexcept {
+    return b < a;
+  }
+  friend constexpr bool operator>=(Duration a, Duration b) noexcept {
+    return b <= a;
+  }
+  friend constexpr Duration operator+(Duration a, Duration b) noexcept {
+    return Duration{static_cast<Rep>(a.value_ + b.value_)};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) noexcept {
+    return Duration{static_cast<Rep>(a.value_ - b.value_)};
+  }
+
+ private:
+  Rep value_{};
+};
+
+/// A span of nominal bit times.
+using Bits = Duration<BitTime, struct BitsUnitTag>;
+/// A span of wall-clock milliseconds (meaningful only next to a BusSpeed).
+using Millis = Duration<double, struct MillisUnitTag>;
+
 /// Bus speed in bits per second (e.g. 50'000, 125'000, 500'000).
 struct BusSpeed {
   std::uint32_t bits_per_second{500'000};
@@ -62,6 +110,14 @@ struct BusSpeed {
   /// Convert a duration in milliseconds to (fractional) bits.
   [[nodiscard]] constexpr double ms_to_bits(double ms) const noexcept {
     return ms * static_cast<double>(bits_per_second) / 1e3;
+  }
+
+  /// Typed conversions: the only sanctioned way to cross the unit boundary.
+  [[nodiscard]] constexpr Bits to_bits(Millis ms) const noexcept {
+    return Bits{static_cast<BitTime>(ms_to_bits(ms.value()))};
+  }
+  [[nodiscard]] constexpr Millis to_millis(Bits bits) const noexcept {
+    return Millis{bits_to_ms(static_cast<double>(bits.value()))};
   }
 };
 

@@ -89,7 +89,7 @@ TEST(BusTopology, TraceAnnotationsSurvive) {
 
 TEST(BusTopology, RunMsMatchesSpeedConversion) {
   WiredAndBus bus{sim::BusSpeed{250'000}};
-  bus.run_ms(4.0);
+  bus.run_for(sim::Millis{4.0});
   EXPECT_EQ(bus.now(), 1000u);
 }
 

@@ -52,7 +52,7 @@ TEST(CpuModel, MeasuredWorkloadMatchesAnalyticModel) {
   def.attach_to(bus);
   restbus::RestbusSim rb{
       matrix.without(cfg.own_id).scaled_to_load(125e3, 0.4), bus};
-  bus.run_ms(2000.0);
+  bus.run_for(sim::Millis{2000.0});
 
   const auto due = mcu::arduino_due();
   const auto measured = measured_cpu(def.monitor().stats(),

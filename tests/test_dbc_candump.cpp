@@ -169,7 +169,7 @@ TEST(Candump, ReplayTimeScaleDilatesTrace) {
   attach_candump_replay(player, trace, bus.speed(), /*time_scale=*/10.0);
   CandumpRecorder rec;
   rec.attach_to(bus);
-  bus.run_ms(200.0);
+  bus.run_for(sim::Millis{200.0});
   ASSERT_EQ(rec.trace().size(), 2u);
   // 0.01 s * 10 = 0.1 s apart on the slow bus.
   EXPECT_NEAR(rec.trace()[1].t_seconds - rec.trace()[0].t_seconds, 0.1,

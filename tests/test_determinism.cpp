@@ -13,7 +13,7 @@ namespace {
 
 TEST(Determinism, ExperimentIsBitIdenticalForSameSeed) {
   auto spec = analysis::table2_experiment(3);
-  spec.duration_ms = 500;
+  spec.duration = sim::Millis{500};
   spec.seed = 1234;
   const auto a = analysis::run_experiment(spec);
   const auto b = analysis::run_experiment(spec);
@@ -30,7 +30,7 @@ TEST(Determinism, ExperimentIsBitIdenticalForSameSeed) {
 
 TEST(Determinism, DifferentSeedsDiverge) {
   auto spec = analysis::table2_experiment(3);
-  spec.duration_ms = 500;
+  spec.duration = sim::Millis{500};
   spec.seed = 1;
   const auto a = analysis::run_experiment(spec);
   spec.seed = 2;
@@ -55,7 +55,7 @@ TEST(Determinism, RestbusReplayIsReproducible) {
     can::WiredAndBus bus{sim::BusSpeed{125'000}};
     restbus::RestbusSim rb{restbus::vehicle_matrix(restbus::Vehicle::A, 1),
                            bus};
-    bus.run_ms(300.0);
+    bus.run_for(sim::Millis{300.0});
     return std::pair{rb.total_stats().frames_sent,
                      bus.trace().dominant_count(0, bus.now())};
   };

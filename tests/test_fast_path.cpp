@@ -1,0 +1,147 @@
+// Quiescence-skipping kernel equivalence and contract enforcement.
+//
+// The fast path's whole value proposition is "free speed": a recording with
+// skipping on must be BYTE-identical to the naive per-bit kernel — same
+// waveform, same event log, same metrics, same campaign report — at any
+// worker count.  The property test here sweeps every scenario in the
+// built-in registry through {fast on, fast off} x {jobs 1, jobs 4} and
+// diffs the deterministic JSON reports character by character.
+//
+// The contract itself (CanNode::next_activity / on_idle_skip) is enforced,
+// not trusted: a node that promises quiescence and then wants the bus
+// inside the promised window must make the bus throw, never silently lose
+// the dominant edge.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/experiments.hpp"
+#include "analysis/scenarios.hpp"
+#include "can/bus.hpp"
+#include "can/node.hpp"
+#include "runner/campaign.hpp"
+#include "runner/report.hpp"
+
+namespace mcan {
+namespace {
+
+/// A node that violates the scheduling contract: it advertises eternal
+/// quiescence (kNever) but drives dominant once its clock passes kLieBit.
+/// Its on_idle_skip() bookkeeping is honest, so the stale promise surfaces
+/// the moment the bus bulk-advances it across the lie.
+class LyingNode final : public can::CanNode {
+ public:
+  static constexpr sim::BitTime kLieBit = 50;
+
+  void tick(sim::BitTime now) override { clock_ = now; }
+  [[nodiscard]] sim::BitLevel tx_level() override {
+    return clock_ >= kLieBit ? sim::BitLevel::Dominant
+                             : sim::BitLevel::Recessive;
+  }
+  void on_bus_bit(sim::BitLevel /*bus*/) override {}
+  [[nodiscard]] sim::BitTime next_activity(
+      sim::BitTime /*now*/) const override {
+    return can::kNever;  // the lie
+  }
+  void on_idle_skip(sim::BitTime count) override { clock_ += count; }
+  [[nodiscard]] std::string_view name() const override { return "liar"; }
+
+ private:
+  sim::BitTime clock_{0};
+};
+
+std::string campaign_json(const std::vector<std::string>& names,
+                          bool fast_path, unsigned jobs) {
+  runner::CampaignConfig cfg;
+  for (const auto& name : names) {
+    auto spec = analysis::ScenarioRegistry::built_in().make(name);
+    // Uniform short recordings keep the 4-way sweep cheap; equivalence must
+    // hold at any duration, so a shared override loses no coverage.
+    spec.duration = sim::Millis{500.0};
+    spec.fast_path = fast_path;
+    cfg.specs.push_back(std::move(spec));
+  }
+  cfg.seeds = {0, 2};
+  cfg.jobs = jobs;
+  runner::JsonOptions opts;  // deterministic section only
+  return runner::to_json(runner::run_campaign(cfg), opts);
+}
+
+TEST(FastPath, EveryScenarioByteIdenticalAcrossKernelAndJobs) {
+  std::vector<std::string> names;
+  for (const auto& s : analysis::ScenarioRegistry::built_in().all()) {
+    names.push_back(s.name);
+  }
+  ASSERT_GE(names.size(), 10u);
+
+  const std::string reference = campaign_json(names, /*fast_path=*/true,
+                                              /*jobs=*/1);
+  EXPECT_EQ(reference, campaign_json(names, /*fast_path=*/false, /*jobs=*/1))
+      << "naive kernel diverges from the fast path at jobs=1";
+  EXPECT_EQ(reference, campaign_json(names, /*fast_path=*/true, /*jobs=*/4))
+      << "fast path report depends on the worker count";
+  EXPECT_EQ(reference, campaign_json(names, /*fast_path=*/false, /*jobs=*/4))
+      << "naive kernel report depends on the worker count";
+}
+
+TEST(FastPath, GoldenOutputsByteIdenticalWithTimelineCapture) {
+  auto make = [](bool fast_path) {
+    auto spec = analysis::ScenarioRegistry::built_in().make("fig6");
+    spec.fast_path = fast_path;
+    return analysis::run_experiment(spec);
+  };
+  const auto fast = make(true);
+  const auto naive = make(false);
+
+  EXPECT_EQ(fast.fig6_trace, naive.fig6_trace);
+  EXPECT_EQ(fast.timeline_json, naive.timeline_json);
+  EXPECT_EQ(fast.events_jsonl, naive.events_jsonl);
+  EXPECT_EQ(fast.metrics.to_json(), naive.metrics.to_json());
+
+  // The perf counter is the one allowed difference: it lives outside the
+  // deterministic surfaces compared above.
+  EXPECT_EQ(naive.bits_skipped, 0u);
+}
+
+TEST(FastPath, IdleHeavyScenarioActuallySkips) {
+  auto spec = analysis::ScenarioRegistry::built_in().make("controllers-only");
+  spec.duration = sim::Millis{500.0};
+  const auto res = analysis::run_experiment(spec);
+  const auto bits = res.metrics.counter_value("bus.bits_simulated");
+  ASSERT_GT(bits, 0u);
+  // A periodic defender plus the light rest-bus replay leaves the majority
+  // of the bus quiescent; the kernel must skip most of it, not just probe.
+  EXPECT_GT(res.bits_skipped, bits / 2);
+}
+
+TEST(FastPath, StaleNextActivityThrowsInsteadOfSkipping) {
+  can::WiredAndBus bus{sim::BusSpeed{50'000}};
+  LyingNode liar;
+  bus.attach(liar);
+  EXPECT_THROW(bus.run(sim::Bits{200}), std::logic_error);
+}
+
+TEST(FastPath, NaiveKernelToleratesTheLiar) {
+  // With skipping off the same node is stepped bit by bit — no promise, no
+  // violation; its dominant edge simply lands on the wire.
+  can::WiredAndBus bus{sim::BusSpeed{50'000}};
+  bus.set_fast_path(false);
+  LyingNode liar;
+  bus.attach(liar);
+  EXPECT_NO_THROW(bus.run(sim::Bits{200}));
+  EXPECT_EQ(bus.bits_skipped(), 0u);
+}
+
+TEST(DurationTypes, BitsAndMillisConvertExactly) {
+  const sim::BusSpeed speed{50'000};
+  EXPECT_EQ(speed.to_bits(sim::Millis{1000.0}).value(), 50'000);
+  EXPECT_EQ(speed.to_bits(sim::Millis{2.0}).value(), 100);
+  EXPECT_DOUBLE_EQ(speed.to_millis(sim::Bits{50'000}).value(), 1000.0);
+  EXPECT_TRUE(sim::Millis{1.0} < sim::Millis{2.0});
+  EXPECT_EQ(sim::Bits{10} + sim::Bits{5}, sim::Bits{15});
+}
+
+}  // namespace
+}  // namespace mcan

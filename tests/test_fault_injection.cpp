@@ -63,7 +63,7 @@ TEST(FaultInjection, SporadicGlitchesNeverBusOffBenignNodes) {
   NoiseInjector noise{1e-4, 77};  // ~1 glitch per 10k bits
   bus.attach(noise);
 
-  bus.run_ms(2000.0);
+  bus.run_for(sim::Millis{2000.0});
 
   EXPECT_FALSE(rb.any_bus_off());
   EXPECT_FALSE(def.controller().is_bus_off());

@@ -256,7 +256,7 @@ TEST(FaultVariant, BerZeroLeavesSpecUntouched) {
 
 TEST(FaultSweep, BerZeroSweepMatchesCleanCampaignByteForByte) {
   auto spec = analysis::table2_experiment(2);
-  spec.duration_ms = 200.0;
+  spec.duration = sim::Millis{200.0};
 
   runner::FaultSweepConfig sweep;
   sweep.base_specs = {spec};
@@ -278,7 +278,7 @@ TEST(FaultSweep, BerZeroSweepMatchesCleanCampaignByteForByte) {
 
 TEST(FaultSweep, ErrorFrameStomperIsInvisibleToTheMonitor) {
   auto spec = analysis::error_frame_experiment();
-  spec.duration_ms = 500.0;
+  spec.duration = sim::Millis{500.0};
   const auto res = analysis::run_experiment(spec);
   // The stomper destroys the defender's frames from below the data-link
   // layer: plenty of stomps, no attack frame for the arbitration monitor

@@ -59,7 +59,7 @@ TEST(FaultSweepProperty, SweepIsDeterministicAcrossWorkerCounts) {
   cfg.base_specs = {analysis::table2_experiment(4)};
   cfg.bers = {0.0, 1e-4};
   cfg.seeds = {0, 3};
-  for (auto& s : cfg.base_specs) s.duration_ms = 500.0;
+  for (auto& s : cfg.base_specs) s.duration = sim::Millis{500.0};
 
   cfg.jobs = 1;
   const auto serial = runner::run_fault_sweep(cfg);

@@ -39,7 +39,7 @@ TEST(Fleet, BuildsOneNodePerMessage) {
 TEST(Fleet, ApplicationTrafficFlows) {
   can::WiredAndBus bus{sim::BusSpeed{125'000}};
   Fleet fleet{small_matrix(), bus};
-  bus.run_ms(500.0);
+  bus.run_for(sim::Millis{500.0});
   EXPECT_GT(fleet.total_frames_sent(), 30u);
   EXPECT_FALSE(fleet.any_defender_bus_off());
   EXPECT_EQ(fleet.max_defender_tec(), 0);
@@ -57,7 +57,7 @@ TEST_P(FleetPolicy, DosAttackHandledPerPolicy) {
   acfg.persistent = false;
   Attacker atk{"attacker", acfg};
   atk.attach_to(bus);
-  bus.run_ms(200.0);
+  bus.run_for(sim::Millis{200.0});
 
   if (GetParam() == DeploymentPolicy::DetectionOnly) {
     EXPECT_FALSE(atk.node().is_bus_off());
@@ -94,7 +94,7 @@ TEST(Fleet, SplitCutsNetworkCpuBill) {
     FleetConfig cfg;
     cfg.policy = policy;
     Fleet fleet{small_matrix(), bus, cfg};
-    bus.run_ms(1000.0);
+    bus.run_for(sim::Millis{1000.0});
     return fleet.total_cpu_load(mcu::arduino_due(), 125e3);
   };
   const double full = run(DeploymentPolicy::AllFull);
@@ -114,7 +114,7 @@ TEST(Fleet, SpoofingOfLightNodeStillPunished) {
   acfg.persistent = false;
   Attacker atk{"attacker", acfg};
   atk.attach_to(bus);
-  bus.run_ms(200.0);
+  bus.run_for(sim::Millis{200.0});
   EXPECT_TRUE(atk.node().is_bus_off());
   EXPECT_GT(fleet.find(0x0C0)->monitor().stats().counterattacks, 0u);
 }
@@ -131,7 +131,7 @@ TEST(Fleet, RedundantDefendersAgreeOnAttackCount) {
   acfg.persistent = false;
   Attacker atk{"attacker", acfg};
   atk.attach_to(bus);
-  bus.run_ms(200.0);
+  bus.run_for(sim::Millis{200.0});
   ASSERT_TRUE(atk.node().is_bus_off());
   const auto expected = fleet.nodes()[0]->monitor().stats().attacks_detected;
   EXPECT_GT(expected, 0u);

@@ -32,7 +32,7 @@ std::string golden_path() {
 
 std::string render_fig6() {
   auto spec = analysis::table2_experiment(5);
-  spec.duration_ms = 120.0;  // one joint bus-off cycle
+  spec.duration = sim::Millis{120.0};  // one joint bus-off cycle
   spec.seed = kGoldenSeed;
   const auto res = analysis::run_experiment(spec);
   return res.fig6_trace;

@@ -114,7 +114,7 @@ TEST(RestbusSim, MeasuredLoadTracksAnalyticLoad) {
   can::WiredAndBus bus{sim::BusSpeed{50'000}};
   const auto m = vehicle_matrix(Vehicle::D, 1).scaled_to_load(50e3, 0.20);
   RestbusSim sim{m, bus};
-  bus.run_ms(2000.0);
+  bus.run_for(sim::Millis{2000.0});
   const double measured = bus.trace().busy_fraction(0, bus.now());
   EXPECT_NEAR(measured, 0.20, 0.06);
   EXPECT_FALSE(sim.any_bus_off());
@@ -130,7 +130,7 @@ TEST(RestbusSim, DeliversFramesLossFree) {
   std::uint64_t delivered = 0;
   observer.set_rx_callback(
       [&](const can::CanFrame&, sim::BitTime) { ++delivered; });
-  bus.run_ms(500.0);
+  bus.run_for(sim::Millis{500.0});
   const auto stats = sim.total_stats();
   EXPECT_EQ(delivered, stats.frames_sent);
   EXPECT_EQ(stats.dropped_frames, 0u);

@@ -24,7 +24,7 @@ CampaignConfig small_campaign(unsigned jobs) {
   CampaignConfig cfg;
   for (const int n : {2, 4, 5}) {
     auto spec = analysis::table2_experiment(n);
-    spec.duration_ms = 300.0;
+    spec.duration = sim::Millis{300.0};
     cfg.specs.push_back(std::move(spec));
   }
   cfg.seeds = {3, 9};

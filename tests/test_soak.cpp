@@ -63,7 +63,7 @@ TEST(Soak, FullTestbedFiveSimulatedSeconds) {
   attack::Attacker spoofer{"spoofer", spoof_cfg};
   spoofer.attach_to(bus);
 
-  bus.run_ms(5000.0);
+  bus.run_for(sim::Millis{5000.0});
 
   // --- invariants -----------------------------------------------------------
   // 1. The DoS attacker cycles through bus-off repeatedly.

@@ -34,7 +34,7 @@ std::string golden_path() {
 
 analysis::ExperimentResult run_fig6() {
   auto spec = analysis::table2_experiment(5);
-  spec.duration_ms = 120.0;  // one joint bus-off cycle
+  spec.duration = sim::Millis{120.0};  // one joint bus-off cycle
   spec.seed = kGoldenSeed;
   spec.capture_timeline = true;
   return analysis::run_experiment(spec);
@@ -138,7 +138,7 @@ TEST(Timeline, ExportIsDeterministic) {
 TEST(CampaignMetrics, ReportIsByteIdenticalAcrossWorkerCounts) {
   runner::CampaignConfig cfg;
   cfg.specs = {analysis::table2_experiment(5)};
-  cfg.specs[0].duration_ms = 250.0;
+  cfg.specs[0].duration = sim::Millis{250.0};
   cfg.seeds = {0, 4};
 
   cfg.jobs = 1;
@@ -165,7 +165,7 @@ TEST(CampaignMetrics, ReportIsByteIdenticalAcrossWorkerCounts) {
 TEST(CampaignMetrics, RerunCellReproducesTheTaskRecording) {
   runner::CampaignConfig cfg;
   cfg.specs = {analysis::table2_experiment(4)};
-  cfg.specs[0].duration_ms = 200.0;
+  cfg.specs[0].duration = sim::Millis{200.0};
   cfg.seeds = {3, 5};
 
   const auto report = runner::run_campaign(cfg);
