@@ -27,6 +27,7 @@
 #include "runner/campaign.hpp"
 #include "runner/cli.hpp"
 #include "runner/fault_sweep.hpp"
+#include "runner/fuzz.hpp"
 #include "runner/report.hpp"
 
 namespace {
@@ -260,6 +261,70 @@ int cmd_fault_sweep(const runner::CliOptions& opts,
   return rep.campaign.failed_tasks() == 0 ? 0 : 1;
 }
 
+int cmd_fuzz(const runner::CliOptions& opts,
+             const std::vector<std::string>& args) {
+  runner::FuzzConfig cfg;
+  std::string repro_dir;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const auto& arg = args[i];
+    const auto take = [&](const std::string& flag) -> std::string {
+      if (arg.size() > flag.size() && arg[flag.size()] == '=') {
+        return arg.substr(flag.size() + 1);
+      }
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument(flag + " needs a value");
+      }
+      return args[++i];
+    };
+    if (arg.rfind("--cases", 0) == 0 && (arg.size() == 7 || arg[7] == '=')) {
+      cfg.cases = static_cast<std::size_t>(
+          parse_int(take("--cases"), 1, 10'000'000, "--cases"));
+    } else if (arg.rfind("--repro-dir", 0) == 0 &&
+               (arg.size() == 11 || arg[11] == '=')) {
+      repro_dir = take("--repro-dir");
+    } else if (arg == "--no-shrink") {
+      cfg.shrink = false;
+    } else {
+      throw std::invalid_argument("fuzz: unexpected argument '" + arg + "'");
+    }
+  }
+  // The differ always runs both kernels (that is the point), so
+  // --no-fast-path does not apply here; --seeds picks the case population.
+  cfg.seeds = opts.seeds;
+  cfg.jobs = opts.jobs;
+  if (opts.progress) cfg.progress = runner::print_progress;
+  const auto rep = runner::run_fuzz(cfg);
+
+  std::cout << runner::format_summary(rep);
+
+  if (!opts.report_path.empty()) {
+    runner::JsonOptions jopts;
+    jopts.include_runtime = true;
+    std::ofstream out{opts.report_path, std::ios::binary};
+    if (out && (out << runner::to_json(rep, jopts))) {
+      std::cout << "JSON report: " << opts.report_path << "\n";
+    } else {
+      std::cerr << "error: could not write " << opts.report_path << "\n";
+      return 1;
+    }
+  }
+  if (!repro_dir.empty()) {
+    for (const auto& d : rep.divergences) {
+      const auto stem =
+          repro_dir + "/fuzz_repro_" + std::to_string(d.derived_seed);
+      std::ofstream json{stem + ".json", std::ios::binary};
+      std::ofstream test{stem + ".cpp", std::ios::binary};
+      if (!(json << d.repro_json) || !(test << d.repro_test)) {
+        std::cerr << "error: could not write repro files at " << stem
+                  << ".{json,cpp}\n";
+        return 1;
+      }
+      std::cout << "repro: " << stem << ".json / .cpp\n";
+    }
+  }
+  return rep.divergences.empty() ? 0 : 1;
+}
+
 int cmd_trace(const runner::CliOptions& opts,
               const std::vector<std::string>& args) {
   std::string out_path = "michican_trace.json";
@@ -409,6 +474,10 @@ int main(int argc, char** argv) {
        "robustness campaign: bit-error rate x attacker scenario "
        "(default: spoof dos ef)",
        cmd_fault_sweep},
+      {"fuzz", "[--cases N] [--no-shrink] [--repro-dir PATH]",
+       "differential ISO 11898-1 conformance fuzzer: simulator vs "
+       "independent oracle, fast path on vs off; shrinks any divergence",
+       cmd_fuzz},
       {"trace", "<scenario> [seed] [duration_ms] [--out PATH] [--jsonl PATH]",
        "run one recording with timeline capture and write a Chrome "
        "trace-event JSON",

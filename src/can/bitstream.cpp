@@ -130,16 +130,15 @@ std::vector<TxBit> wire_bits(const CanFrame& frame) {
         run = 1;
       }
       if (run == 5) {
-        // Insert a stuff bit of the opposite level.  It is only emitted if
-        // the next real bit is still inside the stuffed region OR this was
-        // the last bit of the region (stuff bit after the final CRC bit is
-        // never needed: the CRC delimiter is recessive and unstuffed).
-        if (pos + 1 < stuffed_end) {
-          const auto stuffed = sim::invert(level);
-          out.push_back({stuffed, field, pos, /*is_stuff=*/true});
-          run_level = stuffed;
-          run = 1;
-        }
+        // Insert a stuff bit of the opposite level.  ISO 11898-1 §10.5
+        // stuffs the whole region SOF..CRC *including* a run that ends at
+        // the final CRC bit: the receiver's destuffer is still armed there
+        // and would otherwise take the CRC delimiter for a stuff bit (or,
+        // for a recessive run, flag a stuff error on the delimiter).
+        const auto stuffed = sim::invert(level);
+        out.push_back({stuffed, field, pos, /*is_stuff=*/true});
+        run_level = stuffed;
+        run = 1;
       }
     }
   }

@@ -535,6 +535,24 @@ void BitController::feed_rx(BitLevel bus) {
     return;
   }
 
+  // A run of five equal levels ending at the final CRC bit still forces a
+  // stuff bit (ISO 11898-1 §10.5 stuffs the whole CRC sequence), so the
+  // first post-CRC wire bit may be one last stuff bit to discard — or a
+  // sixth equal level, which is a stuff error, not a CRC-delimiter form
+  // error.  Once consumed the destuffer run drops below five, so this
+  // branch cannot trigger twice.
+  if (pos == rx_.stuffed_len() && rx_.destuff.run_length() == 5) {
+    switch (rx_.destuff.feed(bus)) {
+      case Destuffer::Result::StuffError:
+        begin_error(/*as_transmitter=*/false, ErrorType::Stuff, false);
+        return;
+      case Destuffer::Result::StuffBit:
+        return;  // discard
+      case Destuffer::Result::DataBit:
+        break;  // unreachable: a fed bit either extends or breaks the run
+    }
+  }
+
   // Post-CRC fixed-format trailer (not subject to stuffing).
   rx_.bits.push_back(static_cast<std::uint8_t>(sim::to_bit(bus)));
   const int rel = pos - rx_.stuffed_len();

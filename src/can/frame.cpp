@@ -1,10 +1,36 @@
 #include "can/frame.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <sstream>
+#include <stdexcept>
 
 namespace mcan::can {
+
+namespace {
+
+/// Factory argument validation — one policy for every factory: throw
+/// std::invalid_argument in all build types (see frame.hpp).
+void check_frame_args(CanId id, bool extended, std::size_t len,
+                      const char* factory) {
+  const bool id_ok = extended ? is_valid_ext_id(id) : is_valid_id(id);
+  if (!id_ok) {
+    throw std::invalid_argument(
+        std::string{"CanFrame::"} + factory + ": ID 0x" +
+        [id] {
+          std::ostringstream os;
+          os << std::hex << id;
+          return os.str();
+        }() +
+        (extended ? " exceeds 29 bits" : " exceeds 11 bits"));
+  }
+  if (len > 8) {
+    throw std::invalid_argument(std::string{"CanFrame::"} + factory +
+                                ": payload length " + std::to_string(len) +
+                                " exceeds 8 bytes");
+  }
+}
+
+}  // namespace
 
 std::string_view to_string(ErrorType t) noexcept {
   switch (t) {
@@ -48,7 +74,7 @@ std::string_view to_string(Field f) noexcept {
 }
 
 CanFrame CanFrame::make(CanId id, std::initializer_list<std::uint8_t> bytes) {
-  assert(is_valid_id(id) && bytes.size() <= 8);
+  check_frame_args(id, /*extended=*/false, bytes.size(), "make");
   CanFrame f;
   f.id = id;
   f.dlc = static_cast<std::uint8_t>(bytes.size());
@@ -58,7 +84,7 @@ CanFrame CanFrame::make(CanId id, std::initializer_list<std::uint8_t> bytes) {
 
 CanFrame CanFrame::make_pattern(CanId id, std::uint8_t dlc,
                                 std::uint64_t pattern) {
-  assert(is_valid_id(id) && dlc <= 8);
+  check_frame_args(id, /*extended=*/false, dlc, "make_pattern");
   CanFrame f;
   f.id = id;
   f.dlc = dlc;
@@ -70,7 +96,7 @@ CanFrame CanFrame::make_pattern(CanId id, std::uint8_t dlc,
 }
 
 CanFrame CanFrame::make_remote(CanId id, std::uint8_t dlc) {
-  assert(is_valid_id(id) && dlc <= 8);
+  check_frame_args(id, /*extended=*/false, dlc, "make_remote");
   CanFrame f;
   f.id = id;
   f.rtr = true;
@@ -80,7 +106,7 @@ CanFrame CanFrame::make_remote(CanId id, std::uint8_t dlc) {
 
 CanFrame CanFrame::make_ext(CanId id,
                             std::initializer_list<std::uint8_t> bytes) {
-  assert(is_valid_ext_id(id) && bytes.size() <= 8);
+  check_frame_args(id, /*extended=*/true, bytes.size(), "make_ext");
   CanFrame f;
   f.id = id;
   f.extended = true;

@@ -28,18 +28,30 @@ struct CanFrame {
     return {data.data(), rtr ? 0u : dlc};
   }
 
+  // Factory validation policy: every factory throws std::invalid_argument
+  // on an out-of-range ID or payload length, in ALL build types.  The old
+  // assert-only checks vanished under NDEBUG, letting invalid frames (e.g.
+  // a 12-bit "standard" ID) reach the encoder where the extra bits were
+  // silently truncated on the wire.  Aggregate-constructing a CanFrame
+  // directly still bypasses validation — fuzzing/attack models that need
+  // malformed frames do exactly that, and can check with valid().
+
   /// Convenience factory for a data frame.
+  /// Throws std::invalid_argument on invalid ID or > 8 bytes.
   [[nodiscard]] static CanFrame make(CanId id,
                                      std::initializer_list<std::uint8_t> bytes);
 
   /// Data frame with `dlc` bytes drawn from a 64-bit pattern (MSB first).
+  /// Throws std::invalid_argument on invalid ID or dlc > 8.
   [[nodiscard]] static CanFrame make_pattern(CanId id, std::uint8_t dlc,
                                              std::uint64_t pattern);
 
   /// Remote frame (no payload on the wire, DLC still encodes a length code).
+  /// Throws std::invalid_argument on invalid ID or dlc > 8.
   [[nodiscard]] static CanFrame make_remote(CanId id, std::uint8_t dlc = 0);
 
   /// Extended (29-bit ID) data frame.
+  /// Throws std::invalid_argument on invalid ID or > 8 bytes.
   [[nodiscard]] static CanFrame make_ext(
       CanId id, std::initializer_list<std::uint8_t> bytes);
 

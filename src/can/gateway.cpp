@@ -4,6 +4,31 @@
 
 namespace mcan::can {
 
+namespace {
+
+/// Apply a routing verdict: forward across the gateway or account a drop.
+void route(const GatewayNode::Filter& filter, const CanFrame& f,
+           BitController& egress, std::uint64_t& forwarded,
+           std::uint64_t& dropped) {
+  if (!filter) return;
+  switch (filter(f)) {
+    case FilterVerdict::Ignore:
+      return;
+    case FilterVerdict::Drop:
+      ++dropped;
+      return;
+    case FilterVerdict::Forward:
+      break;
+  }
+  if (egress.enqueue(f)) {
+    ++forwarded;
+  } else {
+    ++dropped;
+  }
+}
+
+}  // namespace
+
 GatewayNode::GatewayNode(std::string name, Filter a_to_b, Filter b_to_a)
     : name_(std::move(name)),
       filter_ab_(std::move(a_to_b)),
@@ -11,20 +36,10 @@ GatewayNode::GatewayNode(std::string name, Filter a_to_b, Filter b_to_a)
       a_(name_ + "/a"),
       b_(name_ + "/b") {
   a_.set_rx_callback([this](const CanFrame& f, sim::BitTime) {
-    if (!filter_ab_ || !filter_ab_(f)) return;
-    if (b_.enqueue(f)) {
-      ++fwd_ab_;
-    } else {
-      ++dropped_;
-    }
+    route(filter_ab_, f, b_, fwd_ab_, dropped_);
   });
   b_.set_rx_callback([this](const CanFrame& f, sim::BitTime) {
-    if (!filter_ba_ || !filter_ba_(f)) return;
-    if (a_.enqueue(f)) {
-      ++fwd_ba_;
-    } else {
-      ++dropped_;
-    }
+    route(filter_ba_, f, a_, fwd_ba_, dropped_);
   });
 }
 
@@ -34,9 +49,31 @@ void GatewayNode::attach_to(WiredAndBus& bus_a, WiredAndBus& bus_b) {
 }
 
 GatewayNode::Filter forward_ids(std::vector<CanId> ids) {
-  std::sort(ids.begin(), ids.end());
-  return [ids = std::move(ids)](const CanFrame& f) {
-    return std::binary_search(ids.begin(), ids.end(), f.id);
+  std::vector<RouteId> routes;
+  routes.reserve(ids.size());
+  for (const auto id : ids) routes.push_back({id, /*extended=*/false});
+  return forward_routes(std::move(routes));
+}
+
+GatewayNode::Filter forward_routes(std::vector<RouteId> routes) {
+  // Sort by numeric ID so both the exact match and the cross-format
+  // collision check are a single binary search away.
+  std::sort(routes.begin(), routes.end(),
+            [](const RouteId& l, const RouteId& r) {
+              return l.id != r.id ? l.id < r.id : l.extended < r.extended;
+            });
+  return [routes = std::move(routes)](const CanFrame& f) {
+    const auto lo = std::lower_bound(
+        routes.begin(), routes.end(), f.id,
+        [](const RouteId& r, CanId id) { return r.id < id; });
+    bool numeric_hit = false;
+    for (auto it = lo; it != routes.end() && it->id == f.id; ++it) {
+      if (it->extended == f.extended) return FilterVerdict::Forward;
+      numeric_hit = true;
+    }
+    // Same numeric ID, other frame format: a distinct wire identifier that
+    // must not ride the whitelist across the containment boundary.
+    return numeric_hit ? FilterVerdict::Drop : FilterVerdict::Ignore;
   };
 }
 

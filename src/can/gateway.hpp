@@ -10,17 +10,24 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "can/bus.hpp"
 #include "can/controller.hpp"
 
 namespace mcan::can {
 
+/// What the routing filter decided for a received frame.
+enum class FilterVerdict : std::uint8_t {
+  Ignore,   // not in the routing table: not forwarded, not counted
+  Forward,  // route to the other side
+  Drop,     // explicitly blocked: counted in GatewayNode::dropped()
+};
+
 class GatewayNode {
  public:
-  /// Routing predicate: return true to forward a frame arriving on one
-  /// side to the other side.
-  using Filter = std::function<bool(const CanFrame&)>;
+  /// Routing verdict for a frame arriving on one side.
+  using Filter = std::function<FilterVerdict(const CanFrame&)>;
 
   GatewayNode(std::string name, Filter a_to_b, Filter b_to_a);
 
@@ -34,8 +41,10 @@ class GatewayNode {
   [[nodiscard]] std::uint64_t forwarded_b_to_a() const noexcept {
     return fwd_ba_;
   }
-  /// Frames matching the filter that were dropped because the egress
-  /// queue was full (e.g. the target bus is saturated by an attack).
+  /// Frames the gateway refused to pass on: filter verdict Drop (e.g. an
+  /// extended frame numerically colliding with a whitelisted standard ID)
+  /// plus frames matching the filter whose egress queue was full (the
+  /// target bus is saturated by an attack).
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
 
  private:
@@ -49,7 +58,27 @@ class GatewayNode {
   std::uint64_t dropped_{0};
 };
 
-/// Convenience filter: forward exactly the IDs in `ids`.
+/// One routing-table entry: an exact (id, extended) identifier pair.  A
+/// standard 0x100 and an extended 0x100 are different identifiers on the
+/// wire and must never match each other.
+struct RouteId {
+  CanId id{};
+  bool extended{false};
+
+  friend bool operator==(const RouteId&, const RouteId&) noexcept = default;
+};
+
+/// Convenience filter: forward exactly the *standard* (11-bit) IDs in
+/// `ids`.  An extended frame whose 29-bit ID is numerically equal to a
+/// whitelisted standard ID gets verdict Drop — counted in dropped() rather
+/// than silently leaking across the containment boundary (the historical
+/// bug: matching on the numeric ID alone forwarded such frames).
 [[nodiscard]] GatewayNode::Filter forward_ids(std::vector<CanId> ids);
+
+/// General routing table over (id, extended) pairs.  An exact pair match
+/// is forwarded; a frame whose numeric ID matches an entry of the *other*
+/// format is a near-miss collision and gets verdict Drop; anything else is
+/// ignored.
+[[nodiscard]] GatewayNode::Filter forward_routes(std::vector<RouteId> routes);
 
 }  // namespace mcan::can

@@ -1,0 +1,358 @@
+#include "conformance/oracle.hpp"
+
+#include <algorithm>
+
+#include "can/crc15.hpp"
+
+namespace mcan::conformance {
+namespace {
+
+// Spec layout, written out independently of can/types.hpp's kPos* table.
+// Standard frame body: SOF, 11 ID bits, RTR, IDE, r0, 4 DLC bits, data, CRC.
+// Extended frame body: SOF, 11 base ID bits, SRR, IDE, 18 extension bits,
+// RTR, r1, r0, 4 DLC bits, data, CRC.
+constexpr int kCrcLen = 15;
+
+void append_msb_first(std::vector<std::uint8_t>& bits, std::uint32_t value,
+                      int width) {
+  for (int i = width - 1; i >= 0; --i) {
+    bits.push_back(static_cast<std::uint8_t>((value >> i) & 1));
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> oracle_body_bits(const can::CanFrame& frame) {
+  std::vector<std::uint8_t> bits;
+  bits.push_back(0);  // SOF: dominant
+  if (frame.extended) {
+    append_msb_first(bits, frame.id >> 18, 11);  // base ID
+    bits.push_back(1);                           // SRR: recessive
+    bits.push_back(1);                           // IDE: recessive = extended
+    append_msb_first(bits, frame.id & 0x3FFFF, 18);
+    bits.push_back(frame.rtr ? 1 : 0);  // RTR
+    bits.push_back(0);                  // r1: transmitted dominant
+    bits.push_back(0);                  // r0: transmitted dominant
+  } else {
+    append_msb_first(bits, frame.id, 11);
+    bits.push_back(frame.rtr ? 1 : 0);  // RTR
+    bits.push_back(0);                  // IDE: dominant = standard
+    bits.push_back(0);                  // r0
+  }
+  append_msb_first(bits, frame.dlc, 4);
+  if (!frame.rtr) {
+    for (int byte = 0; byte < frame.dlc; ++byte) {
+      append_msb_first(bits, frame.data[static_cast<std::size_t>(byte)], 8);
+    }
+  }
+  const std::uint16_t crc = can::crc15({bits.data(), bits.size()});
+  append_msb_first(bits, crc, kCrcLen);
+  return bits;
+}
+
+std::vector<std::uint8_t> oracle_wire_bits(const can::CanFrame& frame,
+                                           bool ack_dominant) {
+  const auto body = oracle_body_bits(frame);
+  std::vector<std::uint8_t> wire;
+  wire.reserve(body.size() + body.size() / 4 + 10);
+
+  // Stuffing pass (§10.5): after five consecutive equal bits anywhere in
+  // the body — including a run ending at the final CRC bit — the opposite
+  // level is inserted.  The inserted bit itself participates in the count.
+  std::uint8_t run_value = 2;  // neither 0 nor 1: no run yet
+  int run = 0;
+  for (const std::uint8_t b : body) {
+    wire.push_back(b);
+    if (b == run_value) {
+      ++run;
+    } else {
+      run_value = b;
+      run = 1;
+    }
+    if (run == 5) {
+      const std::uint8_t stuffed = run_value != 0 ? 0 : 1;
+      wire.push_back(stuffed);
+      run_value = stuffed;
+      run = 1;
+    }
+  }
+
+  wire.push_back(1);                        // CRC delimiter
+  wire.push_back(ack_dominant ? 0 : 1);     // ACK slot
+  wire.push_back(1);                        // ACK delimiter
+  for (int i = 0; i < 7; ++i) wire.push_back(1);  // EOF
+  return wire;
+}
+
+int oracle_stuff_bit_count(const can::CanFrame& frame) {
+  const int body = static_cast<int>(oracle_body_bits(frame).size());
+  const int wire = static_cast<int>(oracle_wire_bits(frame).size());
+  return wire - body - 10;  // 10 fixed-form trailer bits
+}
+
+OracleDecode oracle_decode(std::span<const std::uint8_t> wire) {
+  OracleDecode out;
+  const auto fail = [&out](std::string why) {
+    out.ok = false;
+    out.error = std::move(why);
+    return out;
+  };
+
+  // --- destuff + parse the variable-length body ---------------------------
+  std::vector<std::uint8_t> body;  // unstuffed values, SOF at index 0
+  std::size_t pos = 0;             // raw wire cursor
+  std::uint8_t run_value = 2;
+  int run = 0;
+  bool extended = false;
+  bool rtr = false;
+  int dlc = -1;
+  int body_len = -1;  // unknown until the DLC is parsed
+
+  // Consume raw wire bits until one data bit lands in `body`, discarding a
+  // stuff bit on the way; returns false on stuff error / truncation.
+  const auto take = [&]() -> bool {
+    for (;;) {
+      if (pos >= wire.size()) {
+        out.error = "truncated wire window";
+        return false;
+      }
+      const std::uint8_t b = wire[pos++];
+      if (run == 5) {
+        // Five equal bits just went by: this one must be the stuff bit.
+        if (b == run_value) {
+          out.error = "stuff error: six consecutive equal bits";
+          return false;
+        }
+        ++out.stuff_bits;
+        run_value = b;
+        run = 1;
+        continue;  // go read the real bit
+      }
+      if (b == run_value) {
+        ++run;
+      } else {
+        run_value = b;
+        run = 1;
+      }
+      body.push_back(b);
+      return true;
+    }
+  };
+
+  while (body_len < 0 || static_cast<int>(body.size()) < body_len) {
+    if (!take()) return fail(out.error);
+    const int at = static_cast<int>(body.size()) - 1;
+    if (at == 0 && body[0] != 0) return fail("SOF not dominant");
+    if (at == 13) {  // IDE decides the format
+      extended = body[13] != 0;
+      if (extended) {
+        if (body[12] != 1) return fail("SRR not recessive in extended frame");
+      } else {
+        rtr = body[12] != 0;
+      }
+    }
+    if (extended && at == 32) rtr = body[32] != 0;
+    if (!extended && at == 18) {
+      const int code = (body[15] << 3) | (body[16] << 2) | (body[17] << 1) |
+                       body[18];
+      dlc = std::min(code, 8);
+      body_len = 19 + (rtr ? 0 : 8 * dlc) + kCrcLen;
+    }
+    if (extended && at == 38) {
+      const int code = (body[35] << 3) | (body[36] << 2) | (body[37] << 1) |
+                       body[38];
+      dlc = std::min(code, 8);
+      body_len = 39 + (rtr ? 0 : 8 * dlc) + kCrcLen;
+    }
+  }
+
+  // A run of five ending at the final CRC bit is still followed by a stuff
+  // bit (§10.5 covers the whole CRC sequence); consume it before the
+  // fixed-form trailer.
+  if (run == 5) {
+    if (pos >= wire.size()) return fail("truncated wire window");
+    if (wire[pos] == run_value) {
+      return fail("stuff error: six consecutive equal bits");
+    }
+    ++out.stuff_bits;
+    ++pos;
+  }
+
+  // --- CRC ----------------------------------------------------------------
+  const std::size_t crc_start = body.size() - kCrcLen;
+  const std::uint16_t computed = can::crc15({body.data(), crc_start});
+  std::uint16_t received = 0;
+  for (std::size_t i = crc_start; i < body.size(); ++i) {
+    received = static_cast<std::uint16_t>((received << 1) | body[i]);
+  }
+  if (computed != received) return fail("CRC mismatch");
+
+  // --- fixed-form trailer -------------------------------------------------
+  if (pos + 10 > wire.size()) return fail("truncated wire window");
+  if (wire[pos] != 1) return fail("CRC delimiter not recessive");
+  out.ack_seen = wire[pos + 1] == 0;
+  if (wire[pos + 2] != 1) return fail("ACK delimiter not recessive");
+  for (int i = 0; i < 7; ++i) {
+    if (wire[pos + 3 + static_cast<std::size_t>(i)] != 1) {
+      return fail("EOF bit not recessive");
+    }
+  }
+  pos += 10;
+
+  // --- reconstruct the frame ----------------------------------------------
+  can::CanFrame f;
+  f.extended = extended;
+  f.rtr = rtr;
+  f.dlc = static_cast<std::uint8_t>(dlc);
+  std::uint32_t id = 0;
+  for (int i = 1; i <= 11; ++i) id = (id << 1) | body[static_cast<std::size_t>(i)];
+  if (extended) {
+    for (int i = 14; i <= 31; ++i) {
+      id = (id << 1) | body[static_cast<std::size_t>(i)];
+    }
+  }
+  f.id = id;
+  const int data_first = extended ? 39 : 19;
+  if (!rtr) {
+    for (int byte = 0; byte < dlc; ++byte) {
+      std::uint8_t v = 0;
+      for (int i = 0; i < 8; ++i) {
+        v = static_cast<std::uint8_t>(
+            (v << 1) | body[static_cast<std::size_t>(data_first + 8 * byte + i)]);
+      }
+      f.data[static_cast<std::size_t>(byte)] = v;
+    }
+  }
+  out.frame = f;
+  out.wire_bits_consumed = static_cast<int>(pos);
+  out.ok = true;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Frame-level predictors
+
+std::vector<std::uint8_t> arbitration_key(const can::CanFrame& frame) {
+  std::vector<std::uint8_t> key;
+  if (frame.extended) {
+    key.reserve(32);
+    for (int i = 28; i >= 18; --i) {
+      key.push_back(static_cast<std::uint8_t>((frame.id >> i) & 1));
+    }
+    key.push_back(1);  // SRR
+    key.push_back(1);  // IDE
+    for (int i = 17; i >= 0; --i) {
+      key.push_back(static_cast<std::uint8_t>((frame.id >> i) & 1));
+    }
+    key.push_back(frame.rtr ? 1 : 0);  // RTR
+  } else {
+    key.reserve(13);
+    for (int i = 10; i >= 0; --i) {
+      key.push_back(static_cast<std::uint8_t>((frame.id >> i) & 1));
+    }
+    key.push_back(frame.rtr ? 1 : 0);  // RTR
+    key.push_back(0);                  // IDE: dominant beats extended format
+  }
+  return key;
+}
+
+std::optional<std::size_t> predict_arbitration_winner(
+    const std::vector<can::CanFrame>& contenders) {
+  if (contenders.empty()) return std::nullopt;
+  std::size_t best = 0;
+  auto best_key = arbitration_key(contenders[0]);
+  bool tie = false;
+  for (std::size_t i = 1; i < contenders.size(); ++i) {
+    auto key = arbitration_key(contenders[i]);
+    if (key == best_key) {
+      tie = true;
+    } else if (std::lexicographical_compare(key.begin(), key.end(),
+                                            best_key.begin(), best_key.end())) {
+      best = i;
+      best_key = std::move(key);
+      tie = false;
+    }
+  }
+  if (tie) return std::nullopt;
+  return best;
+}
+
+SchedulePrediction predict_schedule(
+    const std::vector<std::vector<can::CanFrame>>& queues) {
+  SchedulePrediction pred;
+  pred.attempts.assign(queues.size(), 0);
+  pred.losses.assign(queues.size(), 0);
+  pred.stuff_bits_tx.assign(queues.size(), 0);
+
+  std::vector<std::size_t> next(queues.size(), 0);
+  for (;;) {
+    std::vector<std::size_t> contenders;
+    std::vector<can::CanFrame> fronts;
+    for (std::size_t n = 0; n < queues.size(); ++n) {
+      if (next[n] < queues[n].size()) {
+        contenders.push_back(n);
+        fronts.push_back(queues[n][next[n]]);
+      }
+    }
+    if (contenders.empty()) break;
+
+    const auto winner = predict_arbitration_winner(fronts);
+    if (!winner) {
+      pred.ok = false;
+      pred.error = "same-key arbitration collision";
+      return pred;
+    }
+    ArbitrationRound round;
+    round.winner = contenders[*winner];
+    round.frame = fronts[*winner];
+    round.contenders = contenders;
+    for (std::size_t i = 0; i < contenders.size(); ++i) {
+      const std::size_t n = contenders[i];
+      ++pred.attempts[n];
+      pred.stuff_bits_tx[n] +=
+          static_cast<std::uint64_t>(oracle_stuff_bit_count(fronts[i]));
+      if (n != round.winner) ++pred.losses[n];
+    }
+    ++next[round.winner];
+    pred.rounds.push_back(std::move(round));
+  }
+  pred.ok = true;
+  return pred;
+}
+
+CounterState predict_counters(CounterState state,
+                              std::span<const CounterStep> schedule) {
+  const auto bump_rec = [&state](int delta) {
+    state.rec = std::min(state.rec + delta, 255);
+  };
+  for (const CounterStep step : schedule) {
+    if (state.bus_off()) break;
+    switch (step) {
+      case CounterStep::TxSuccess:
+        if (state.tec > 0) --state.tec;
+        break;
+      case CounterStep::TxError:
+      case CounterStep::TxDominantAfterFlag:
+        state.tec += 8;
+        break;
+      case CounterStep::TxErrorNoBump:
+        break;
+      case CounterStep::RxSuccess:
+        if (state.rec > 127) {
+          state.rec = 127;
+        } else if (state.rec > 0) {
+          --state.rec;
+        }
+        break;
+      case CounterStep::RxError:
+        bump_rec(1);
+        break;
+      case CounterStep::RxDominantAfterFlag:
+        bump_rec(8);
+        break;
+    }
+  }
+  return state;
+}
+
+}  // namespace mcan::conformance

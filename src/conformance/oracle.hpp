@@ -1,0 +1,139 @@
+// Independent ISO 11898-1 reference oracle for differential conformance
+// testing.
+//
+// Everything in this file is a *pure, non-incremental* re-implementation of
+// the CAN 2.0A/2.0B framing rules, written directly against the spec text:
+// frame -> unstuffed body -> stuffed wire bits, and wire bits -> frame.  The
+// fuzzer (conformance/differ.hpp) cross-checks it bit-for-bit against the
+// incremental `can::BitController` / `can::wire_bits` machinery; any
+// disagreement is a protocol-model bug in one of the two.
+//
+// INDEPENDENCE RULE (see ARCHITECTURE.md §6): the oracle may share with
+// `src/can` only
+//   * the CRC-15 polynomial implementation (can/crc15.hpp) — a divergence
+//     there would cancel out anyway, so duplicating it buys nothing, and
+//   * plain value types with no behaviour: can::CanFrame, sim::BitLevel.
+// It must NOT include can/bitstream.hpp, can/controller.hpp or use the
+// kPos* layout constants of can/types.hpp: the field layout, the stuffing
+// pass and the destuffing pass are all written out here from scratch, so
+// the two implementations can only agree by both being right.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "can/frame.hpp"
+
+namespace mcan::conformance {
+
+/// Unstuffed frame body, SOF through the last CRC bit (the region subject
+/// to bit stuffing), as 0/1 values with dominant = 0.
+[[nodiscard]] std::vector<std::uint8_t> oracle_body_bits(
+    const can::CanFrame& frame);
+
+/// Full wire encoding SOF..EOF as the *resolved bus* shows it: body with
+/// stuff bits inserted, then CRC delimiter, ACK slot (dominant when
+/// `ack_dominant` — i.e. at least one receiver acknowledged), ACK delimiter
+/// and 7 recessive EOF bits.
+[[nodiscard]] std::vector<std::uint8_t> oracle_wire_bits(
+    const can::CanFrame& frame, bool ack_dominant = true);
+
+/// Number of stuff bits the spec requires for this frame.  Includes a stuff
+/// bit after the final CRC bit when the last five body bits form an equal
+/// run (ISO 11898-1 §10.5: stuffing covers the CRC sequence itself).
+[[nodiscard]] int oracle_stuff_bit_count(const can::CanFrame& frame);
+
+/// Result of decoding one frame from a raw wire window starting at SOF.
+struct OracleDecode {
+  bool ok{false};
+  std::string error;        // first rule violated, empty when ok
+  can::CanFrame frame;      // valid iff ok
+  int wire_bits_consumed{}; // SOF through the 7th EOF bit
+  int stuff_bits{};         // stuff bits removed
+  bool ack_seen{false};     // ACK slot was dominant
+};
+
+/// Non-incremental decoder: destuff + parse + CRC check + fixed-form
+/// trailer check of the window starting at wire[0] (which must be the SOF).
+[[nodiscard]] OracleDecode oracle_decode(std::span<const std::uint8_t> wire);
+
+// ---------------------------------------------------------------------------
+// Frame-level predictors
+
+/// The exact bit values a transmitter drives while it can still lose
+/// arbitration (SOF excluded): 11 base ID bits, then RTR + IDE for standard
+/// frames, or SRR + IDE + 18 extension bits + RTR for extended ones.  The
+/// standard frame's IDE bit is included because a dominant IDE is what beats
+/// an extended frame with the same base ID.  Lexicographically smaller key
+/// (dominant = 0) wins the bus.
+[[nodiscard]] std::vector<std::uint8_t> arbitration_key(
+    const can::CanFrame& frame);
+
+/// Winner among frames that start SOF on the same bit: index of the unique
+/// lexicographic minimum of the arbitration keys, or nullopt when two
+/// contenders share the minimal key (a same-key collision the frame-level
+/// model cannot arbitrate).
+[[nodiscard]] std::optional<std::size_t> predict_arbitration_winner(
+    const std::vector<can::CanFrame>& contenders);
+
+/// One whole-bus contention round: every node with a pending frame counts a
+/// transmission attempt, exactly one wins.  predict_schedule() replays the
+/// per-node queues round by round.
+struct ArbitrationRound {
+  std::size_t winner{};                 // node index
+  can::CanFrame frame;                  // the frame that went through
+  std::vector<std::size_t> contenders;  // node indices that attempted
+};
+
+struct SchedulePrediction {
+  bool ok{false};          // false on a same-key collision
+  std::string error;
+  std::vector<ArbitrationRound> rounds;  // wire order of delivered frames
+  /// Per input node: transmission attempts (wins + arbitration losses) and
+  /// total stuff bits across the wire encodings of every attempt — the
+  /// spec-level expectation for BitController::Stats::stuff_bits_tx.
+  std::vector<std::uint64_t> attempts;
+  std::vector<std::uint64_t> losses;
+  std::vector<std::uint64_t> stuff_bits_tx;
+};
+
+/// Frame-level replay of per-node TX queues on an otherwise idle bus:
+/// repeatedly arbitrate the queue fronts until every queue drains.
+[[nodiscard]] SchedulePrediction predict_schedule(
+    const std::vector<std::vector<can::CanFrame>>& queues);
+
+// ---------------------------------------------------------------------------
+// Error-counter trajectory predictor (ISO 11898-1 §10.11)
+
+/// One step of a declared error schedule, as seen by a single node.
+enum class CounterStep : std::uint8_t {
+  TxSuccess,       // completed own transmission: TEC -1 (floor 0)
+  TxError,         // detected an error as transmitter: TEC +8
+  TxErrorNoBump,   // exception A/B (lone-node ACK, arbitration stuff): TEC +0
+  RxSuccess,       // received a valid frame: REC -1 / clamp to 127
+  RxError,         // detected an error as receiver: REC +1
+  RxDominantAfterFlag,  // first bit after the receiver's error flag was
+                        // dominant, or a further run of 8: REC +8
+  TxDominantAfterFlag,  // further run of 8 dominant after a tx flag: TEC +8
+};
+
+struct CounterState {
+  int tec{0};
+  int rec{0};
+
+  [[nodiscard]] bool error_passive() const noexcept {
+    return tec > 127 || rec > 127;
+  }
+  [[nodiscard]] bool bus_off() const noexcept { return tec >= 256; }
+};
+
+/// Apply a declared error schedule to a starting state.  REC saturates at
+/// 255 (8-bit register semantics); recovery is not modelled (a bus-off
+/// state is terminal for the trajectory).
+[[nodiscard]] CounterState predict_counters(
+    CounterState start, std::span<const CounterStep> schedule);
+
+}  // namespace mcan::conformance

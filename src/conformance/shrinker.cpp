@@ -1,0 +1,213 @@
+#include "conformance/shrinker.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace mcan::conformance {
+
+namespace {
+
+/// One minimization pass over `best`.  Returns true if any mutation was
+/// accepted.  `try_keep` evaluates a candidate and commits it when the
+/// divergence survives.
+class Shrinker {
+ public:
+  Shrinker(FuzzCase best, std::string divergence, const CaseRunner& runner,
+           int max_tries)
+      : best_(std::move(best)),
+        divergence_(std::move(divergence)),
+        runner_(runner),
+        budget_(max_tries) {}
+
+  [[nodiscard]] const FuzzCase& best() const { return best_; }
+  [[nodiscard]] const std::string& divergence() const { return divergence_; }
+  [[nodiscard]] int accepted() const { return accepted_; }
+  [[nodiscard]] int tried() const { return tried_; }
+  [[nodiscard]] bool exhausted() const { return tried_ >= budget_; }
+
+  bool pass() {
+    bool changed = false;
+    changed |= drop_nodes();
+    changed |= drop_frames();
+    changed |= strip_fault();
+    changed |= simplify_frames();
+    changed |= tighten_run_bits();
+    return changed;
+  }
+
+ private:
+  bool try_keep(FuzzCase candidate) {
+    if (exhausted()) return false;
+    ++tried_;
+    // A case that lost all frames and all disturbances cannot diverge in
+    // any interesting way; don't waste runner calls on it.
+    if (candidate.total_frames() == 0 && !candidate.fault.any()) return false;
+    auto out = runner_(candidate);
+    if (!out.diverged) return false;
+    best_ = std::move(candidate);
+    divergence_ = std::move(out.divergence);
+    ++accepted_;
+    return true;
+  }
+
+  bool drop_nodes() {
+    bool changed = false;
+    for (std::size_t n = best_.nodes.size(); n-- > 0;) {
+      if (best_.nodes.size() <= 1) break;
+      auto cand = best_;
+      cand.nodes.erase(cand.nodes.begin() + static_cast<std::ptrdiff_t>(n));
+      cand.run_bits = recommended_run_bits(cand);
+      changed |= try_keep(std::move(cand));
+    }
+    return changed;
+  }
+
+  bool drop_frames() {
+    bool changed = false;
+    for (std::size_t n = best_.nodes.size(); n-- > 0;) {
+      for (std::size_t i = best_.nodes[n].frames.size(); i-- > 0;) {
+        if (best_.total_frames() <= 1) return changed;
+        auto cand = best_;
+        auto& frames = cand.nodes[n].frames;
+        frames.erase(frames.begin() + static_cast<std::ptrdiff_t>(i));
+        if (frames.empty() && cand.nodes.size() > 1) {
+          cand.nodes.erase(cand.nodes.begin() +
+                           static_cast<std::ptrdiff_t>(n));
+        }
+        cand.run_bits = recommended_run_bits(cand);
+        changed |= try_keep(std::move(cand));
+      }
+    }
+    return changed;
+  }
+
+  bool strip_fault() {
+    bool changed = false;
+    if (best_.fault.bit_error_rate > 0.0) {
+      auto cand = best_;
+      cand.fault.bit_error_rate = 0.0;
+      changed |= try_keep(std::move(cand));
+    }
+    for (std::size_t i = best_.fault.flips.size(); i-- > 0;) {
+      auto cand = best_;
+      cand.fault.flips.erase(cand.fault.flips.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      changed |= try_keep(std::move(cand));
+    }
+    for (std::size_t i = best_.fault.stuck.size(); i-- > 0;) {
+      auto cand = best_;
+      cand.fault.stuck.erase(cand.fault.stuck.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      changed |= try_keep(std::move(cand));
+    }
+    // Halve surviving stuck windows.
+    for (std::size_t i = 0; i < best_.fault.stuck.size(); ++i) {
+      while (best_.fault.stuck[i].len > 1) {
+        auto cand = best_;
+        cand.fault.stuck[i].len /= 2;
+        if (!try_keep(std::move(cand))) break;
+        changed = true;
+      }
+    }
+    for (std::size_t i = best_.fault.skews.size(); i-- > 0;) {
+      auto cand = best_;
+      cand.fault.skews.erase(cand.fault.skews.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      changed |= try_keep(std::move(cand));
+    }
+    return changed;
+  }
+
+  bool simplify_frames() {
+    bool changed = false;
+    for (std::size_t n = 0; n < best_.nodes.size(); ++n) {
+      for (std::size_t i = 0; i < best_.nodes[n].frames.size(); ++i) {
+        changed |= simplify_frame(n, i);
+      }
+    }
+    return changed;
+  }
+
+  bool simplify_frame(std::size_t n, std::size_t i) {
+    bool changed = false;
+    const auto mutate = [&](auto&& fn) {
+      auto cand = best_;
+      fn(cand.nodes[n].frames[i]);
+      cand.run_bits = recommended_run_bits(cand);
+      return try_keep(std::move(cand));
+    };
+    // Shorten the payload.
+    while (best_.nodes[n].frames[i].dlc > 0) {
+      if (!mutate([](can::CanFrame& f) {
+            --f.dlc;
+            f.data[f.dlc] = 0;
+          })) {
+        break;
+      }
+      changed = true;
+    }
+    // Zero payload bytes.
+    for (int b = 0; b < best_.nodes[n].frames[i].dlc; ++b) {
+      if (best_.nodes[n].frames[i].data[static_cast<size_t>(b)] == 0) continue;
+      changed |= mutate(
+          [b](can::CanFrame& f) { f.data[static_cast<size_t>(b)] = 0; });
+    }
+    // Demote extended to standard, drop RTR.
+    if (best_.nodes[n].frames[i].extended) {
+      changed |= mutate([](can::CanFrame& f) {
+        f.extended = false;
+        f.id &= can::kMaxStdId;
+      });
+    }
+    if (best_.nodes[n].frames[i].rtr) {
+      changed |= mutate([](can::CanFrame& f) { f.rtr = false; });
+    }
+    // Clear ID bits toward the all-dominant ID.
+    const auto id_bits = best_.nodes[n].frames[i].extended ? 29 : 11;
+    for (int b = id_bits; b-- > 0;) {
+      if (!(best_.nodes[n].frames[i].id >> b & 1u)) continue;
+      changed |= mutate([b](can::CanFrame& f) {
+        f.id &= ~(can::CanId{1} << b);
+      });
+    }
+    return changed;
+  }
+
+  bool tighten_run_bits() {
+    const auto want = recommended_run_bits(best_);
+    if (want >= best_.run_bits) return false;
+    auto cand = best_;
+    cand.run_bits = want;
+    return try_keep(std::move(cand));
+  }
+
+  FuzzCase best_;
+  std::string divergence_;
+  const CaseRunner& runner_;
+  int budget_;
+  int accepted_{0};
+  int tried_{0};
+};
+
+}  // namespace
+
+ShrinkResult shrink(const FuzzCase& failing, const CaseRunner& runner,
+                    int max_tries) {
+  ShrinkResult result;
+  auto first = runner(failing);
+  if (!first.diverged) {
+    result.minimized = failing;
+    result.tried = 1;
+    return result;
+  }
+  Shrinker s{failing, std::move(first.divergence), runner, max_tries};
+  while (!s.exhausted() && s.pass()) {
+  }
+  result.minimized = s.best();
+  result.divergence = s.divergence();
+  result.accepted = s.accepted();
+  result.tried = s.tried() + 1;
+  return result;
+}
+
+}  // namespace mcan::conformance

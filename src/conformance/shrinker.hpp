@@ -1,0 +1,38 @@
+// Greedy, deterministic case minimization.  Given a diverging case and a
+// predicate ("does this case still diverge?"), repeatedly try structural
+// simplifications — drop nodes, drop frames, zero payload bytes, shorten
+// DLC, simplify IDs, strip/shorten disturbances — keeping every mutation
+// that preserves the divergence, until a full pass changes nothing or the
+// try budget runs out.  The passes are a fixed ordered list with no
+// randomness, so the minimized case is a pure function of the input case:
+// the fuzz report stays byte-identical for any worker count.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "conformance/differ.hpp"
+#include "conformance/fuzz_case.hpp"
+
+namespace mcan::conformance {
+
+struct ShrinkResult {
+  FuzzCase minimized;
+  std::string divergence;  // divergence message of the minimized case
+  int accepted{0};         // mutations that kept the case diverging
+  int tried{0};            // candidate mutations evaluated
+};
+
+/// Predicate: run (a mutation of) the case, report the outcome.  Production
+/// use passes `run_case`; tests may pass synthetic predicates.
+using CaseRunner = std::function<CaseOutcome(const FuzzCase&)>;
+
+/// Minimize `failing` under `runner`.  `failing` must already diverge
+/// (the first runner call verifies this; if it does not, the result is the
+/// input case with an empty divergence).  `max_tries` bounds total runner
+/// invocations.
+[[nodiscard]] ShrinkResult shrink(const FuzzCase& failing,
+                                  const CaseRunner& runner,
+                                  int max_tries = 600);
+
+}  // namespace mcan::conformance

@@ -1,0 +1,38 @@
+// Auto-generated conformance repro — produced by the fuzz
+// shrinker; edit only to document the fix.
+//
+// The last five CRC bits form an equal run; ISO 11898-1 Sec. 10.5 still
+// requires a stuff bit after the final CRC bit, which the encoder
+// skipped and the receiver never consumed.  The oracle flagged the
+// frame as a stuff/form error on the CRC delimiter.  Fixed in
+// src/can/bitstream.cpp + src/can/controller.cpp.
+#include <gtest/gtest.h>
+
+#include "conformance/differ.hpp"
+
+namespace mcan::conformance {
+namespace {
+
+TEST(FuzzRepro, FinalCrcStuffBit) {
+  FuzzCase c;
+  c.seed = 0ull;
+  c.kind = CaseKind::Clean;
+  c.run_bits = 420;
+  {
+    FuzzNode n;
+    {
+      can::CanFrame f;
+      f.id = 0x6;
+      f.dlc = 2;
+      f.data = {0x55, 0xAA};
+      n.frames.push_back(f);
+    }
+    c.nodes.push_back(std::move(n));
+  }
+
+  const auto out = run_case(c);
+  EXPECT_FALSE(out.diverged) << out.divergence;
+}
+
+}  // namespace
+}  // namespace mcan::conformance

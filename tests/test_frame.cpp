@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 namespace mcan::can {
 namespace {
 
@@ -49,6 +51,29 @@ TEST(CanFrame, InvalidIdRejected) {
   CanFrame f;
   f.id = 0x800;  // 12 bits
   EXPECT_FALSE(f.valid());
+}
+
+TEST(CanFrame, FactoriesThrowOnInvalidArguments) {
+  // One enforcement policy across every factory: std::invalid_argument in
+  // all build types, not just a debug assert.
+  EXPECT_THROW((void)CanFrame::make(0x800, {0x01}), std::invalid_argument);
+  EXPECT_THROW((void)CanFrame::make_pattern(0x800, 1, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)CanFrame::make_pattern(0x100, 9, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)CanFrame::make_remote(0x800), std::invalid_argument);
+  EXPECT_THROW((void)CanFrame::make_remote(0x100, 9), std::invalid_argument);
+  EXPECT_THROW((void)CanFrame::make_ext(0x2000'0000, {}),
+               std::invalid_argument);
+  EXPECT_THROW((void)CanFrame::make(0x100, {1, 2, 3, 4, 5, 6, 7, 8, 9}),
+               std::invalid_argument);
+}
+
+TEST(CanFrame, FactoriesAcceptBoundaryArguments) {
+  EXPECT_NO_THROW((void)CanFrame::make(0x7FF, {1, 2, 3, 4, 5, 6, 7, 8}));
+  EXPECT_NO_THROW((void)CanFrame::make_pattern(0x7FF, 8, ~0ull));
+  EXPECT_NO_THROW((void)CanFrame::make_remote(0x7FF, 8));
+  EXPECT_NO_THROW((void)CanFrame::make_ext(0x1FFF'FFFF, {0xFF}));
 }
 
 TEST(CanFrame, ToStringContainsIdAndPayload) {

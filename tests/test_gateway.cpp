@@ -126,6 +126,65 @@ TEST(Gateway, MichiCanOnSideBusProtectsForwardedTraffic) {
   EXPECT_GT(env.b_received.size(), 20u);
 }
 
+TEST(Gateway, ExtendedIdCollisionIsDroppedNotForwarded) {
+  // Regression for the forward_ids bug: the filter matched on the numeric
+  // ID alone, so a 29-bit extended frame whose ID equals a whitelisted
+  // 11-bit ID slipped across the gateway.  It must be dropped and counted.
+  TwoBusEnv env;
+  GatewayNode gw{"gw", forward_ids({0x100}), forward_ids({})};
+  gw.attach_to(env.bus_a, env.bus_b);
+
+  env.sender_a.enqueue(CanFrame::make_ext(0x100, {0xDE, 0xAD}));  // collision
+  env.sender_a.enqueue(CanFrame::make(0x100, {0x01}));            // routed
+  env.run(1'000);
+
+  ASSERT_EQ(env.b_received.size(), 1u);
+  EXPECT_FALSE(env.b_received[0].extended);
+  EXPECT_EQ(env.b_received[0], CanFrame::make(0x100, {0x01}));
+  EXPECT_EQ(gw.forwarded_a_to_b(), 1u);
+  EXPECT_EQ(gw.dropped(), 1u);  // the extended collision, accounted for
+}
+
+TEST(Gateway, RoutesExtendedIdsAndRtrFrames) {
+  // forward_routes matches exact (id, extended) pairs; RTR frames with a
+  // routed identifier cross the gateway intact.
+  TwoBusEnv env;
+  GatewayNode gw{"gw",
+                 forward_routes({{0x1ABCDE0, /*extended=*/true},
+                                 {0x2F1, /*extended=*/false}}),
+                 forward_routes({})};
+  gw.attach_to(env.bus_a, env.bus_b);
+
+  env.sender_a.enqueue(CanFrame::make_ext(0x1ABCDE0, {0x11, 0x22, 0x33}));
+  env.sender_a.enqueue(CanFrame::make_remote(0x2F1, 4));
+  env.sender_a.enqueue(CanFrame::make(0x300, {0x44}));  // not routed
+  env.run(1'500);
+
+  ASSERT_EQ(env.b_received.size(), 2u);
+  EXPECT_EQ(env.b_received[0], CanFrame::make_ext(0x1ABCDE0, {0x11, 0x22, 0x33}));
+  EXPECT_EQ(env.b_received[1], CanFrame::make_remote(0x2F1, 4));
+  EXPECT_TRUE(env.b_received[1].rtr);
+  EXPECT_EQ(gw.forwarded_a_to_b(), 2u);
+  EXPECT_EQ(gw.dropped(), 0u);
+}
+
+TEST(Gateway, RouteTableCollisionsAreSymmetric) {
+  // The cross-format Drop works both ways: a standard frame colliding with
+  // an extended-only route entry is dropped, not ignored and not forwarded.
+  TwoBusEnv env;
+  GatewayNode gw{"gw", forward_routes({{0x155, /*extended=*/true}}),
+                 forward_routes({})};
+  gw.attach_to(env.bus_a, env.bus_b);
+
+  env.sender_a.enqueue(CanFrame::make(0x155, {0x99}));  // std collides w/ ext
+  env.sender_a.enqueue(CanFrame::make(0x156, {0x98}));  // plain ignore
+  env.run(800);
+
+  EXPECT_TRUE(env.b_received.empty());
+  EXPECT_EQ(gw.forwarded_a_to_b(), 0u);
+  EXPECT_EQ(gw.dropped(), 1u);  // only the collision counts
+}
+
 TEST(Gateway, CountsDropsWhenEgressSaturated) {
   // Flood bus B so the gateway's egress queue overflows.
   TwoBusEnv env;
