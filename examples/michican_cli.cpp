@@ -64,6 +64,7 @@ int cmd_experiment(const runner::CliOptions& opts,
       args.size() > 2 ? std::atof(args[2].c_str()) : spec.duration.value();
   spec.duration = sim::Millis{duration_ms};
   spec.fast_path = opts.fast_path;
+  spec.batching = opts.batching;
   const auto res = analysis::run_experiment(spec);
 
   analysis::AsciiTable t{{"Attacker", "Cycles", "mu (ms)", "sigma (ms)",
@@ -132,6 +133,7 @@ int cmd_campaign(const runner::CliOptions& opts,
   for (const auto& name : names) {
     auto spec = registry().make(name);
     spec.fast_path = opts.fast_path;
+    spec.batching = opts.batching;
     cfg.specs.push_back(std::move(spec));
   }
   cfg.seeds = opts.seeds;
@@ -226,6 +228,7 @@ int cmd_fault_sweep(const runner::CliOptions& opts,
   for (const auto& s : scenarios) {
     auto spec = registry().make(s);
     spec.fast_path = opts.fast_path;
+    spec.batching = opts.batching;
     cfg.base_specs.push_back(std::move(spec));
   }
   if (!bers.empty()) cfg.bers = bers;
@@ -363,6 +366,7 @@ int cmd_trace(const runner::CliOptions& opts,
   spec.duration = sim::Millis{duration_ms};
   spec.capture_timeline = true;
   spec.fast_path = opts.fast_path;
+  spec.batching = opts.batching;
   const auto res = analysis::run_experiment(spec);
   std::cout << "scenario: " << spec.label << ", seed " << spec.seed << ", "
             << fmt(duration_ms, 0) << " ms, "
@@ -381,6 +385,7 @@ int cmd_sweep(const runner::CliOptions& opts,
     auto spec = analysis::multi_attacker_spec(a);
     spec.duration = sim::Millis{3000};
     spec.fast_path = opts.fast_path;
+    spec.batching = opts.batching;
     const auto res = analysis::run_experiment(spec);
     t.add_row({std::to_string(a), fmt(res.first_cycle_total_bits, 0),
                fmt(speed.bits_to_ms(res.first_cycle_total_bits), 1)});

@@ -289,6 +289,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
 
   // --- run the recording ----------------------------------------------------
   bus.set_fast_path(spec.fast_path);
+  bus.set_batching(spec.batching);
   const auto t_setup = ProfileClock::now();
   bus.run_for(spec.duration);
   const auto t_sim = ProfileClock::now();
@@ -297,6 +298,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   ExperimentResult res;
   res.spec = spec;
   res.bits_skipped = bus.bits_skipped();
+  res.bits_batched = bus.bits_batched();
 
   sim::BitTime first_attack_start = 0;
   sim::BitTime last_first_busoff = 0;

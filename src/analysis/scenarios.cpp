@@ -40,6 +40,21 @@ ExperimentSpec controllers_only_spec() {
   return spec;
 }
 
+ExperimentSpec busy_bus_spec() {
+  // The batched engine's home turf: a heavily loaded bus with no armed
+  // monitor (a defended node steps every in-frame bit) and no attackers —
+  // the wire is almost always mid-frame, so the word-level path carries
+  // the run.  The ~0.8 target load is the upper end of what a production
+  // 50 kbit/s bus sustains.
+  ExperimentSpec spec;
+  spec.label = "busy_bus";
+  spec.defense_enabled = false;
+  spec.defender_period = sim::Millis{5.0};
+  spec.restbus = true;
+  spec.restbus_target_load = 0.8;
+  return spec;
+}
+
 ExperimentSpec restbus_idle_spec() {
   // The quiescence-skipping kernel's home turf: the defender at its normal
   // 100 ms period plus the light rest-bus replay keeps the 50 kbit/s bus
@@ -109,6 +124,11 @@ ScenarioRegistry make_built_in() {
            "bench workload: idle-heavy rest-bus replay (defender at its "
            "normal 100 ms period)",
            restbus_idle_spec});
+  reg.add({"busy-bus",
+           {},
+           "bench workload: ~80% loaded rest-bus replay, defense off — the "
+           "batched word engine's home turf",
+           busy_bus_spec});
   reg.add({"spoof-ber1e-4",
            {},
            "fault-sweep cell: Exp. 2 spoofing on a bus with BER 1e-4",

@@ -73,6 +73,13 @@ class BitController : public CanNode {
   /// a composite node (e.g. a MichiCAN ECU) that attaches to the bus itself.
   void set_event_sink(sim::EventLog* log) noexcept { log_ = log; }
 
+  /// Tell the controller which bus it rides on without registering it as a
+  /// node — the composite-node analogue of attach_to()'s back-pointer.  The
+  /// pointer gates the sticky-hook cache: promises are only trusted when
+  /// the bus runs a contract-based engine (fast path or batching), so the
+  /// naive tier stays a contract-free oracle.
+  void set_bus(const WiredAndBus* bus) noexcept { bus_ = bus; }
+
   /// Queue a frame for transmission.  Returns false (and counts a drop)
   /// when the TX queue is full.
   bool enqueue(const CanFrame& frame);
@@ -85,8 +92,17 @@ class BitController : public CanNode {
   /// earliest future bit at which the hook may do anything (enqueue a frame,
   /// mutate state).  Hooks registered without one pin the controller to
   /// kAlways — the quiescence-skipping kernel then never skips past it.
+  ///
+  /// `sticky_next` opts into a stronger promise: the companion's answer can
+  /// only change when the hook itself runs.  The controller then caches the
+  /// due time once per hook invocation and replaces every later next/tick
+  /// query with an integer compare — including skipping the hook call
+  /// entirely on bits before the cached due time.  A companion that reads
+  /// state mutated outside the hook (e.g. the TX queue depth) must NOT be
+  /// sticky.
   void add_app(std::function<void(sim::BitTime, BitController&)> app,
-               std::function<sim::BitTime(sim::BitTime)> next);
+               std::function<sim::BitTime(sim::BitTime)> next,
+               bool sticky_next = false);
 
   /// Called for every complete, valid frame received from the bus.
   void set_rx_callback(std::function<void(const CanFrame&, sim::BitTime)> cb);
@@ -126,6 +142,12 @@ class BitController : public CanNode {
   void on_bus_bit(sim::BitLevel bus) override;
   [[nodiscard]] sim::BitTime next_activity(sim::BitTime now) const override;
   void on_idle_skip(sim::BitTime count) override;
+  [[nodiscard]] DrivePattern drive_pattern(sim::BitTime now) override;
+  [[nodiscard]] sim::BitTime transparent_bits(sim::BitTime now,
+                                              std::uint64_t word,
+                                              sim::BitTime count) override;
+  void on_bus_word(sim::BitTime now, std::uint64_t word,
+                   sim::BitTime count) override;
   [[nodiscard]] std::string_view name() const override { return name_; }
 
  private:
@@ -148,13 +170,20 @@ class BitController : public CanNode {
     std::vector<std::uint8_t> bits;  // unstuffed values, SOF at index 0
     Destuffer destuff;
     int dlc{-1};  // parsed DLC code (clamped to 8), -1 until known
+    // stuffed_region_length() for the parsed header, cached when the DLC
+    // lands (stuffed_len() is consulted every received bit).
+    int slen{kUnknownLen};
     bool rtr{false};
     bool ext{false};  // extended format, decided by the IDE bit
     bool crc_ok{false};
 
+    static constexpr int kUnknownLen = 1 << 20;
+
     void reset();
-    [[nodiscard]] int stuffed_len() const noexcept;
+    [[nodiscard]] int stuffed_len() const noexcept { return slen; }
     [[nodiscard]] CanFrame to_frame() const;
+    /// Verify the CRC once the full stuffed region has been received.
+    void check_crc();
   };
 
   void log_event(sim::EventKind kind, std::uint32_t id = 0, std::int64_t a = 0,
@@ -180,6 +209,7 @@ class BitController : public CanNode {
   std::string name_;
   Config cfg_;
   sim::EventLog* log_{nullptr};
+  const WiredAndBus* bus_{nullptr};
   sim::BitTime now_{0};
 
   Phase phase_{Phase::Integrating};
@@ -189,8 +219,25 @@ class BitController : public CanNode {
 
   std::deque<CanFrame> txq_;
   std::vector<TxBit> txbits_;
+  // True while txbits_ is the wire image of txq_.front(); cleared whenever
+  // the head frame changes so retries reuse the image instead of
+  // regenerating it.  txbits_stuff_ counts the image's stuff bits (the
+  // per-attempt stats contribution) so retries skip the recount walk.
+  bool txbits_ready_{false};
+  std::uint64_t txbits_stuff_{0};
+  // Wire-image levels packed 64 per word (bit i = recessive flag of
+  // txbits_[i]) plus the ACK-slot index: drive_pattern() extracts its
+  // 64-bit promise with two shifts instead of a per-bit walk.
+  std::vector<std::uint64_t> txlevels_;
+  std::size_t tx_ack_pos_{0};
   std::size_t txpos_{0};
   sim::BitTime tx_start_{0};
+  // Cache of the last Transmit-phase drive_pattern() promise: the bus
+  // calls transparent_bits() with the same clock immediately after, so the
+  // scan reduces to one XOR instead of a per-bit walk of txbits_.
+  std::uint64_t batch_pattern_{0};
+  sim::BitTime batch_pattern_at_{0};
+  sim::BitTime batch_pattern_len_{0};
 
   RxEngine rx_;
 
@@ -218,12 +265,21 @@ class BitController : public CanNode {
 
   /// Application hook plus its optional scheduling companion (next_activity
   /// contribution); a null `next` opts the whole controller out of skipping.
+  /// For sticky companions `cached_due` holds next(now) as of the hook's
+  /// last run (0 = due / never ran); non-sticky hooks keep it pinned at 0
+  /// so they run every tick and are re-queried every probe.
   struct App {
     std::function<void(sim::BitTime, BitController&)> fn;
     std::function<sim::BitTime(sim::BitTime)> next;
+    bool sticky{false};
+    sim::BitTime cached_due{0};
   };
 
   std::vector<App> apps_;
+  // min over apps_ of cached_due as of the last tick (0 whenever any hook
+  // ran or is untracked): while now < apps_due_ every hook is provably
+  // quiet, so tick() and the batch-probe app scans reduce to one compare.
+  sim::BitTime apps_due_{0};
   std::function<void(const CanFrame&, sim::BitTime)> rx_cb_;
   std::function<void(const CanFrame&, sim::BitTime)> tx_cb_;
 };

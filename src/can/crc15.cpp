@@ -1,11 +1,74 @@
 #include "can/crc15.hpp"
 
+#include <array>
+#include <bit>
+#include <cstring>
+
 namespace mcan::can {
+namespace {
+
+/// Eight bit-steps of the CRC register with zero input bits.
+constexpr std::uint16_t step8(std::uint16_t reg) {
+  for (int i = 0; i < 8; ++i) {
+    const std::uint16_t msb = static_cast<std::uint16_t>((reg >> 14) & 1);
+    reg = static_cast<std::uint16_t>((reg << 1) & 0x7FFF);
+    if (msb != 0) reg = static_cast<std::uint16_t>(reg ^ kCrc15Poly);
+  }
+  return reg;
+}
+
+/// T[x] = register after eight zero-bit steps starting from x << 7.  The
+/// register update is linear over GF(2), so feeding byte B (eight frame
+/// bits, first-fed bit in the MSB) into register `reg` factors into the
+/// low seven bits shifting up untouched plus the feedback cascade of the
+/// top eight bits XOR B:
+///   feed8(reg, B) = ((reg & 0x7F) << 8) ^ T[((reg >> 7) ^ B) & 0xFF]
+/// which equals eight Crc15::feed() calls (the equivalence tests pin it).
+constexpr std::array<std::uint16_t, 256> make_table() {
+  std::array<std::uint16_t, 256> t{};
+  for (int x = 0; x < 256; ++x) {
+    t[static_cast<std::size_t>(x)] =
+        step8(static_cast<std::uint16_t>(x << 7));
+  }
+  return t;
+}
+
+constexpr std::array<std::uint16_t, 256> kTable = make_table();
+
+}  // namespace
 
 std::uint16_t crc15(std::span<const std::uint8_t> bits) noexcept {
-  Crc15 crc;
-  for (auto b : bits) crc.feed(b);
-  return crc.value();
+  std::uint16_t reg = 0;
+  std::size_t i = 0;
+  const std::size_t whole = bits.size() & ~std::size_t{7};
+  for (; i < whole; i += 8) {
+    std::uint16_t byte;
+    if constexpr (std::endian::native == std::endian::little) {
+      // Gather the eight 0/1 bytes into one MSB-first byte with a single
+      // multiply: the factor has set bits at 9k, so byte j of the chunk
+      // lands at result bit 8j+9k; the only products reaching bits 56..63
+      // are k = 7-j (all exponents distinct, so no carries), leaving
+      // bit 7-j = bits[i+j] — the same packing as the shift loop.
+      std::uint64_t chunk;
+      std::memcpy(&chunk, bits.data() + i, 8);
+      chunk &= 0x0101010101010101ull;
+      byte = static_cast<std::uint16_t>((chunk * 0x8040201008040201ull) >> 56);
+    } else {
+      byte = 0;
+      for (std::size_t k = 0; k < 8; ++k) {
+        byte = static_cast<std::uint16_t>((byte << 1) | (bits[i + k] & 1));
+      }
+    }
+    reg = static_cast<std::uint16_t>(
+        ((reg & 0x7F) << 8) ^ kTable[((reg >> 7) ^ byte) & 0xFF]);
+  }
+  for (; i < bits.size(); ++i) {
+    const auto in = static_cast<std::uint16_t>(bits[i] & 1);
+    const auto msb = static_cast<std::uint16_t>((reg >> 14) & 1);
+    reg = static_cast<std::uint16_t>((reg << 1) & 0x7FFF);
+    if ((in ^ msb) != 0) reg = static_cast<std::uint16_t>(reg ^ kCrc15Poly);
+  }
+  return reg;
 }
 
 }  // namespace mcan::can

@@ -132,7 +132,13 @@ void FaultInjector::track(sim::BitLevel out) {
       pos_ = 0;
       ++frames_seen_;
     }
-    recessive_run_ = sim::is_recessive(out) ? recessive_run_ + 1 : 0;
+    // Saturate like on_idle_skip() does: only the >= 11 threshold matters,
+    // and an unbounded per-bit increment would overflow the int on
+    // soak-length idle stretches.
+    constexpr int kRunCap = 1 << 20;
+    recessive_run_ = sim::is_recessive(out)
+                         ? std::min(recessive_run_ + 1, kRunCap)
+                         : 0;
     return;
   }
   ++pos_;
@@ -152,8 +158,9 @@ sim::BitTime FaultInjector::next_disturbance(sim::BitTime now) const {
   sim::BitTime horizon = std::numeric_limits<sim::BitTime>::max();
   if (spec_.bit_error_rate > 0.0) {
     // The pending geometric gap counts transform() calls until the flip
-    // fires: it lands exactly at now + next_flip_gap_.
-    horizon = std::min(horizon, now + next_flip_gap_);
+    // fires: it lands exactly at now + next_flip_gap_ (saturating: a tiny
+    // BER can draw gaps that would wrap the clock on soak-length runs).
+    horizon = std::min(horizon, sim::sat_add(now, next_flip_gap_));
   }
   for (const auto& w : spec_.stuck) {
     if (w.len == 0 || now >= w.start + w.len) continue;
@@ -192,6 +199,33 @@ void FaultInjector::on_idle_skip(sim::BitTime count) {
       st.slipping = false;
     }
   }
+}
+
+sim::BitTime FaultInjector::batch_horizon(sim::BitTime now) const {
+  // Scheduled flips fire at exact wire positions and skew drifts per bit:
+  // both need every transform()/deliver() call, so they veto batching for
+  // the whole run (the bus then steps bit by bit whenever a frame is live,
+  // which is the only time either can fire).
+  if (!spec_.flips.empty() || has_skew()) return 0;
+  sim::BitTime horizon = std::numeric_limits<sim::BitTime>::max();
+  // The pending geometric gap counts undisturbed transform() calls: batching
+  // exactly `next_flip_gap_` bits leaves the flip on the next stepped bit.
+  if (spec_.bit_error_rate > 0.0) horizon = next_flip_gap_;
+  for (const auto& w : spec_.stuck) {
+    if (w.len == 0 || now >= w.start + w.len) continue;
+    if (now >= w.start) return 0;  // inside: stuck_bits counts per bit
+    horizon = std::min(horizon, w.start - now);
+  }
+  return horizon;
+}
+
+void FaultInjector::on_batch(std::uint64_t word, sim::BitTime count) {
+  for (sim::BitTime i = 0; i < count; ++i) {
+    track(((word >> i) & 1u) != 0 ? sim::BitLevel::Recessive
+                                  : sim::BitLevel::Dominant);
+  }
+  // batch_horizon() capped the window at the gap, so this cannot underflow.
+  if (spec_.bit_error_rate > 0.0) next_flip_gap_ -= count;
 }
 
 sim::BitLevel FaultInjector::deliver(std::size_t index, std::string_view name,

@@ -50,9 +50,12 @@ void attach_periodic(BitController& ctrl, const CanFrame& frame,
   // quiescence-skipping kernel sees the sender's live next_due_.
   auto sender = std::make_shared<PeriodicSender>(frame, period_bits,
                                                  phase_bits, mode, rng);
+  // Sticky: next_due_ only moves inside operator(), so the controller may
+  // cache the due time and skip the hook dispatch until it arrives.
   ctrl.add_app(
       [sender](sim::BitTime now, BitController& c) { (*sender)(now, c); },
-      [sender](sim::BitTime now) { return sender->next_activity(now); });
+      [sender](sim::BitTime now) { return sender->next_activity(now); },
+      /*sticky_next=*/true);
 }
 
 }  // namespace mcan::can

@@ -31,9 +31,10 @@ struct SimRun {
   sim::BitTime end{};
 };
 
-SimRun execute(const FuzzCase& c, bool fast_path) {
+SimRun execute(const FuzzCase& c, bool fast_path, bool batching) {
   can::WiredAndBus bus;
   bus.set_fast_path(fast_path);
+  bus.set_batching(batching);
 
   std::vector<std::unique_ptr<can::BitController>> senders;
   senders.reserve(c.nodes.size());
@@ -91,44 +92,46 @@ bool events_equal(const sim::Event& a, const sim::Event& b) {
          a.a == b.a && a.b == b.b && a.detail == b.detail;
 }
 
-/// First difference between the fast and naive recordings, if any.
+/// First difference between two engine recordings, if any.  `tag` names the
+/// pair under comparison in the divergence message.
 std::optional<std::string> compare_kernels(const SimRun& fast,
-                                           const SimRun& naive) {
-  if (fast.end != naive.end) return "fast-path: end time differs";
+                                           const SimRun& naive,
+                                           const std::string& tag) {
+  if (fast.end != naive.end) return tag + ": end time differs";
   if (fast.levels != naive.levels) {
     for (std::size_t i = 0; i < fast.levels.size() && i < naive.levels.size();
          ++i) {
       if (fast.levels[i] != naive.levels[i]) {
-        return "fast-path: trace differs first at bit " + std::to_string(i);
+        return tag + ": trace differs first at bit " + std::to_string(i);
       }
     }
-    return "fast-path: trace length differs";
+    return tag + ": trace length differs";
   }
   if (fast.events.size() != naive.events.size()) {
-    return "fast-path: event count " + std::to_string(fast.events.size()) +
+    return tag + ": event count " + std::to_string(fast.events.size()) +
            " vs " + std::to_string(naive.events.size());
   }
   for (std::size_t i = 0; i < fast.events.size(); ++i) {
     if (!events_equal(fast.events[i], naive.events[i])) {
-      return "fast-path: event #" + std::to_string(i) + " differs";
+      return tag + ": event #" + std::to_string(i) + " differs";
     }
   }
   for (std::size_t i = 0; i < fast.stats.size(); ++i) {
     if (!stats_equal(fast.stats[i], naive.stats[i])) {
-      return "fast-path: node " + std::to_string(i) + " stats differ";
+      return tag + ": node " + std::to_string(i) + " stats differ";
     }
     if (fast.tec[i] != naive.tec[i] || fast.rec[i] != naive.rec[i]) {
-      return "fast-path: node " + std::to_string(i) + " TEC/REC differ";
+      return tag + ": node " + std::to_string(i) + " TEC/REC differ";
     }
   }
   if (fast.listener_rx != naive.listener_rx) {
-    return "fast-path: listener frame sequence differs";
+    return tag + ": listener frame sequence differs";
   }
   if (fast.faults.random_flips != naive.faults.random_flips ||
       fast.faults.scheduled_flips != naive.faults.scheduled_flips ||
       fast.faults.stuck_bits != naive.faults.stuck_bits ||
       fast.faults.sample_slips != naive.faults.sample_slips) {
-    return "fast-path: fault-injector stats differ";
+    return tag + ": fault-injector stats differ";
   }
   return std::nullopt;
 }
@@ -364,10 +367,19 @@ std::optional<std::string> check_noisy(const FuzzCase& c, const SimRun& run) {
 
 CaseOutcome run_case(const FuzzCase& c) {
   CaseOutcome out;
-  const auto fast = execute(c, /*fast_path=*/true);
-  const auto naive = execute(c, /*fast_path=*/false);
+  // Three engine tiers, compared pairwise against the naive reference: the
+  // batched word engine, the quiescence fast path alone, and per-bit
+  // stepping.  Any pair differing is a divergence in its own right.
+  const auto batched = execute(c, /*fast_path=*/true, /*batching=*/true);
+  const auto fast = execute(c, /*fast_path=*/true, /*batching=*/false);
+  const auto naive = execute(c, /*fast_path=*/false, /*batching=*/false);
 
-  if (auto d = compare_kernels(fast, naive)) {
+  if (auto d = compare_kernels(batched, naive, "batched")) {
+    out.diverged = true;
+    out.divergence = std::move(*d);
+    return out;
+  }
+  if (auto d = compare_kernels(fast, naive, "fast-path")) {
     out.diverged = true;
     out.divergence = std::move(*d);
     return out;
@@ -375,9 +387,12 @@ CaseOutcome run_case(const FuzzCase& c) {
 
   std::optional<std::string> d;
   switch (c.kind) {
-    case CaseKind::Clean: d = check_clean(c, fast, out.stats); break;
-    case CaseKind::ScheduledFlip: d = check_flip(c, fast, out.stats); break;
-    case CaseKind::Noisy: d = check_noisy(c, fast); break;
+    case CaseKind::Clean:
+    case CaseKind::Batched:
+      d = check_clean(c, batched, out.stats);
+      break;
+    case CaseKind::ScheduledFlip: d = check_flip(c, batched, out.stats); break;
+    case CaseKind::Noisy: d = check_noisy(c, batched); break;
   }
   if (d) {
     out.diverged = true;

@@ -68,14 +68,21 @@ std::string key_of(const can::CanFrame& f) {
   return std::string{key.begin(), key.end()};
 }
 
-void gen_clean(sim::Rng& rng, FuzzCase& c) {
-  const auto node_count = rng.uniform(1, 3);
+/// Clean-bus queue population shared by the Clean and Batched tiers: every
+/// arbitration key unique so the frame-level oracle can order the wire.
+void gen_clean_queues(sim::Rng& rng, FuzzCase& c, std::uint64_t max_nodes,
+                      std::uint64_t max_frames, std::uint8_t min_dlc) {
+  const auto node_count = rng.uniform(1, max_nodes);
   std::set<std::string> keys;
   for (std::uint64_t n = 0; n < node_count; ++n) {
     FuzzNode node;
-    const auto frame_count = rng.uniform(1, 3);
+    const auto frame_count = rng.uniform(1, max_frames);
     for (std::uint64_t i = 0; i < frame_count; ++i) {
       auto f = random_frame(rng);
+      if (f.dlc < min_dlc) {
+        f.dlc = static_cast<std::uint8_t>(rng.uniform(min_dlc, 8));
+        fill_payload(rng, f);
+      }
       // Unique arbitration keys across the whole case keep the schedule
       // predictable; same-key contenders would tie on the wire.
       for (int tries = 0; tries < 64 && keys.count(key_of(f)); ++tries) {
@@ -101,6 +108,18 @@ void gen_clean(sim::Rng& rng, FuzzCase& c) {
     node.frames.push_back(f);
     c.nodes.push_back(std::move(node));
   }
+}
+
+void gen_clean(sim::Rng& rng, FuzzCase& c) {
+  gen_clean_queues(rng, c, /*max_nodes=*/3, /*max_frames=*/3, /*min_dlc=*/0);
+}
+
+void gen_batched(sim::Rng& rng, FuzzCase& c) {
+  // Fuller queues and large payloads keep the bus mid-frame nearly the whole
+  // recording — long transparent horizons for the word engine, with frame
+  // boundaries, stuff runs and arbitration sprinkled through every window
+  // alignment.
+  gen_clean_queues(rng, c, /*max_nodes=*/4, /*max_frames=*/4, /*min_dlc=*/6);
 }
 
 void gen_flip(sim::Rng& rng, FuzzCase& c) {
@@ -179,15 +198,18 @@ FuzzCase generate_case(std::uint64_t seed) {
   c.seed = seed;
   sim::Rng rng{seed};
   const auto roll = rng.uniform(0, 99);
-  if (roll < 60) {
+  if (roll < 50) {
     c.kind = CaseKind::Clean;
     gen_clean(rng, c);
-  } else if (roll < 80) {
+  } else if (roll < 70) {
     c.kind = CaseKind::ScheduledFlip;
     gen_flip(rng, c);
-  } else {
+  } else if (roll < 85) {
     c.kind = CaseKind::Noisy;
     gen_noisy(rng, c);
+  } else {
+    c.kind = CaseKind::Batched;
+    gen_batched(rng, c);
   }
   // Pin the fault-schedule seed so replays never depend on context.
   c.fault.seed = sim::derive_seed(seed, 0xFA17) | 1;

@@ -13,9 +13,10 @@
 namespace mcan::conformance {
 
 /// Deterministically generate one case from a derived seed.
-/// Mix: ~60% Clean (1-3 nodes, unique arbitration keys), ~20% ScheduledFlip
-/// (lone standard frame, one body flip), ~20% Noisy (BER / stuck windows /
-/// arbitrary scheduled flips).
+/// Mix: ~50% Clean (1-3 nodes, unique arbitration keys), ~20% ScheduledFlip
+/// (lone standard frame, one body flip), ~15% Noisy (BER / stuck windows /
+/// arbitrary scheduled flips), ~15% Batched (clean bus with fuller queues
+/// and large DLCs — long transparent horizons for the word-level engine).
 [[nodiscard]] FuzzCase generate_case(std::uint64_t seed);
 
 }  // namespace mcan::conformance

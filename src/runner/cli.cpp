@@ -66,6 +66,8 @@ CliOptions parse_cli(int& argc, char** argv, CliOptions defaults) {
       opts.progress = true;
     } else if (arg == "--no-fast-path") {
       opts.fast_path = false;
+    } else if (arg == "--no-batch") {
+      opts.batching = false;
     } else if (arg.rfind("--jobs", 0) == 0 &&
                (arg.size() == 6 || arg[6] == '=')) {
       opts.jobs = static_cast<unsigned>(
@@ -114,7 +116,8 @@ std::string usage_text(std::string_view prog,
         "grid cell\n"
         "  --progress      stream per-task progress to stderr\n"
         "  --no-fast-path  pin the naive per-bit kernel (disable "
-        "quiescence skipping)\n";
+        "quiescence skipping)\n"
+        "  --no-batch      disable the word-level batched bit engine\n";
   return os.str();
 }
 

@@ -59,6 +59,10 @@ struct Event {
 
 class EventLog {
  public:
+  // A busy bus logs ~15k events per 100k-bit run; reserving up front keeps
+  // the geometric growth (and its Event moves) out of the hot loop.
+  EventLog() { events_.reserve(16384); }
+
   void push(Event e) { events_.push_back(std::move(e)); }
 
   [[nodiscard]] const std::vector<Event>& events() const noexcept {

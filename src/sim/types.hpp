@@ -47,6 +47,16 @@ enum class BitLevel : std::uint8_t {
 /// Monotone simulation time, counted in nominal bit times since start.
 using BitTime = std::uint64_t;
 
+/// Saturating add for bit-time arithmetic on the skip/batch paths.  Horizon
+/// math routinely mixes finite clocks with sentinel values (kNever, huge
+/// geometric flip gaps); on soak-length runs an unchecked `now + span`
+/// wraps to a tiny number and silently truncates or never terminates the
+/// run loop.  Clamping at the maximum keeps every comparison correct.
+[[nodiscard]] constexpr BitTime sat_add(BitTime a, BitTime b) noexcept {
+  constexpr BitTime kMax = ~BitTime{0};
+  return b > kMax - a ? kMax : a + b;
+}
+
 /// Strongly-typed duration.  Bits and milliseconds used to travel through
 /// the API as raw doubles, which made `run_ms(2000)` vs `run(2000)` a silent
 /// unit bug; Duration makes the unit part of the type and forces the

@@ -1,16 +1,22 @@
-// Quiescence-skipping kernel equivalence and contract enforcement.
+// Simulation-engine equivalence and contract enforcement.
 //
-// The fast path's whole value proposition is "free speed": a recording with
-// skipping on must be BYTE-identical to the naive per-bit kernel — same
-// waveform, same event log, same metrics, same campaign report — at any
-// worker count.  The property test here sweeps every scenario in the
-// built-in registry through {fast on, fast off} x {jobs 1, jobs 4} and
-// diffs the deterministic JSON reports character by character.
+// The bus has three engine tiers, all required to produce BYTE-identical
+// recordings — same waveform, same event log, same metrics, same campaign
+// report — at any worker count:
 //
-// The contract itself (CanNode::next_activity / on_idle_skip) is enforced,
-// not trusted: a node that promises quiescence and then wants the bus
-// inside the promised window must make the bus throw, never silently lose
-// the dominant edge.
+//   naive       per-bit stepping only (fast path off, batching off)
+//   quiescence  + idle-window skipping (PR 4's next_activity/on_idle_skip)
+//   batched     + word-level wired-AND over transparent horizons (64 bits
+//                 per round, falling back to per-bit in contested regions)
+//
+// The differential harness here sweeps every scenario in the built-in
+// registry — including the BER fault-sweep cells — plus a seeded
+// scheduled-flip / stuck-bus fault grid through every engine x {jobs 1,
+// jobs 4} and diffs the deterministic JSON reports character by character.
+//
+// Both kernel contracts are enforced, not trusted: a node that promises
+// quiescence (or advertises a drive pattern) and then contradicts it must
+// make the bus throw, never silently lose a dominant edge.
 #include <gtest/gtest.h>
 
 #include <stdexcept>
@@ -20,12 +26,35 @@
 #include "analysis/experiments.hpp"
 #include "analysis/scenarios.hpp"
 #include "can/bus.hpp"
+#include "can/fault_injector.hpp"
 #include "can/node.hpp"
 #include "runner/campaign.hpp"
 #include "runner/report.hpp"
 
 namespace mcan {
 namespace {
+
+/// The three engine tiers under differential test.
+enum class Engine { Naive, Quiescence, Batched };
+
+void configure(analysis::ExperimentSpec& spec, Engine engine) {
+  spec.fast_path = engine != Engine::Naive;
+  spec.batching = engine == Engine::Batched;
+}
+
+const char* engine_name(Engine engine) {
+  switch (engine) {
+    case Engine::Naive:
+      return "naive";
+    case Engine::Quiescence:
+      return "quiescence";
+    default:
+      return "batched";
+  }
+}
+
+constexpr Engine kEngines[] = {Engine::Naive, Engine::Quiescence,
+                               Engine::Batched};
 
 /// A node that violates the scheduling contract: it advertises eternal
 /// quiescence (kNever) but drives dominant once its clock passes kLieBit.
@@ -52,15 +81,31 @@ class LyingNode final : public can::CanNode {
   sim::BitTime clock_{0};
 };
 
-std::string campaign_json(const std::vector<std::string>& names,
-                          bool fast_path, unsigned jobs) {
+/// A node that violates the batch contract: it advertises an all-recessive
+/// drive pattern (and full transparency) while actually driving dominant.
+class BatchLyingNode final : public can::CanNode {
+ public:
+  void tick(sim::BitTime /*now*/) override {}
+  [[nodiscard]] sim::BitLevel tx_level() override {
+    return sim::BitLevel::Dominant;
+  }
+  void on_bus_bit(sim::BitLevel /*bus*/) override {}
+  [[nodiscard]] DrivePattern drive_pattern(sim::BitTime /*now*/) override {
+    return {64, ~0ull};  // the lie
+  }
+  [[nodiscard]] sim::BitTime transparent_bits(sim::BitTime /*now*/,
+                                              std::uint64_t /*word*/,
+                                              sim::BitTime count) override {
+    return count;
+  }
+  [[nodiscard]] std::string_view name() const override { return "batch-liar"; }
+};
+
+std::string campaign_json(const std::vector<analysis::ExperimentSpec>& specs,
+                          Engine engine, unsigned jobs) {
   runner::CampaignConfig cfg;
-  for (const auto& name : names) {
-    auto spec = analysis::ScenarioRegistry::built_in().make(name);
-    // Uniform short recordings keep the 4-way sweep cheap; equivalence must
-    // hold at any duration, so a shared override loses no coverage.
-    spec.duration = sim::Millis{500.0};
-    spec.fast_path = fast_path;
+  for (auto spec : specs) {
+    configure(spec, engine);
     cfg.specs.push_back(std::move(spec));
   }
   cfg.seeds = {0, 2};
@@ -69,43 +114,109 @@ std::string campaign_json(const std::vector<std::string>& names,
   return runner::to_json(runner::run_campaign(cfg), opts);
 }
 
-TEST(FastPath, EveryScenarioByteIdenticalAcrossKernelAndJobs) {
-  std::vector<std::string> names;
+std::vector<analysis::ExperimentSpec> registry_specs() {
+  std::vector<analysis::ExperimentSpec> specs;
   for (const auto& s : analysis::ScenarioRegistry::built_in().all()) {
-    names.push_back(s.name);
+    auto spec = s.make();
+    // Uniform short recordings keep the sweep cheap; equivalence must hold
+    // at any duration, so a shared override loses no coverage.
+    spec.duration = sim::Millis{500.0};
+    specs.push_back(std::move(spec));
   }
-  ASSERT_GE(names.size(), 10u);
-
-  const std::string reference = campaign_json(names, /*fast_path=*/true,
-                                              /*jobs=*/1);
-  EXPECT_EQ(reference, campaign_json(names, /*fast_path=*/false, /*jobs=*/1))
-      << "naive kernel diverges from the fast path at jobs=1";
-  EXPECT_EQ(reference, campaign_json(names, /*fast_path=*/true, /*jobs=*/4))
-      << "fast path report depends on the worker count";
-  EXPECT_EQ(reference, campaign_json(names, /*fast_path=*/false, /*jobs=*/4))
-      << "naive kernel report depends on the worker count";
+  return specs;
 }
 
-TEST(FastPath, GoldenOutputsByteIdenticalWithTimelineCapture) {
-  auto make = [](bool fast_path) {
+/// Seeded fault grid beyond the registry's BER cells: scheduled flips land
+/// inside batched mid-frame windows (forcing the per-bit fallback) and a
+/// stuck-bus window interrupts a frame outright.
+std::vector<analysis::ExperimentSpec> fault_grid_specs() {
+  std::vector<analysis::ExperimentSpec> specs;
+  {
+    auto spec = analysis::table2_experiment(2);
+    spec.label = "grid: scheduled flips";
+    spec.duration = sim::Millis{400.0};
+    for (std::uint64_t frame = 1; frame <= 9; frame += 2) {
+      can::ScheduledFlip flip;
+      flip.frame = frame;
+      flip.field = can::Field::Data;
+      flip.bit = static_cast<int>(frame) * 3 % 16;
+      spec.fault.flips.push_back(flip);
+    }
+    specs.push_back(std::move(spec));
+  }
+  {
+    auto spec = analysis::table2_experiment(4);
+    spec.label = "grid: stuck bus + BER";
+    spec.duration = sim::Millis{400.0};
+    spec.fault.bit_error_rate = 5e-4;
+    spec.fault.stuck.push_back({3000, 40, sim::BitLevel::Dominant});
+    spec.fault.stuck.push_back({9000, 25, sim::BitLevel::Recessive});
+    specs.push_back(std::move(spec));
+  }
+  {
+    auto spec = analysis::ScenarioRegistry::built_in().make("busy-bus");
+    spec.label = "grid: busy bus + BER";
+    spec.duration = sim::Millis{400.0};
+    spec.fault.bit_error_rate = 1e-4;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+TEST(EngineEquivalence, EveryScenarioByteIdenticalAcrossEnginesAndJobs) {
+  const auto specs = registry_specs();
+  ASSERT_GE(specs.size(), 10u);
+
+  const std::string reference =
+      campaign_json(specs, Engine::Batched, /*jobs=*/1);
+  for (const Engine engine : kEngines) {
+    for (const unsigned jobs : {1u, 4u}) {
+      if (engine == Engine::Batched && jobs == 1) continue;  // the reference
+      EXPECT_EQ(reference, campaign_json(specs, engine, jobs))
+          << "engine '" << engine_name(engine) << "' at jobs=" << jobs
+          << " diverges from the batched jobs=1 reference";
+    }
+  }
+}
+
+TEST(EngineEquivalence, FaultInjectionGridByteIdenticalAcrossEngines) {
+  const auto specs = fault_grid_specs();
+  const std::string reference =
+      campaign_json(specs, Engine::Batched, /*jobs=*/1);
+  EXPECT_EQ(reference, campaign_json(specs, Engine::Quiescence, /*jobs=*/1))
+      << "fault grid: quiescence engine diverges";
+  EXPECT_EQ(reference, campaign_json(specs, Engine::Naive, /*jobs=*/1))
+      << "fault grid: naive engine diverges";
+  EXPECT_EQ(reference, campaign_json(specs, Engine::Batched, /*jobs=*/4))
+      << "fault grid: batched report depends on the worker count";
+}
+
+TEST(EngineEquivalence, GoldenOutputsByteIdenticalWithTimelineCapture) {
+  auto make = [](Engine engine) {
     auto spec = analysis::ScenarioRegistry::built_in().make("fig6");
-    spec.fast_path = fast_path;
+    configure(spec, engine);
     return analysis::run_experiment(spec);
   };
-  const auto fast = make(true);
-  const auto naive = make(false);
+  const auto batched = make(Engine::Batched);
+  const auto quiescence = make(Engine::Quiescence);
+  const auto naive = make(Engine::Naive);
 
-  EXPECT_EQ(fast.fig6_trace, naive.fig6_trace);
-  EXPECT_EQ(fast.timeline_json, naive.timeline_json);
-  EXPECT_EQ(fast.events_jsonl, naive.events_jsonl);
-  EXPECT_EQ(fast.metrics.to_json(), naive.metrics.to_json());
+  EXPECT_EQ(batched.fig6_trace, naive.fig6_trace);
+  EXPECT_EQ(batched.fig6_trace, quiescence.fig6_trace);
+  EXPECT_EQ(batched.timeline_json, naive.timeline_json);
+  EXPECT_EQ(batched.timeline_json, quiescence.timeline_json);
+  EXPECT_EQ(batched.events_jsonl, naive.events_jsonl);
+  EXPECT_EQ(batched.metrics.to_json(), naive.metrics.to_json());
+  EXPECT_EQ(batched.metrics.to_json(), quiescence.metrics.to_json());
 
-  // The perf counter is the one allowed difference: it lives outside the
+  // The perf counters are the one allowed difference: they live outside the
   // deterministic surfaces compared above.
   EXPECT_EQ(naive.bits_skipped, 0u);
+  EXPECT_EQ(naive.bits_batched, 0u);
+  EXPECT_EQ(quiescence.bits_batched, 0u);
 }
 
-TEST(FastPath, IdleHeavyScenarioActuallySkips) {
+TEST(EngineEquivalence, IdleHeavyScenarioActuallySkips) {
   auto spec = analysis::ScenarioRegistry::built_in().make("controllers-only");
   spec.duration = sim::Millis{500.0};
   const auto res = analysis::run_experiment(spec);
@@ -116,14 +227,25 @@ TEST(FastPath, IdleHeavyScenarioActuallySkips) {
   EXPECT_GT(res.bits_skipped, bits / 2);
 }
 
-TEST(FastPath, StaleNextActivityThrowsInsteadOfSkipping) {
+TEST(EngineEquivalence, BusyBusScenarioActuallyBatches) {
+  auto spec = analysis::ScenarioRegistry::built_in().make("busy-bus");
+  spec.duration = sim::Millis{500.0};
+  const auto res = analysis::run_experiment(spec);
+  const auto bits = res.metrics.counter_value("bus.bits_simulated");
+  ASSERT_GT(bits, 0u);
+  // The heavily loaded, defense-off bus is almost always mid-frame: the
+  // word engine must carry the bulk of the run, not just probe.
+  EXPECT_GT(res.bits_batched, bits / 2);
+}
+
+TEST(EngineEquivalence, StaleNextActivityThrowsInsteadOfSkipping) {
   can::WiredAndBus bus{sim::BusSpeed{50'000}};
   LyingNode liar;
   bus.attach(liar);
   EXPECT_THROW(bus.run(sim::Bits{200}), std::logic_error);
 }
 
-TEST(FastPath, NaiveKernelToleratesTheLiar) {
+TEST(EngineEquivalence, NaiveKernelToleratesTheLiar) {
   // With skipping off the same node is stepped bit by bit — no promise, no
   // violation; its dominant edge simply lands on the wire.
   can::WiredAndBus bus{sim::BusSpeed{50'000}};
@@ -132,6 +254,24 @@ TEST(FastPath, NaiveKernelToleratesTheLiar) {
   bus.attach(liar);
   EXPECT_NO_THROW(bus.run(sim::Bits{200}));
   EXPECT_EQ(bus.bits_skipped(), 0u);
+}
+
+TEST(EngineEquivalence, LyingDrivePatternThrowsInsteadOfBatching) {
+  can::WiredAndBus bus{sim::BusSpeed{50'000}};
+  bus.set_fast_path(false);  // isolate the batch probe
+  BatchLyingNode liar;
+  bus.attach(liar);
+  EXPECT_THROW(bus.run(sim::Bits{200}), std::logic_error);
+}
+
+TEST(EngineEquivalence, PerBitKernelToleratesTheBatchLiar) {
+  can::WiredAndBus bus{sim::BusSpeed{50'000}};
+  bus.set_fast_path(false);
+  bus.set_batching(false);
+  BatchLyingNode liar;
+  bus.attach(liar);
+  EXPECT_NO_THROW(bus.run(sim::Bits{200}));
+  EXPECT_EQ(bus.bits_batched(), 0u);
 }
 
 TEST(DurationTypes, BitsAndMillisConvertExactly) {
