@@ -26,9 +26,12 @@
 #include "restbus/vehicles.hpp"
 #include "runner/campaign.hpp"
 #include "runner/cli.hpp"
+#include "obs/jsonfmt.hpp"
 #include "runner/fault_sweep.hpp"
 #include "runner/fuzz.hpp"
 #include "runner/report.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
@@ -50,6 +53,22 @@ int parse_int(const std::string& text, int lo, int hi, const char* what) {
                                 text + "'");
   }
   return v;
+}
+
+/// Write report text to `path`, flushing *before* the error check — a
+/// buffered ofstream only surfaces a failed write (full disk, unwritable
+/// path) at flush/close time, and a destructor-time failure is silently
+/// dropped, which used to let subcommands exit 0 with no report on disk.
+bool write_text_report(const std::string& path, const std::string& text) {
+  std::ofstream out{path, std::ios::binary};
+  out << text;
+  out.flush();
+  if (!out) {
+    std::cerr << "error: could not write " << path << "\n";
+    return false;
+  }
+  std::cout << "JSON report: " << path << "\n";
+  return true;
 }
 
 int cmd_experiment(const runner::CliOptions& opts,
@@ -246,11 +265,7 @@ int cmd_fault_sweep(const runner::CliOptions& opts,
   if (!opts.report_path.empty()) {
     runner::JsonOptions jopts;
     jopts.include_runtime = true;
-    std::ofstream out{opts.report_path, std::ios::binary};
-    if (out && (out << runner::to_json(rep, jopts))) {
-      std::cout << "JSON report: " << opts.report_path << "\n";
-    } else {
-      std::cerr << "error: could not write " << opts.report_path << "\n";
+    if (!write_text_report(opts.report_path, runner::to_json(rep, jopts))) {
       return 1;
     }
   }
@@ -303,11 +318,7 @@ int cmd_fuzz(const runner::CliOptions& opts,
   if (!opts.report_path.empty()) {
     runner::JsonOptions jopts;
     jopts.include_runtime = true;
-    std::ofstream out{opts.report_path, std::ios::binary};
-    if (out && (out << runner::to_json(rep, jopts))) {
-      std::cout << "JSON report: " << opts.report_path << "\n";
-    } else {
-      std::cerr << "error: could not write " << opts.report_path << "\n";
+    if (!write_text_report(opts.report_path, runner::to_json(rep, jopts))) {
       return 1;
     }
   }
@@ -317,7 +328,11 @@ int cmd_fuzz(const runner::CliOptions& opts,
           repro_dir + "/fuzz_repro_" + std::to_string(d.derived_seed);
       std::ofstream json{stem + ".json", std::ios::binary};
       std::ofstream test{stem + ".cpp", std::ios::binary};
-      if (!(json << d.repro_json) || !(test << d.repro_test)) {
+      json << d.repro_json;
+      test << d.repro_test;
+      json.flush();
+      test.flush();
+      if (!json || !test) {
         std::cerr << "error: could not write repro files at " << stem
                   << ".{json,cpp}\n";
         return 1;
@@ -446,6 +461,150 @@ int cmd_dbc(const runner::CliOptions&, const std::vector<std::string>& args) {
   return 0;
 }
 
+/// "--flag value" / "--flag=value" extraction for the serve/submit arg
+/// loops (same contract as the other subcommands' local `take` lambdas).
+std::string take_value(const std::vector<std::string>& args, std::size_t& i,
+                       const std::string& flag) {
+  const auto& arg = args[i];
+  if (arg.size() > flag.size() && arg[flag.size()] == '=') {
+    return arg.substr(flag.size() + 1);
+  }
+  if (i + 1 >= args.size()) {
+    throw std::invalid_argument(flag + " needs a value");
+  }
+  return args[++i];
+}
+
+bool flag_matches(const std::string& arg, const std::string& flag) {
+  return arg.rfind(flag, 0) == 0 &&
+         (arg.size() == flag.size() || arg[flag.size()] == '=');
+}
+
+int cmd_serve(const runner::CliOptions& opts,
+              const std::vector<std::string>& args) {
+  serve::ServerConfig cfg;
+  cfg.socket_path = "michican.sock";
+  cfg.cache_dir = ".michican-cache";
+  cfg.jobs = opts.jobs;
+  std::string log_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const auto& arg = args[i];
+    if (flag_matches(arg, "--socket")) {
+      cfg.socket_path = take_value(args, i, "--socket");
+    } else if (flag_matches(arg, "--cache-dir")) {
+      cfg.cache_dir = take_value(args, i, "--cache-dir");
+    } else if (flag_matches(arg, "--cache-cap-mb")) {
+      const int mb = parse_int(take_value(args, i, "--cache-cap-mb"), 1,
+                               1 << 20, "--cache-cap-mb");
+      cfg.cache_cap_bytes = static_cast<std::uint64_t>(mb) << 20;
+    } else if (flag_matches(arg, "--log")) {
+      log_path = take_value(args, i, "--log");
+    } else {
+      throw std::invalid_argument("serve: unexpected argument '" + arg + "'");
+    }
+  }
+  std::ofstream log_file;
+  if (!log_path.empty()) {
+    log_file.open(log_path, std::ios::app);
+    if (!log_file) {
+      std::cerr << "error: could not open log " << log_path << "\n";
+      return 1;
+    }
+  }
+  cfg.log = log_path.empty() ? &std::cerr
+                             : static_cast<std::ostream*>(&log_file);
+  serve::install_stop_signal_handlers();
+  cfg.stop = &serve::stop_flag();
+  return serve::run_server(cfg);
+}
+
+int cmd_submit(const runner::CliOptions& opts,
+               const std::vector<std::string>& args) {
+  std::string socket_path = "michican.sock";
+  std::string cache_stats_path;
+  std::string op = "campaign";
+  int wait_ms = 0;
+  std::size_t cases = 200;
+  std::vector<std::string> scenarios;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const auto& arg = args[i];
+    if (flag_matches(arg, "--socket")) {
+      socket_path = take_value(args, i, "--socket");
+    } else if (flag_matches(arg, "--cache-stats")) {
+      cache_stats_path = take_value(args, i, "--cache-stats");
+    } else if (flag_matches(arg, "--wait-ms")) {
+      wait_ms = parse_int(take_value(args, i, "--wait-ms"), 0, 600'000,
+                          "--wait-ms");
+    } else if (flag_matches(arg, "--cases")) {
+      cases = static_cast<std::size_t>(
+          parse_int(take_value(args, i, "--cases"), 1, 10'000'000, "--cases"));
+    } else if (arg == "--fuzz") {
+      op = "fuzz";
+    } else if (arg == "--ping") {
+      op = "ping";
+    } else if (arg == "--stats") {
+      op = "stats";
+    } else if (arg == "--shutdown") {
+      op = "shutdown";
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw std::invalid_argument("submit: unexpected argument '" + arg +
+                                  "'");
+    } else {
+      scenarios.push_back(arg);
+    }
+  }
+
+  std::ostringstream req;
+  req << "{\"schema\":\"michican.serve.v1\",\"op\":\"" << op << "\"";
+  if (op == "campaign") {
+    req << ",\"scenarios\":[";
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      if (i != 0) req << ",";
+      req << "\"" << obs::json_escape(scenarios[i]) << "\"";
+    }
+    req << "]";
+  }
+  if (op == "campaign" || op == "fuzz") {
+    req << ",\"seeds\":{\"begin\":" << opts.seeds.begin
+        << ",\"end\":" << opts.seeds.end << "},\"jobs\":" << opts.jobs;
+    if (op == "fuzz") req << ",\"cases\":" << cases;
+  }
+  req << "}";
+
+  const auto res = serve::submit_request(
+      socket_path, req.str(), wait_ms,
+      opts.progress ? runner::print_progress
+                    : std::function<void(std::size_t, std::size_t)>{});
+  if (!res.ok) {
+    std::cerr << "error: " << res.error << "\n";
+    return 1;
+  }
+  if (!res.table.empty()) std::cout << res.table;
+  if (op == "ping") std::cout << "pong\n";
+  if (op == "shutdown") std::cout << "server shutting down\n";
+  if (op == "stats" && !res.cache_stats_json.empty()) {
+    std::cout << res.cache_stats_json << "\n";
+  }
+  if (!opts.report_path.empty()) {
+    if (res.report_json.empty()) {
+      std::cerr << "error: server response carried no report\n";
+      return 1;
+    }
+    if (!write_text_report(opts.report_path, res.report_json)) return 1;
+  }
+  if (!cache_stats_path.empty()) {
+    std::ofstream out{cache_stats_path, std::ios::binary};
+    out << res.cache_stats_json << "\n";
+    out.flush();
+    if (!out) {
+      std::cerr << "error: could not write " << cache_stats_path << "\n";
+      return 1;
+    }
+    std::cout << "cache stats: " << cache_stats_path << "\n";
+  }
+  return res.exit_code;
+}
+
 int cmd_list_scenarios(const runner::CliOptions&,
                        const std::vector<std::string>&) {
   analysis::AsciiTable t{{"Name", "Aliases", "Description"}};
@@ -494,6 +653,17 @@ int main(int argc, char** argv) {
        cmd_rta},
       {"dbc", "<bus 0..7>", "print a vehicle matrix in DBC-subset format",
        cmd_dbc},
+      {"serve",
+       "[--socket PATH] [--cache-dir PATH] [--cache-cap-mb N] [--log PATH]",
+       "run the campaign daemon: a Unix-socket job queue over a "
+       "content-addressed result cache (warm submits replay cached cells)",
+       cmd_serve},
+      {"submit",
+       "[scenario...] [--socket PATH] [--fuzz] [--cases N] [--ping] "
+       "[--stats] [--shutdown] [--wait-ms N] [--cache-stats PATH]",
+       "submit a campaign (default) or fuzz run to a `serve` daemon and "
+       "stream its progress; --report writes the byte-stable report",
+       cmd_submit},
       {"list-scenarios", "", "enumerate the named scenario registry",
        cmd_list_scenarios},
   };

@@ -65,6 +65,14 @@ class Registry {
   counters() const noexcept {
     return counters_;
   }
+  [[nodiscard]] const std::map<std::string, std::int64_t, std::less<>>&
+  gauges() const noexcept {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram, std::less<>>&
+  histograms() const noexcept {
+    return histograms_;
+  }
 
   /// Deterministic JSON object:
   ///   {"counters":{...},"gauges":{...},"histograms":{"name":

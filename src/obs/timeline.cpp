@@ -301,6 +301,9 @@ bool write_text_file(const std::string& path, const std::string& content) {
   std::ofstream out{path, std::ios::binary};
   if (!out) return false;
   out << content;
+  // Flush before checking so a full device (or any deferred write error)
+  // is reported here instead of being swallowed by the destructor.
+  out.flush();
   return static_cast<bool>(out);
 }
 

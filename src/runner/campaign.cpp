@@ -5,6 +5,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "runner/cell_codec.hpp"
 #include "runner/thread_pool.hpp"
 #include "sim/rng.hpp"
 
@@ -138,7 +139,7 @@ std::uint64_t CampaignReport::bits_batched() const {
   return bits;
 }
 
-CampaignReport run_campaign(const CampaignConfig& cfg) {
+std::vector<CellPlan> plan_campaign(const CampaignConfig& cfg) {
   if (cfg.specs.empty()) {
     throw std::invalid_argument("campaign: no experiment specs");
   }
@@ -146,13 +147,35 @@ CampaignReport run_campaign(const CampaignConfig& cfg) {
   if (num_seeds == 0) {
     throw std::invalid_argument("campaign: empty seed range");
   }
+  std::vector<CellPlan> plan;
+  plan.reserve(cfg.specs.size() * num_seeds);
+  for (std::size_t si = 0; si < cfg.specs.size(); ++si) {
+    const std::uint64_t spec_root = sim::derive_seed(cfg.base_seed, si);
+    const std::uint64_t spec_hash = spec_fingerprint(cfg.specs[si]);
+    for (std::size_t off = 0; off < num_seeds; ++off) {
+      CellPlan cell;
+      cell.spec_index = si;
+      cell.seed = cfg.seeds.begin + off;
+      cell.slot = si * num_seeds + off;
+      cell.derived_seed = sim::derive_seed(spec_root, cell.seed);
+      cell.key.spec_hash = spec_hash;
+      cell.key.seed = cell.derived_seed;
+      plan.push_back(std::move(cell));
+    }
+  }
+  return plan;
+}
 
+CampaignReport run_campaign(const CampaignConfig& cfg) {
   const auto campaign_start = Clock::now();
+  const std::vector<CellPlan> plan = plan_campaign(cfg);
+  const std::size_t num_seeds = cfg.seeds.size();
 
   CampaignReport report;
   report.base_seed = cfg.base_seed;
   report.seeds = cfg.seeds;
-  report.tasks.resize(cfg.specs.size() * num_seeds);
+  report.cache_enabled = cfg.cells != nullptr;
+  report.tasks.resize(plan.size());
 
   std::mutex progress_mu;
   std::size_t done = 0;
@@ -161,38 +184,67 @@ CampaignReport run_campaign(const CampaignConfig& cfg) {
   ThreadPool pool{cfg.jobs == 0 ? 0u : cfg.jobs};
   report.jobs_used = pool.jobs();
 
-  for (std::size_t si = 0; si < cfg.specs.size(); ++si) {
-    const std::uint64_t spec_root = sim::derive_seed(cfg.base_seed, si);
-    for (std::size_t off = 0; off < num_seeds; ++off) {
-      const std::uint64_t seed = cfg.seeds.begin + off;
-      const std::size_t slot = si * num_seeds + off;
-      pool.submit([&, si, seed, slot, spec_root] {
-        auto& task = report.tasks[slot];
-        task.spec_index = si;
-        task.seed = seed;
-        task.derived_seed = sim::derive_seed(spec_root, seed);
-        const auto task_start = Clock::now();
-        try {
-          auto spec = cfg.specs[si];
-          spec.seed = task.derived_seed;
-          analysis::validate(spec);
-          task.result = analysis::run_experiment(spec);
-          task.ok = true;
-        } catch (const std::exception& e) {
-          task.ok = false;
-          task.error = e.what();
-        } catch (...) {
-          task.ok = false;
-          task.error = "unknown exception";
+  for (const CellPlan& cell : plan) {
+    pool.submit([&, cell] {
+      auto& task = report.tasks[cell.slot];
+      task.spec_index = cell.spec_index;
+      task.seed = cell.seed;
+      task.derived_seed = cell.derived_seed;
+      const auto task_start = Clock::now();
+      if (cfg.cancel != nullptr &&
+          cfg.cancel->load(std::memory_order_relaxed)) {
+        // Drain: cells that have not started are skipped; cells already
+        // running on other workers finish (and persist) normally.
+        task.ok = false;
+        task.error = "cancelled";
+      } else {
+        // Fetch-or-compute through the cell store.  A fetched entry that
+        // fails to decode is treated exactly like a miss: recompute, then
+        // re-store over the bad bytes.
+        if (cfg.cells != nullptr) {
+          if (const auto bytes = cfg.cells->fetch(cell.key)) {
+            if (decode_cell(*bytes, task.result)) {
+              task.ok = true;
+              task.cached = true;
+            }
+          }
         }
-        task.wall_ms = elapsed_ms(task_start);
-        std::lock_guard<std::mutex> lock{progress_mu};
-        ++done;
-        if (cfg.progress) cfg.progress(done, total);
-      });
-    }
+        if (!task.cached) {
+          try {
+            auto spec = cfg.specs[cell.spec_index];
+            spec.seed = task.derived_seed;
+            analysis::validate(spec);
+            task.result = analysis::run_experiment(spec);
+            task.ok = true;
+          } catch (const std::exception& e) {
+            task.ok = false;
+            task.error = e.what();
+          } catch (...) {
+            task.ok = false;
+            task.error = "unknown exception";
+          }
+          if (task.ok && cfg.cells != nullptr) {
+            cfg.cells->store(cell.key, encode_cell(task.result));
+          }
+        }
+      }
+      task.wall_ms = elapsed_ms(task_start);
+      std::lock_guard<std::mutex> lock{progress_mu};
+      ++done;
+      if (cfg.progress) cfg.progress(done, total);
+    });
   }
   pool.wait_idle();
+
+  for (const auto& task : report.tasks) {
+    if (task.cached) {
+      ++report.cache_hits;
+    } else if (task.error == "cancelled") {
+      ++report.cells_cancelled;
+    } else if (report.cache_enabled) {
+      ++report.cache_misses;
+    }
+  }
 
   const auto aggregate_start = Clock::now();
   report.specs.reserve(cfg.specs.size());

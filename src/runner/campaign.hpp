@@ -18,6 +18,7 @@
 // Only the `runtime` block of the JSON report (jobs, wall-clock) varies.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -25,6 +26,7 @@
 #include <vector>
 
 #include "analysis/experiments.hpp"
+#include "runner/cell_store.hpp"
 #include "sim/stats.hpp"
 
 namespace mcan::runner {
@@ -50,7 +52,36 @@ struct CampaignConfig {
   /// Optional progress sink, called serialized (under a lock) after every
   /// finished task with (done, total).
   std::function<void(std::size_t, std::size_t)> progress;
+  /// Result-cache seam (ARCHITECTURE.md §7).  Null = compute every cell
+  /// (the passthrough default; existing call sites keep working).  With a
+  /// store attached each planned cell is fetched by content address first
+  /// and only computed — then persisted — on a miss, so a warm rerun of an
+  /// unchanged grid is pure cache replay and byte-identical by
+  /// construction.  Not owned; must outlive run_campaign().
+  CellStore* cells{nullptr};
+  /// Graceful-cancellation flag (e.g. set from a SIGINT/SIGTERM handler).
+  /// Once it reads true, cells that have not started are marked failed
+  /// ("cancelled") without computing; in-flight cells finish normally and
+  /// are still persisted to the store — a drained, partially-warm cache.
+  const std::atomic<bool>* cancel{nullptr};
 };
+
+/// One planned grid cell: the task identity plus its content-addressed
+/// cache key, laid out before any work starts.
+struct CellPlan {
+  std::size_t spec_index{};
+  std::uint64_t seed{};          // user-visible seed
+  std::size_t slot{};            // index into CampaignReport::tasks
+  std::uint64_t derived_seed{};  // actual ExperimentSpec::seed used
+  CellKey key;
+};
+
+/// Lay out the full cell set of a campaign up front: one entry per
+/// (spec, seed) in deterministic slot order.  Pure function of the config —
+/// the cache keys it assigns are what run_campaign() fetches and stores by.
+/// Throws std::invalid_argument on an unusable config (no specs or an
+/// empty seed range).
+[[nodiscard]] std::vector<CellPlan> plan_campaign(const CampaignConfig& cfg);
 
 /// Outcome of one (spec, seed) grid cell.
 struct TaskResult {
@@ -61,6 +92,9 @@ struct TaskResult {
   std::string error;  // exception message when !ok (crash isolation)
   analysis::ExperimentResult result;  // valid iff ok
   double wall_ms{};  // per-task wall clock; runtime info, not deterministic
+  /// Result replayed from the cell store instead of computed.  Runtime
+  /// fact: the deterministic report section is identical either way.
+  bool cached{false};
 };
 
 struct PercentileSet {
@@ -130,6 +164,13 @@ struct CampaignReport {
   // Runtime facts (excluded from the deterministic JSON section).
   unsigned jobs_used{};
   double wall_ms{};
+  /// Cell-store outcome of this run (all zero without a store attached):
+  /// hits = cells replayed from the cache, misses = cells computed,
+  /// cancelled = cells skipped by a cancellation request.
+  bool cache_enabled{};
+  std::uint64_t cache_hits{};
+  std::uint64_t cache_misses{};
+  std::uint64_t cells_cancelled{};
   /// Self-profile: per-task phase timings summed over the grid plus the
   /// campaign-level aggregate pass.  Wall clocks — runtime info only.
   obs::Profiler profile;

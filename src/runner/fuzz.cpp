@@ -7,6 +7,7 @@
 
 #include "conformance/generator.hpp"
 #include "obs/jsonfmt.hpp"
+#include "runner/cell_codec.hpp"
 #include "runner/thread_pool.hpp"
 #include "sim/rng.hpp"
 
@@ -47,7 +48,18 @@ FuzzReport run_fuzz(const FuzzConfig& cfg) {
   report.base_seed = cfg.base_seed;
   report.seeds = cfg.seeds;
   report.cases = cfg.cases;
+  report.cache_enabled = cfg.cells != nullptr;
   report.cells.resize(cfg.cases);
+
+  // Plan the cell set up front: identity and content-addressed cache key
+  // per case, before any work starts (same shape as plan_campaign()).
+  const std::uint64_t fuzz_hash = fuzz_cell_fingerprint();
+  for (std::size_t index = 0; index < cfg.cases; ++index) {
+    auto& cell = report.cells[index];
+    cell.index = index;
+    cell.stream = cfg.seeds.begin + index % cfg.seeds.size();
+    cell.derived_seed = case_seed(cfg.base_seed, cfg.seeds, index);
+  }
 
   std::mutex progress_mu;
   std::size_t done = 0;
@@ -56,24 +68,39 @@ FuzzReport run_fuzz(const FuzzConfig& cfg) {
   report.jobs_used = pool.jobs();
 
   for (std::size_t index = 0; index < cfg.cases; ++index) {
-    pool.submit([&, index] {
+    pool.submit([&, index, fuzz_hash] {
       auto& cell = report.cells[index];
-      cell.index = index;
-      cell.stream = cfg.seeds.begin + index % cfg.seeds.size();
-      cell.derived_seed = case_seed(cfg.base_seed, cfg.seeds, index);
-      try {
-        const auto c = conformance::generate_case(cell.derived_seed);
-        cell.kind = c.kind;
-        auto out = conformance::run_case(c);
-        cell.diverged = out.diverged;
-        cell.divergence = std::move(out.divergence);
-        cell.stats = out.stats;
-      } catch (const std::exception& e) {
-        cell.diverged = true;
-        cell.divergence = std::string{"exception: "} + e.what();
-      } catch (...) {
-        cell.diverged = true;
-        cell.divergence = "unknown exception";
+      if (cfg.cancel != nullptr &&
+          cfg.cancel->load(std::memory_order_relaxed)) {
+        cell.cancelled = true;
+      } else {
+        CellKey key;
+        key.spec_hash = fuzz_hash;
+        key.seed = cell.derived_seed;
+        if (cfg.cells != nullptr) {
+          if (const auto bytes = cfg.cells->fetch(key)) {
+            if (decode_fuzz_cell(*bytes, cell)) cell.cached = true;
+          }
+        }
+        if (!cell.cached) {
+          try {
+            const auto c = conformance::generate_case(cell.derived_seed);
+            cell.kind = c.kind;
+            auto out = conformance::run_case(c);
+            cell.diverged = out.diverged;
+            cell.divergence = std::move(out.divergence);
+            cell.stats = out.stats;
+          } catch (const std::exception& e) {
+            cell.diverged = true;
+            cell.divergence = std::string{"exception: "} + e.what();
+          } catch (...) {
+            cell.diverged = true;
+            cell.divergence = "unknown exception";
+          }
+          if (cfg.cells != nullptr) {
+            cfg.cells->store(key, encode_fuzz_cell(cell));
+          }
+        }
       }
       std::lock_guard<std::mutex> lock{progress_mu};
       ++done;
@@ -83,6 +110,14 @@ FuzzReport run_fuzz(const FuzzConfig& cfg) {
   pool.wait_idle();
 
   for (const auto& cell : report.cells) {
+    if (cell.cached) {
+      ++report.cache_hits;
+    } else if (cell.cancelled) {
+      ++report.cells_cancelled;
+      continue;
+    } else if (report.cache_enabled) {
+      ++report.cache_misses;
+    }
     report.kind_counts[static_cast<std::size_t>(cell.kind)] += 1;
     report.oracle_checked += cell.stats.oracle_checked ? 1 : 0;
     report.collision_skips += cell.stats.collision_skip ? 1 : 0;
@@ -157,7 +192,12 @@ std::string to_json(const FuzzReport& report, JsonOptions opts) {
   os << "]";
   if (opts.include_runtime) {
     os << ",\"runtime\":{\"jobs\":" << report.jobs_used
-       << ",\"wall_ms\":" << fmt_double(report.wall_ms) << "}";
+       << ",\"wall_ms\":" << fmt_double(report.wall_ms)
+       << ",\"cache\":{\"enabled\":"
+       << (report.cache_enabled ? "true" : "false")
+       << ",\"hits\":" << report.cache_hits
+       << ",\"misses\":" << report.cache_misses
+       << ",\"cancelled\":" << report.cells_cancelled << "}}";
   }
   os << "}\n";
   return os.str();

@@ -56,6 +56,14 @@ struct FuzzConfig {
   int max_shrink_tries{600};
   /// Serialized progress sink, called after every finished case.
   std::function<void(std::size_t, std::size_t)> progress;
+  /// Result-cache seam (see CampaignConfig::cells): each case's outcome is
+  /// content-addressed by (fuzz domain tag, derived seed, engine version)
+  /// and replayed on a warm rerun instead of re-simulating.  Shrinking of
+  /// diverging cases always recomputes — divergences are rare and the
+  /// repro artifacts must come from a live run.
+  CellStore* cells{nullptr};
+  /// Graceful-cancellation flag (see CampaignConfig::cancel).
+  const std::atomic<bool>* cancel{nullptr};
 };
 
 /// Outcome of one fuzz case.
@@ -67,6 +75,11 @@ struct FuzzCellResult {
   bool diverged{false};
   std::string divergence;
   conformance::CaseStats stats;
+  /// Replayed from the cell store (runtime fact; the deterministic report
+  /// section is identical either way).
+  bool cached{false};
+  /// Skipped by a cancellation request before it started.
+  bool cancelled{false};
 };
 
 /// A diverging case plus its minimized repro artifacts.
@@ -97,6 +110,10 @@ struct FuzzReport {
   // Runtime-only (never in the deterministic report section).
   unsigned jobs_used{};
   double wall_ms{};
+  bool cache_enabled{};
+  std::uint64_t cache_hits{};
+  std::uint64_t cache_misses{};
+  std::uint64_t cells_cancelled{};
 };
 
 /// Run the fuzz campaign.  Throws std::invalid_argument on zero cases or an

@@ -122,7 +122,12 @@ std::string to_json(const CampaignReport& report, JsonOptions opts) {
     const double sim_ms = report.profile.total_ms("task.sim");
     os << ",\"runtime\":{\"jobs\":" << report.jobs_used
        << ",\"wall_ms\":" << fmt_double(report.wall_ms)
-       << ",\"task_wall_ms\":";
+       << ",\"cache\":{\"enabled\":"
+       << (report.cache_enabled ? "true" : "false")
+       << ",\"hits\":" << report.cache_hits
+       << ",\"misses\":" << report.cache_misses
+       << ",\"cancelled\":" << report.cells_cancelled
+       << "},\"task_wall_ms\":";
     put_summary(os, sim::summarize(task_wall));
     os << ",\"perf\":{\"phases\":" << report.profile.to_json()
        << ",\"serialize_ms\":" << fmt_double(serialize_ms)
@@ -151,6 +156,10 @@ bool write_json_file(const std::string& path, const CampaignReport& report,
   std::ofstream out{path, std::ios::binary};
   if (!out) return false;
   out << to_json(report, opts);
+  // Flush before checking: a report smaller than the stream buffer would
+  // otherwise only hit the device at destruction, after the error check —
+  // the "exit 0 on a failed --report write" bug (e.g. /dev/full).
+  out.flush();
   return static_cast<bool>(out);
 }
 

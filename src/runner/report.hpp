@@ -24,7 +24,10 @@
 //     "tasks": [{"spec": <i>, "seed": <u64>, "derived_seed": <u64>,
 //                "ok": <bool>, "error": <str?>, "cycles": <n>,
 //                "counterattacks": <n>}],
-//     "runtime": {"jobs": <n>, "wall_ms": <f>, "task_wall_ms": {summary},
+//     "runtime": {"jobs": <n>, "wall_ms": <f>,
+//                 "cache": {"enabled": <bool>, "hits": <n>, "misses": <n>,
+//                           "cancelled": <n>},
+//                 "task_wall_ms": {summary},
 //                 "perf": {"phases": {"<phase>": {"calls","ms"}, ...},
 //                          "serialize_ms": <f>, "bits_simulated": <u64>,
 //                          "bits_per_second": <f>}}

@@ -1,0 +1,136 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/wire.hpp"
+
+namespace mcan::serve {
+namespace {
+
+int connect_with_retry(const std::string& socket_path, int wait_ms,
+                       std::string& error) {
+  sockaddr_un addr{};
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    error = "socket path empty or too long: " + socket_path;
+    return -1;
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds{wait_ms};
+  while (true) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      error = std::string{"socket(): "} + std::strerror(errno);
+      return -1;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    const int saved = errno;
+    ::close(fd);
+    if (std::chrono::steady_clock::now() >= deadline) {
+      error = std::string{"connect "} + socket_path + ": " +
+              std::strerror(saved);
+      return -1;
+    }
+    // The daemon may still be creating/binding the socket; retry briefly.
+    std::this_thread::sleep_for(std::chrono::milliseconds{50});
+  }
+}
+
+}  // namespace
+
+SubmitResult submit_request(
+    const std::string& socket_path, const std::string& request_json,
+    int wait_ms, const std::function<void(std::size_t, std::size_t)>& progress) {
+  SubmitResult res;
+  const int fd = connect_with_retry(socket_path, wait_ms, res.error);
+  if (fd < 0) return res;
+
+  if (!send_frame(fd, request_json)) {
+    res.error = "failed to send request frame";
+    ::close(fd);
+    return res;
+  }
+
+  while (true) {
+    const auto frame = recv_frame(fd);
+    if (!frame) {
+      res.error = "connection closed before a terminal frame";
+      break;
+    }
+    const auto msg = parse_json(*frame);
+    if (!msg || msg->kind != JsonValue::Kind::Object) {
+      res.error = "malformed response frame";
+      break;
+    }
+    const auto* ev = msg->find("event");
+    const auto event = ev != nullptr ? ev->get_string() : std::string_view{};
+    if (event == "progress") {
+      if (progress) {
+        const auto* done = msg->find("done");
+        const auto* total = msg->find("total");
+        progress(done != nullptr
+                     ? static_cast<std::size_t>(done->get_u64())
+                     : 0,
+                 total != nullptr
+                     ? static_cast<std::size_t>(total->get_u64())
+                     : 0);
+      }
+      continue;
+    }
+    if (event == "error") {
+      const auto* m = msg->find("message");
+      res.error = m != nullptr ? std::string{m->get_string()}
+                               : std::string{"server error"};
+      break;
+    }
+    if (event == "done") {
+      res.ok = true;
+      if (const auto* e = msg->find("exit")) {
+        res.exit_code = static_cast<int>(e->get_number(1));
+      } else {
+        res.exit_code = 0;
+      }
+      if (const auto* r = msg->find("report")) {
+        res.report_json = r->get_string();
+      }
+      if (const auto* t = msg->find("table")) res.table = t->get_string();
+      // Re-serialize nothing: the cache_stats block arrives as a nested
+      // object, so cut its verbatim bytes out of the frame text instead
+      // (stats consumers diff these bytes across runs).
+      const auto pos = frame->find("\"cache_stats\":");
+      if (pos != std::string::npos) {
+        const auto start = pos + std::strlen("\"cache_stats\":");
+        int depth = 0;
+        for (std::size_t i = start; i < frame->size(); ++i) {
+          const char c = (*frame)[i];
+          if (c == '{') ++depth;
+          if (c == '}') {
+            if (--depth == 0) {
+              res.cache_stats_json = frame->substr(start, i - start + 1);
+              break;
+            }
+          }
+        }
+      }
+      break;
+    }
+    res.error = "unknown event in response frame";
+    break;
+  }
+  ::close(fd);
+  return res;
+}
+
+}  // namespace mcan::serve

@@ -1,0 +1,39 @@
+// `michican_cli submit` side of the michican.serve.v1 protocol: connect to
+// a running daemon's Unix socket, send one request frame, stream progress,
+// and hand back the terminal frame's fields.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace mcan::serve {
+
+struct SubmitResult {
+  /// A terminal "done" frame arrived (an "error" frame or a transport
+  /// failure clears this and fills `error`).
+  bool ok{false};
+  std::string error;
+  /// Exit code proposed by the server (failed cells, divergences, or a
+  /// cancelled run -> nonzero).
+  int exit_code{1};
+  /// Deterministic report JSON, verbatim bytes (empty for ping/stats/
+  /// shutdown) — write this straight to a --report file.
+  std::string report_json;
+  /// The "michican.serve.v1" cache_stats block, verbatim (empty for ping/
+  /// shutdown).
+  std::string cache_stats_json;
+  /// Human summary table (campaign/fuzz only).
+  std::string table;
+};
+
+/// Send `request_json` to the daemon at `socket_path` and collect the
+/// response.  `wait_ms` bounds connect retries (the daemon may still be
+/// binding its socket — CI starts both races); 0 = single attempt.
+/// `progress` (optional) receives every (done, total) progress frame.
+[[nodiscard]] SubmitResult submit_request(
+    const std::string& socket_path, const std::string& request_json,
+    int wait_ms = 0,
+    const std::function<void(std::size_t, std::size_t)>& progress = {});
+
+}  // namespace mcan::serve

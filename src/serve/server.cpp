@@ -1,0 +1,354 @@
+#include "serve/server.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "analysis/scenarios.hpp"
+#include "analysis/table.hpp"
+#include "obs/jsonfmt.hpp"
+#include "runner/campaign.hpp"
+#include "runner/fuzz.hpp"
+#include "runner/report.hpp"
+#include "serve/disk_store.hpp"
+#include "serve/wire.hpp"
+
+namespace mcan::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::atomic<bool> g_stop{false};
+
+void handle_stop_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+double elapsed_ms(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+void log_line(const ServerConfig& cfg, const std::string& line) {
+  if (cfg.log != nullptr) *cfg.log << "serve: " << line << "\n" << std::flush;
+}
+
+/// The cache_stats block: the one place per-run timing is allowed to live
+/// (the report itself stays deterministic).  `request` covers this request's
+/// cells; `store` is the DiskStore lifetime totals.
+std::string cache_stats_json(std::string_view op, double wall_ms,
+                             std::uint64_t cells, std::uint64_t hits,
+                             std::uint64_t misses, std::uint64_t cancelled,
+                             const runner::CellStore::Stats& s) {
+  std::ostringstream os;
+  os << "{\"schema\":\"michican.serve.v1\",\"kind\":\"cache_stats\","
+     << "\"engine\":\"" << runner::kEngineVersion << "\",\"op\":\"" << op
+     << "\",\"wall_ms\":" << obs::fmt_double(wall_ms)
+     << ",\"request\":{\"cells\":" << cells << ",\"hits\":" << hits
+     << ",\"misses\":" << misses << ",\"cancelled\":" << cancelled
+     << "},\"store\":{\"hits\":" << s.hits << ",\"misses\":" << s.misses
+     << ",\"stores\":" << s.stores << ",\"evictions\":" << s.evictions
+     << ",\"corrupt\":" << s.corrupt << ",\"bytes\":" << s.bytes
+     << ",\"entries\":" << s.entries << "}}";
+  return os.str();
+}
+
+void send_error(int fd, const std::string& message) {
+  send_frame(fd, "{\"schema\":\"michican.serve.v1\",\"event\":\"error\","
+                 "\"message\":\"" +
+                     obs::json_escape(message) + "\"}");
+}
+
+/// Shared request plumbing: per-request cancellation (server stop flag OR a
+/// vanished client, detected by a failed progress send) and progress
+/// forwarding.
+struct RequestContext {
+  int fd;
+  const ServerConfig* cfg;
+  std::atomic<bool> cancel{false};
+
+  void pump(std::size_t done, std::size_t total) {
+    if (cfg->stop != nullptr && cfg->stop->load(std::memory_order_relaxed)) {
+      cancel.store(true, std::memory_order_relaxed);
+    }
+    std::ostringstream os;
+    os << "{\"schema\":\"michican.serve.v1\",\"event\":\"progress\",\"done\":"
+       << done << ",\"total\":" << total << "}";
+    if (!send_frame(fd, os.str())) {
+      cancel.store(true, std::memory_order_relaxed);
+    }
+  }
+};
+
+std::string campaign_table(const runner::CampaignReport& rep) {
+  using analysis::fmt;
+  analysis::AsciiTable t{{"Exp", "Attacker", "Seeds", "Failed", "Cycles",
+                          "mu (ms)", "sigma (ms)", "Max (ms)", "p50", "p99",
+                          "Det. bit"}};
+  for (const auto& spec : rep.specs) {
+    for (const auto& a : spec.attackers) {
+      t.add_row({std::to_string(spec.number), analysis::fmt_hex(a.primary_id),
+                 std::to_string(spec.tasks), std::to_string(spec.failed),
+                 std::to_string(a.cycles), fmt(a.busoff_ms.mean, 1),
+                 fmt(a.busoff_ms.stddev, 2), fmt(a.busoff_ms.max, 1),
+                 fmt(a.busoff_ms_pct.p50, 1), fmt(a.busoff_ms_pct.p99, 1),
+                 fmt(spec.mean_detection_bit.mean, 1)});
+    }
+  }
+  std::ostringstream os;
+  t.print(os, "Campaign over seeds [" + std::to_string(rep.seeds.begin) +
+                  ", " + std::to_string(rep.seeds.end) + "):");
+  return os.str();
+}
+
+void parse_seeds(const JsonValue& req, runner::SeedRange& seeds) {
+  if (const auto* s = req.find("seeds")) {
+    if (const auto* b = s->find("begin")) seeds.begin = b->get_u64();
+    if (const auto* e = s->find("end")) seeds.end = e->get_u64(seeds.begin + 1);
+  }
+}
+
+void handle_campaign(const ServerConfig& cfg, DiskStore& store,
+                     const JsonValue& req, RequestContext& ctx) {
+  runner::CampaignConfig ccfg;
+  const auto& registry = analysis::ScenarioRegistry::built_in();
+  std::vector<std::string> names;
+  if (const auto* sc = req.find("scenarios"); sc != nullptr &&
+      sc->kind == JsonValue::Kind::Array && !sc->array.empty()) {
+    for (const auto& item : sc->array) {
+      names.emplace_back(item.get_string());
+    }
+  } else {
+    names = {"1", "2", "3", "4", "5", "6"};
+  }
+  for (const auto& name : names) {
+    ccfg.specs.push_back(registry.make(name));  // throws on unknown name
+  }
+  parse_seeds(req, ccfg.seeds);
+  if (const auto* b = req.find("base_seed")) ccfg.base_seed = b->get_u64();
+  ccfg.jobs = cfg.jobs;
+  if (const auto* j = req.find("jobs")) {
+    ccfg.jobs = static_cast<unsigned>(j->get_u64(cfg.jobs));
+  }
+  ccfg.cells = &store;
+  ccfg.cancel = &ctx.cancel;
+  ccfg.progress = [&ctx](std::size_t done, std::size_t total) {
+    ctx.pump(done, total);
+  };
+
+  const auto start = Clock::now();
+  const auto rep = runner::run_campaign(ccfg);
+  const double wall_ms = elapsed_ms(start);
+
+  runner::JsonOptions jopts;  // deterministic section only
+  if (const auto* it = req.find("include_tasks")) {
+    jopts.include_tasks = it->get_bool(true);
+  }
+  const auto report = runner::to_json(rep, jopts);
+  const auto stats = cache_stats_json(
+      "campaign", wall_ms, rep.tasks.size(), rep.cache_hits, rep.cache_misses,
+      rep.cells_cancelled, store.stats());
+
+  const int exit_code =
+      rep.failed_tasks() == 0 && rep.cells_cancelled == 0 ? 0 : 1;
+  std::ostringstream os;
+  os << "{\"schema\":\"michican.serve.v1\",\"event\":\"done\",\"op\":"
+     << "\"campaign\",\"exit\":" << exit_code << ",\"report\":\""
+     << obs::json_escape(report) << "\",\"table\":\""
+     << obs::json_escape(campaign_table(rep)) << "\",\"cache_stats\":"
+     << stats << "}";
+  send_frame(ctx.fd, os.str());
+
+  std::ostringstream line;
+  line << "campaign done: cells=" << rep.tasks.size()
+       << " hits=" << rep.cache_hits << " misses=" << rep.cache_misses
+       << " cancelled=" << rep.cells_cancelled
+       << " wall_ms=" << obs::fmt_double(wall_ms) << " exit=" << exit_code;
+  log_line(cfg, line.str());
+}
+
+void handle_fuzz(const ServerConfig& cfg, DiskStore& store,
+                 const JsonValue& req, RequestContext& ctx) {
+  runner::FuzzConfig fcfg;
+  if (const auto* c = req.find("cases")) {
+    fcfg.cases = static_cast<std::size_t>(c->get_u64(fcfg.cases));
+  }
+  parse_seeds(req, fcfg.seeds);
+  if (const auto* b = req.find("base_seed")) fcfg.base_seed = b->get_u64();
+  fcfg.jobs = cfg.jobs;
+  if (const auto* j = req.find("jobs")) {
+    fcfg.jobs = static_cast<unsigned>(j->get_u64(cfg.jobs));
+  }
+  if (const auto* s = req.find("shrink")) fcfg.shrink = s->get_bool(true);
+  fcfg.cells = &store;
+  fcfg.cancel = &ctx.cancel;
+  fcfg.progress = [&ctx](std::size_t done, std::size_t total) {
+    ctx.pump(done, total);
+  };
+
+  const auto start = Clock::now();
+  const auto rep = runner::run_fuzz(fcfg);
+  const double wall_ms = elapsed_ms(start);
+
+  const auto report = runner::to_json(rep, runner::JsonOptions{});
+  const auto stats = cache_stats_json("fuzz", wall_ms, rep.cases,
+                                      rep.cache_hits, rep.cache_misses,
+                                      rep.cells_cancelled, store.stats());
+  const int exit_code =
+      rep.divergences.empty() && rep.cells_cancelled == 0 ? 0 : 1;
+  std::ostringstream os;
+  os << "{\"schema\":\"michican.serve.v1\",\"event\":\"done\",\"op\":"
+     << "\"fuzz\",\"exit\":" << exit_code << ",\"report\":\""
+     << obs::json_escape(report) << "\",\"table\":\""
+     << obs::json_escape(runner::format_summary(rep)) << "\",\"cache_stats\":"
+     << stats << "}";
+  send_frame(ctx.fd, os.str());
+
+  std::ostringstream line;
+  line << "fuzz done: cases=" << rep.cases << " hits=" << rep.cache_hits
+       << " misses=" << rep.cache_misses
+       << " cancelled=" << rep.cells_cancelled
+       << " wall_ms=" << obs::fmt_double(wall_ms) << " exit=" << exit_code;
+  log_line(cfg, line.str());
+}
+
+/// Serve one connection; returns true when the request asked for shutdown.
+bool handle_connection(const ServerConfig& cfg, DiskStore& store, int fd) {
+  const auto frame = recv_frame(fd);
+  if (!frame) return false;
+  const auto req = parse_json(*frame);
+  if (!req || req->kind != JsonValue::Kind::Object) {
+    send_error(fd, "malformed request frame");
+    return false;
+  }
+  const auto* op_field = req->find("op");
+  const std::string op{op_field != nullptr ? op_field->get_string() : ""};
+
+  if (op == "ping") {
+    send_frame(fd, "{\"schema\":\"michican.serve.v1\",\"event\":\"done\","
+                   "\"op\":\"ping\",\"exit\":0,\"pong\":true}");
+    return false;
+  }
+  if (op == "stats") {
+    const auto stats =
+        cache_stats_json("stats", 0.0, 0, 0, 0, 0, store.stats());
+    send_frame(fd, "{\"schema\":\"michican.serve.v1\",\"event\":\"done\","
+                   "\"op\":\"stats\",\"exit\":0,\"cache_stats\":" +
+                       stats + "}");
+    return false;
+  }
+  if (op == "shutdown") {
+    send_frame(fd, "{\"schema\":\"michican.serve.v1\",\"event\":\"done\","
+                   "\"op\":\"shutdown\",\"exit\":0}");
+    log_line(cfg, "shutdown requested");
+    return true;
+  }
+
+  RequestContext ctx{fd, &cfg};
+  try {
+    if (op == "campaign") {
+      handle_campaign(cfg, store, *req, ctx);
+    } else if (op == "fuzz") {
+      handle_fuzz(cfg, store, *req, ctx);
+    } else {
+      send_error(fd, "unknown op '" + op + "'");
+    }
+  } catch (const std::exception& e) {
+    send_error(fd, e.what());
+    log_line(cfg, std::string{"request failed: "} + e.what());
+  }
+  return false;
+}
+
+}  // namespace
+
+std::atomic<bool>& stop_flag() { return g_stop; }
+
+void install_stop_signal_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = handle_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocked poll/accept must wake up
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+int run_server(const ServerConfig& cfg) {
+  sockaddr_un addr{};
+  if (cfg.socket_path.empty() ||
+      cfg.socket_path.size() >= sizeof(addr.sun_path)) {
+    log_line(cfg, "socket path empty or too long: " + cfg.socket_path);
+    return 1;
+  }
+
+  DiskStore store{cfg.cache_dir, cfg.cache_cap_bytes};
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    log_line(cfg, std::string{"socket(): "} + std::strerror(errno));
+    return 1;
+  }
+  ::unlink(cfg.socket_path.c_str());  // stale socket from a previous run
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, cfg.socket_path.c_str(),
+              cfg.socket_path.size() + 1);
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd, 64) != 0) {
+    log_line(cfg, std::string{"bind/listen "} + cfg.socket_path + ": " +
+                      std::strerror(errno));
+    ::close(listen_fd);
+    return 1;
+  }
+  {
+    const auto s = store.stats();
+    std::ostringstream line;
+    line << "listening on " << cfg.socket_path << ", cache " << cfg.cache_dir
+         << " (" << s.entries << " entries, " << s.bytes << " bytes"
+         << (cfg.cache_cap_bytes != 0
+                 ? ", cap " + std::to_string(cfg.cache_cap_bytes)
+                 : std::string{})
+         << "), engine " << runner::kEngineVersion;
+    log_line(cfg, line.str());
+  }
+
+  bool shutdown = false;
+  while (!shutdown) {
+    if (cfg.stop != nullptr && cfg.stop->load(std::memory_order_relaxed)) {
+      log_line(cfg, "stop signal observed");
+      break;
+    }
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 200);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      log_line(cfg, std::string{"poll(): "} + std::strerror(errno));
+      break;
+    }
+    if (rc == 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      log_line(cfg, std::string{"accept(): "} + std::strerror(errno));
+      break;
+    }
+    shutdown = handle_connection(cfg, store, fd);
+    ::close(fd);
+  }
+
+  ::close(listen_fd);
+  ::unlink(cfg.socket_path.c_str());
+  log_line(cfg, "exiting");
+  return 0;
+}
+
+}  // namespace mcan::serve

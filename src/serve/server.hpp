@@ -1,0 +1,71 @@
+// `michican_cli serve` — a long-lived campaign daemon over a local
+// Unix-domain socket, fronting a content-addressed DiskStore so repeated
+// sweeps replay cached cells instead of recomputing them.
+//
+// Request (one JSON frame per connection, wire.hpp framing):
+//   {"schema":"michican.serve.v1","op":"campaign",
+//    "scenarios":["1","2"], "seeds":{"begin":0,"end":32},
+//    "base_seed":<u64>, "jobs":<n>, "include_tasks":<bool>}
+//   {"op":"fuzz","cases":<n>,"seeds":{...},"base_seed":<u64>,"jobs":<n>,
+//    "shrink":<bool>}
+//   {"op":"ping"} | {"op":"stats"} | {"op":"shutdown"}
+//
+// Response: zero or more {"event":"progress","done":d,"total":t} frames,
+// then exactly one terminal frame —
+//   {"event":"done","exit":<rc>,"report":"<deterministic report JSON>",
+//    "table":"<human summary>","cache_stats":{...}}    or
+//   {"event":"error","message":"..."}.
+//
+// The "report" field is the runner's deterministic JSON section
+// (include_runtime=false) escaped into a string: the client unescapes and
+// writes it verbatim, so a warm submit's report file is byte-identical to
+// the cold one's by construction.  Per-run timing lives in the separate
+// "cache_stats" block (schema "michican.serve.v1", kind "cache_stats"):
+// request-level hit/miss/cancelled counts, wall_ms, and the store totals —
+// the object the CI incremental-cache smoke asserts its >=10x warm speedup
+// and 100% hit rate against.
+//
+// Requests are served one at a time in arrival order: the listen backlog
+// *is* the job queue, and serial execution keeps every campaign's full
+// --jobs worth of workers.  SIGINT/SIGTERM (install_stop_signal_handlers)
+// set a flag the accept loop polls and the in-flight campaign's
+// cancellation hook observes: unstarted cells are skipped, in-flight cells
+// finish and persist to the cache, the terminal frame still goes out, then
+// the daemon unlinks its socket and exits — a drained, partially-warm
+// cache, never a torn one.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace mcan::serve {
+
+struct ServerConfig {
+  std::string socket_path;
+  std::string cache_dir;
+  /// Total payload-byte cap for the DiskStore; 0 = unlimited.
+  std::uint64_t cache_cap_bytes{0};
+  /// Default worker threads for requests that do not name a jobs count
+  /// (0 = hardware concurrency).
+  unsigned jobs{0};
+  /// Optional log sink (one line per lifecycle event and request).
+  std::ostream* log{nullptr};
+  /// External stop flag; the daemon exits soon after it reads true.
+  /// Typically &stop_flag() with install_stop_signal_handlers() in place.
+  const std::atomic<bool>* stop{nullptr};
+};
+
+/// The process-wide stop flag set by the installed signal handlers.
+[[nodiscard]] std::atomic<bool>& stop_flag();
+
+/// Route SIGINT/SIGTERM to stop_flag() (no SA_RESTART, so blocked accepts
+/// wake up and observe the flag).
+void install_stop_signal_handlers();
+
+/// Bind, listen, serve until shutdown is requested (op or stop flag).
+/// Returns the process exit code (0 on clean shutdown, 1 on setup failure).
+int run_server(const ServerConfig& cfg);
+
+}  // namespace mcan::serve

@@ -1,0 +1,70 @@
+// Wire protocol "michican.serve.v1": length-prefixed JSON frames over a
+// local Unix-domain stream socket.
+//
+// Framing: a 4-byte big-endian payload length followed by that many bytes
+// of UTF-8 JSON.  One request frame per connection; the server answers
+// with a stream of event frames — zero or more {"event":"progress",...}
+// followed by exactly one terminal {"event":"done",...} or
+// {"event":"error",...} — then closes.  Frames larger than kMaxFrame are
+// rejected (a corrupted length prefix must not turn into a huge
+// allocation).
+//
+// The JSON layer is a deliberately small recursive-descent parser for the
+// protocol's needs (objects, arrays, strings with escapes, numbers, bools,
+// null).  It exists because the codebase only ever *emitted* JSON before
+// serve mode; pulling in a dependency for a dozen protocol fields is not
+// worth it.  Numbers are doubles (plus a faithful u64 view for seeds):
+// fine for the protocol, not a general-purpose JSON library.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mcan::serve {
+
+/// Hard cap on a single frame (64 MiB) — big enough for any report the
+/// grid sizes the daemon serves can produce, small enough to bound the
+/// damage of a garbage length prefix.
+inline constexpr std::uint32_t kMaxFrame = 64u << 20;
+
+/// Write one frame; false on any socket error (EPIPE included — the
+/// caller treats a vanished peer as cancellation, not a crash).
+bool send_frame(int fd, std::string_view payload);
+
+/// Read one frame; nullopt on clean EOF, error, or an oversized length.
+[[nodiscard]] std::optional<std::string> recv_frame(int fd);
+
+/// Protocol JSON value (tagged union, value semantics).
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind{Kind::Null};
+  bool boolean{};
+  double number{};
+  /// Exact unsigned view of an integer literal (seeds exceed a double's
+  /// 53-bit integer range); valid when `has_u64`.
+  std::uint64_t u64{};
+  bool has_u64{};
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  // Typed getters returning the fallback on kind mismatch.
+  [[nodiscard]] std::string_view get_string(std::string_view fallback = {}) const;
+  [[nodiscard]] std::uint64_t get_u64(std::uint64_t fallback = 0) const;
+  [[nodiscard]] double get_number(double fallback = 0) const;
+  [[nodiscard]] bool get_bool(bool fallback = false) const;
+};
+
+/// Parse a complete JSON document; nullopt on any syntax error or
+/// trailing garbage.
+[[nodiscard]] std::optional<JsonValue> parse_json(std::string_view text);
+
+}  // namespace mcan::serve
