@@ -9,18 +9,23 @@
 // registry `list-scenarios` enumerates and bench_throughput draws from, so
 // a name means the same spec everywhere.
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/experiments.hpp"
 #include "analysis/latency.hpp"
 #include "analysis/scenarios.hpp"
 #include "analysis/table.hpp"
+#include "obs/log.hpp"
 #include "obs/timeline.hpp"
+#include "obs/trace_context.hpp"
 #include "restbus/dbc.hpp"
 #include "restbus/schedulability.hpp"
 #include "restbus/vehicles.hpp"
@@ -32,6 +37,7 @@
 #include "runner/report.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
+#include "serve/wire.hpp"
 
 namespace {
 
@@ -486,7 +492,7 @@ int cmd_serve(const runner::CliOptions& opts,
   cfg.socket_path = "michican.sock";
   cfg.cache_dir = ".michican-cache";
   cfg.jobs = opts.jobs;
-  std::string log_path;
+  obs::LogConfig log_cfg;  // stderr, info, no rotation
   for (std::size_t i = 0; i < args.size(); ++i) {
     const auto& arg = args[i];
     if (flag_matches(arg, "--socket")) {
@@ -498,21 +504,32 @@ int cmd_serve(const runner::CliOptions& opts,
                                1 << 20, "--cache-cap-mb");
       cfg.cache_cap_bytes = static_cast<std::uint64_t>(mb) << 20;
     } else if (flag_matches(arg, "--log")) {
-      log_path = take_value(args, i, "--log");
+      log_cfg.path = take_value(args, i, "--log");
+    } else if (flag_matches(arg, "--log-level")) {
+      const auto text = take_value(args, i, "--log-level");
+      const auto level = obs::parse_log_level(text);
+      if (!level) {
+        throw std::invalid_argument(
+            "--log-level: expected debug|info|warn|error|fatal, got '" +
+            text + "'");
+      }
+      log_cfg.level = *level;
+    } else if (flag_matches(arg, "--log-rotate-mb")) {
+      const int mb = parse_int(take_value(args, i, "--log-rotate-mb"), 1,
+                               1 << 20, "--log-rotate-mb");
+      log_cfg.rotate_bytes = static_cast<std::uint64_t>(mb) << 20;
     } else {
       throw std::invalid_argument("serve: unexpected argument '" + arg + "'");
     }
   }
-  std::ofstream log_file;
-  if (!log_path.empty()) {
-    log_file.open(log_path, std::ios::app);
-    if (!log_file) {
-      std::cerr << "error: could not open log " << log_path << "\n";
-      return 1;
-    }
+  std::optional<obs::Log> log;
+  try {
+    log.emplace(log_cfg);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   }
-  cfg.log = log_path.empty() ? &std::cerr
-                             : static_cast<std::ostream*>(&log_file);
+  cfg.log = &*log;
   serve::install_stop_signal_handlers();
   cfg.stop = &serve::stop_flag();
   return serve::run_server(cfg);
@@ -544,6 +561,8 @@ int cmd_submit(const runner::CliOptions& opts,
       op = "ping";
     } else if (arg == "--stats") {
       op = "stats";
+    } else if (arg == "--health") {
+      op = "health";
     } else if (arg == "--shutdown") {
       op = "shutdown";
     } else if (!arg.empty() && arg[0] == '-') {
@@ -568,6 +587,20 @@ int cmd_submit(const runner::CliOptions& opts,
     req << ",\"seeds\":{\"begin\":" << opts.seeds.begin
         << ",\"end\":" << opts.seeds.end << "},\"jobs\":" << opts.jobs;
     if (op == "fuzz") req << ",\"cases\":" << cases;
+    if (!opts.trace_path.empty()) {
+      // Trace id derived from the request's seed material, so the same
+      // submit carries the same id on every run — spans in the server log
+      // and the exported document correlate by construction.
+      obs::TraceIdBuilder id;
+      id.mix("michican.serve.v1");
+      id.mix(op);
+      id.mix_u64(opts.seeds.begin);
+      id.mix_u64(opts.seeds.end);
+      for (const auto& s : scenarios) id.mix(s);
+      if (op == "fuzz") id.mix_u64(cases);
+      req << ",\"trace\":{\"id\":\"" << obs::hex16(id.id())
+          << "\",\"export\":true}";
+    }
   }
   req << "}";
 
@@ -584,6 +617,10 @@ int cmd_submit(const runner::CliOptions& opts,
   if (op == "shutdown") std::cout << "server shutting down\n";
   if (op == "stats" && !res.cache_stats_json.empty()) {
     std::cout << res.cache_stats_json << "\n";
+  }
+  if (op == "health") {
+    std::cout << (res.health_json.empty() ? "{}" : res.health_json) << "\n"
+              << (res.ready ? "ready" : "NOT READY") << "\n";
   }
   if (!opts.report_path.empty()) {
     if (res.report_json.empty()) {
@@ -602,7 +639,149 @@ int cmd_submit(const runner::CliOptions& opts,
     }
     std::cout << "cache stats: " << cache_stats_path << "\n";
   }
+  if (!opts.trace_path.empty() && (op == "campaign" || op == "fuzz")) {
+    if (res.trace_json.empty()) {
+      std::cerr << "error: server response carried no trace\n";
+      return 1;
+    }
+    if (!obs::write_text_file(opts.trace_path, res.trace_json)) {
+      std::cerr << "error: could not write " << opts.trace_path << "\n";
+      return 1;
+    }
+    std::cout << "trace: " << opts.trace_path
+              << " (open in Perfetto / chrome://tracing)\n";
+  }
   return res.exit_code;
+}
+
+double jnum(const serve::JsonValue* obj, std::string_view key,
+            double fallback = 0) {
+  if (obj == nullptr) return fallback;
+  const auto* v = obj->find(key);
+  return v != nullptr ? v->get_number(fallback) : fallback;
+}
+
+/// One-screen ASCII dashboard from a stats reply: service totals, latency
+/// percentiles, cache counters, and a latency-histogram bar chart.
+std::string render_stats_dashboard(const serve::SubmitResult& res) {
+  const auto svc_doc = serve::parse_json(res.service_json);
+  const auto cs_doc = serve::parse_json(res.cache_stats_json);
+  const auto met_doc = serve::parse_json(res.metrics_json);
+  const serve::JsonValue* svc = svc_doc ? &*svc_doc : nullptr;
+  const serve::JsonValue* store =
+      cs_doc ? cs_doc->find("store") : nullptr;
+  const serve::JsonValue* lat = svc ? svc->find("latency_ms") : nullptr;
+
+  std::ostringstream os;
+  os << "michican serve  |  uptime " << fmt(jnum(svc, "uptime_ms") / 1000.0, 1)
+     << " s\n"
+     << "requests: " << jnum(svc, "requests")
+     << "  errors: " << jnum(svc, "errors") << " ("
+     << analysis::fmt_pct(jnum(svc, "error_rate"))
+     << " of last window)  queue: " << jnum(svc, "queue_depth") << " (peak "
+     << jnum(svc, "queue_depth_peak") << ")\n";
+  if (lat != nullptr && jnum(lat, "count") > 0) {
+    os << "latency ms: p50 " << fmt(jnum(lat, "p50"), 2) << "  p95 "
+       << fmt(jnum(lat, "p95"), 2) << "  p99 " << fmt(jnum(lat, "p99"), 2)
+       << "  mean " << fmt(jnum(lat, "mean"), 2) << "  (n="
+       << jnum(lat, "count") << ")\n";
+  }
+  os << "cache: " << jnum(store, "hits") << " hits / "
+     << jnum(store, "misses") << " misses, " << jnum(store, "entries")
+     << " entries, " << fmt(jnum(store, "bytes") / 1024.0, 1) << " KiB, "
+     << jnum(store, "evictions") << " evicted, " << jnum(store, "corrupt")
+     << " corrupt\n";
+
+  // Latency histogram bars, scaled to the fullest bucket.
+  const serve::JsonValue* hists =
+      met_doc ? met_doc->find("histograms") : nullptr;
+  const serve::JsonValue* h =
+      hists != nullptr ? hists->find("serve.request_ms") : nullptr;
+  const serve::JsonValue* bounds = h != nullptr ? h->find("bounds") : nullptr;
+  const serve::JsonValue* buckets =
+      h != nullptr ? h->find("buckets") : nullptr;
+  if (bounds != nullptr && buckets != nullptr &&
+      bounds->kind == serve::JsonValue::Kind::Array &&
+      buckets->kind == serve::JsonValue::Kind::Array &&
+      buckets->array.size() == bounds->array.size() + 1) {
+    double peak = 0;
+    for (const auto& b : buckets->array) peak = std::max(peak, b.get_number());
+    if (peak > 0) {
+      os << "request latency histogram (ms):\n";
+      for (std::size_t i = 0; i < buckets->array.size(); ++i) {
+        const double n = buckets->array[i].get_number();
+        if (n <= 0) continue;
+        std::string label =
+            i < bounds->array.size()
+                ? "<= " + fmt(bounds->array[i].get_number(), 1)
+                : "> " + fmt(bounds->array.back().get_number(), 1);
+        label.resize(12, ' ');
+        const int width = static_cast<int>(n / peak * 40.0 + 0.5);
+        os << "  " << label << std::string(static_cast<std::size_t>(
+                                  std::max(width, 1)), '#')
+           << " " << n << "\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+int cmd_stats(const runner::CliOptions&,
+              const std::vector<std::string>& args) {
+  std::string socket_path = "michican.sock";
+  int wait_ms = 0;
+  int interval_ms = 1000;
+  int count = 0;  // 0 = until interrupted
+  bool prom = false;
+  bool json = false;
+  bool watch = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const auto& arg = args[i];
+    if (flag_matches(arg, "--socket")) {
+      socket_path = take_value(args, i, "--socket");
+    } else if (flag_matches(arg, "--wait-ms")) {
+      wait_ms = parse_int(take_value(args, i, "--wait-ms"), 0, 600'000,
+                          "--wait-ms");
+    } else if (flag_matches(arg, "--interval-ms")) {
+      interval_ms = parse_int(take_value(args, i, "--interval-ms"), 50,
+                              600'000, "--interval-ms");
+    } else if (flag_matches(arg, "--count")) {
+      count = parse_int(take_value(args, i, "--count"), 1, 1'000'000,
+                        "--count");
+    } else if (arg == "--prom") {
+      prom = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--watch") {
+      watch = true;
+    } else {
+      throw std::invalid_argument("stats: unexpected argument '" + arg + "'");
+    }
+  }
+  const std::string req =
+      "{\"schema\":\"michican.serve.v1\",\"op\":\"stats\"}";
+  int done = 0;
+  while (true) {
+    const auto res = serve::submit_request(socket_path, req, wait_ms);
+    if (!res.ok) {
+      std::cerr << "error: " << res.error << "\n";
+      return 1;
+    }
+    if (prom) {
+      std::cout << res.prom_text;
+    } else if (json) {
+      std::cout << "{\"service\":" << res.service_json << ",\"cache_stats\":"
+                << res.cache_stats_json << ",\"metrics\":" << res.metrics_json
+                << "}\n";
+    } else {
+      if (watch) std::cout << "\x1b[H\x1b[2J";  // home + clear
+      std::cout << render_stats_dashboard(res);
+    }
+    std::cout.flush();
+    if (!watch || (count > 0 && ++done >= count)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds{interval_ms});
+  }
+  return 0;
 }
 
 int cmd_list_scenarios(const runner::CliOptions&,
@@ -654,16 +833,28 @@ int main(int argc, char** argv) {
       {"dbc", "<bus 0..7>", "print a vehicle matrix in DBC-subset format",
        cmd_dbc},
       {"serve",
-       "[--socket PATH] [--cache-dir PATH] [--cache-cap-mb N] [--log PATH]",
+       "[--socket PATH] [--cache-dir PATH] [--cache-cap-mb N] [--log PATH] "
+       "[--log-level LVL] [--log-rotate-mb N]",
        "run the campaign daemon: a Unix-socket job queue over a "
-       "content-addressed result cache (warm submits replay cached cells)",
+       "content-addressed result cache (warm submits replay cached cells); "
+       "logs are structured JSONL",
        cmd_serve},
       {"submit",
        "[scenario...] [--socket PATH] [--fuzz] [--cases N] [--ping] "
-       "[--stats] [--shutdown] [--wait-ms N] [--cache-stats PATH]",
+       "[--stats] [--health] [--shutdown] [--wait-ms N] "
+       "[--cache-stats PATH]",
        "submit a campaign (default) or fuzz run to a `serve` daemon and "
-       "stream its progress; --report writes the byte-stable report",
+       "stream its progress; --report writes the byte-stable report, "
+       "--trace-out exports the request's service spans over the first "
+       "cell's sim tracks",
        cmd_submit},
+      {"stats",
+       "[--socket PATH] [--wait-ms N] [--prom] [--json] [--watch] "
+       "[--interval-ms N] [--count N]",
+       "snapshot a `serve` daemon's live metrics as an ASCII dashboard "
+       "(default), Prometheus text (--prom), or JSON (--json); --watch "
+       "refreshes in place",
+       cmd_stats},
       {"list-scenarios", "", "enumerate the named scenario registry",
        cmd_list_scenarios},
   };

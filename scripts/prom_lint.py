@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition (v0.0.4) file, promtool-style.
+
+Usage: prom_lint.py <exposition.txt>
+
+Checks, per metric family:
+  * sample lines match the exposition grammar
+    (name{label="value",...} value [timestamp]);
+  * a # TYPE line, when present, precedes that family's samples and names
+    a known type;
+  * histogram `_bucket` series are cumulative (monotone non-decreasing in
+    `le` order), end with an le="+Inf" bucket, and that bucket equals the
+    family's `_count` sample;
+  * every sample value parses as a float (NaN/+Inf/-Inf allowed).
+
+Exits 0 when clean, 1 with one message per violation.  The CI
+serve-cache-smoke job runs this against `michican_cli stats --prom` output
+so a malformed exposition fails the build before a real scraper sees it.
+"""
+import math
+import re
+import sys
+
+NAME_RE = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+LABEL_RE = rf'{NAME_RE}="(?:[^"\\\n]|\\\\|\\"|\\n)*"'
+SAMPLE_RE = re.compile(
+    rf"^({NAME_RE})(\{{{LABEL_RE}(?:,{LABEL_RE})*\}})? "
+    r"(-?[0-9.eE+\-]+|[+-]?Inf|NaN)( [0-9]+)?$"
+)
+TYPE_RE = re.compile(rf"^# TYPE ({NAME_RE}) (counter|gauge|histogram|summary|untyped)$")
+HELP_RE = re.compile(rf"^# HELP ({NAME_RE}) .*$")
+KNOWN_SUFFIXES = ("_bucket", "_sum", "_count", "_total")
+
+
+def family_of(name: str) -> str:
+    """Strip the histogram/summary sample suffix to get the family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def le_value(labels: str) -> str | None:
+    m = re.search(r'le="((?:[^"\\]|\\.)*)"', labels or "")
+    return m.group(1) if m else None
+
+
+def parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def lint(lines: list[str]) -> list[str]:
+    errors: list[str] = []
+    types: dict[str, str] = {}
+    seen_samples: set[str] = set()
+    buckets: dict[str, list[tuple[str, float]]] = {}
+    counts: dict[str, float] = {}
+
+    for n, line in enumerate(lines, start=1):
+        if line == "":
+            continue
+        if line.startswith("#"):
+            t = TYPE_RE.match(line)
+            if t:
+                fam = t.group(1)
+                if fam in types:
+                    errors.append(f"line {n}: duplicate # TYPE for {fam}")
+                if fam in seen_samples:
+                    errors.append(f"line {n}: # TYPE {fam} after its samples")
+                types[fam] = t.group(2)
+            elif not HELP_RE.match(line) and not line.startswith("# "):
+                errors.append(f"line {n}: malformed comment: {line!r}")
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {n}: malformed sample: {line!r}")
+            continue
+        name, labels, value_text = m.group(1), m.group(2), m.group(3)
+        fam = family_of(name)
+        seen_samples.add(fam)
+        seen_samples.add(name)
+        try:
+            value = parse_value(value_text)
+        except ValueError:
+            errors.append(f"line {n}: unparsable value {value_text!r}")
+            continue
+
+        if types.get(fam) == "histogram":
+            if name == fam + "_bucket":
+                le = le_value(labels)
+                if le is None:
+                    errors.append(f"line {n}: _bucket sample without le label")
+                else:
+                    buckets.setdefault(fam, []).append((le, value))
+            elif name == fam + "_count":
+                counts[fam] = value
+
+    for fam, series in sorted(buckets.items()):
+        prev = -math.inf
+        prev_le = None
+        for le, value in series:  # rendered order == le order
+            if value < prev:
+                errors.append(
+                    f"{fam}: bucket le={le!r} ({value}) below le={prev_le!r} "
+                    f"({prev}) — not cumulative"
+                )
+            prev, prev_le = value, le
+        if not series or series[-1][0] != "+Inf":
+            errors.append(f"{fam}: bucket series does not end with le=\"+Inf\"")
+        elif fam in counts and series[-1][1] != counts[fam]:
+            errors.append(
+                f"{fam}: le=\"+Inf\" bucket ({series[-1][1]}) != _count "
+                f"({counts[fam]})"
+            )
+        if fam in counts and fam + "_sum" not in seen_samples:
+            errors.append(f"{fam}: histogram has _count but no _sum")
+
+    return errors
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as f:
+        lines = f.read().split("\n")
+    errors = lint(lines)
+    for e in errors:
+        print(f"prom_lint: {e}", file=sys.stderr)
+    if not errors:
+        n_samples = sum(
+            1 for l in lines if l and not l.startswith("#") and SAMPLE_RE.match(l)
+        )
+        print(f"prom_lint: OK ({n_samples} samples)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,150 @@
+#include "obs/log.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+#include "obs/jsonfmt.hpp"
+
+namespace mcan::obs {
+namespace {
+
+/// Wall-clock UTC "YYYY-MM-DDTHH:MM:SS.mmmZ".
+std::string iso8601_now() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  ::gmtime_r(&secs, &tm);
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
+
+}  // namespace
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Debug:
+      return "debug";
+    case LogLevel::Info:
+      return "info";
+    case LogLevel::Warn:
+      return "warn";
+    case LogLevel::Error:
+      return "error";
+    case LogLevel::Fatal:
+      return "fatal";
+  }
+  return "info";
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  if (text == "debug") return LogLevel::Debug;
+  if (text == "info") return LogLevel::Info;
+  if (text == "warn") return LogLevel::Warn;
+  if (text == "error") return LogLevel::Error;
+  if (text == "fatal") return LogLevel::Fatal;
+  return std::nullopt;
+}
+
+Log::Log(LogConfig cfg)
+    : cfg_(std::move(cfg)), start_(std::chrono::steady_clock::now()) {
+  if (cfg_.path.empty()) {
+    file_ = stderr;
+    owns_file_ = false;
+    return;
+  }
+  file_ = std::fopen(cfg_.path.c_str(), "ab");
+  if (file_ == nullptr) {
+    throw std::runtime_error("obs::Log: cannot open log file: " + cfg_.path);
+  }
+  owns_file_ = true;
+  const long pos = std::ftell(file_);
+  bytes_ = pos > 0 ? static_cast<std::uint64_t>(pos) : 0;
+}
+
+Log::~Log() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    if (owns_file_) std::fclose(file_);
+  }
+  file_ = nullptr;
+}
+
+void Log::line(LogLevel level, std::string_view event,
+               std::string_view fields_json) {
+  if (!enabled(level)) return;
+  const auto mono_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count();
+  std::string out;
+  out.reserve(96 + event.size() + fields_json.size());
+  out += "{\"ts\":\"";
+  out += iso8601_now();
+  out += "\",\"mono_us\":";
+  out += std::to_string(mono_us);
+  out += ",\"level\":\"";
+  out += to_string(level);
+  out += "\",\"event\":\"";
+  out += json_escape(std::string(event));
+  out += '"';
+  if (!fields_json.empty()) {
+    out += ',';
+    out += fields_json;
+  }
+  out += "}\n";
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  if (owns_file_ && cfg_.rotate_bytes > 0 && bytes_ > 0 &&
+      bytes_ + out.size() > cfg_.rotate_bytes) {
+    rotate_locked();
+  }
+  std::fwrite(out.data(), 1, out.size(), file_);
+  std::fflush(file_);
+  if (level == LogLevel::Fatal && owns_file_) {
+    ::fsync(::fileno(file_));
+  }
+  bytes_ += out.size();
+  ++lines_;
+}
+
+void Log::rotate_locked() {
+  std::fflush(file_);
+  std::fclose(file_);
+  file_ = nullptr;
+  std::error_code ec;
+  std::filesystem::rename(cfg_.path, cfg_.path + ".1", ec);
+  // On rename failure (e.g. cross-device), fall through and truncate in
+  // place — losing history beats losing the live sink.
+  file_ = std::fopen(cfg_.path.c_str(), "wb");
+  if (file_ == nullptr) {
+    // Last resort: keep the process alive with a dead sink.
+    return;
+  }
+  bytes_ = 0;
+  ++rotations_;
+}
+
+std::uint64_t Log::lines_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_;
+}
+
+std::uint64_t Log::rotations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rotations_;
+}
+
+}  // namespace mcan::obs

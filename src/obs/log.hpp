@@ -1,0 +1,110 @@
+// Structured operational logging: one JSON object per line (JSONL), a
+// level filter, and size-capped rotation — the serve daemon's out-of-band
+// sink (ISSUE: telemetry never enters the deterministic report block).
+//
+// Each line carries both clocks:
+//   * "ts"      — wall-clock UTC, ISO-8601 with milliseconds, for humans
+//                 and log shippers;
+//   * "mono_us" — microseconds on the steady clock since the logger was
+//                 constructed, for ordering and latency math across lines
+//                 (wall clocks can step; the monotonic one cannot).
+//
+// Durability: every line is flushed to the OS before line() returns (a
+// crashed daemon keeps its tail), and Fatal lines are additionally
+// fsync()ed to the device before the call returns — the last thing a dying
+// process says is the one line that must survive the power cut.
+//
+// Rotation: when a line would push the file past `rotate_bytes`, the file
+// is renamed to "<path>.1" (replacing any previous one) and a fresh file
+// is started — a bounded two-file footprint, no background thread.
+//
+// Thread-safe: line() serializes under an internal mutex (the serve daemon
+// logs from the accept loop and from campaign progress callbacks).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mcan::obs {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Fatal = 4 };
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+/// "debug" / "info" / "warn" / "error" / "fatal" (case-sensitive);
+/// nullopt on anything else.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view text);
+
+struct LogConfig {
+  LogLevel level{LogLevel::Info};
+  /// Sink file (opened in append mode); empty = stderr.
+  std::string path;
+  /// Rotate to "<path>.1" when the file would exceed this many bytes;
+  /// 0 = never rotate.  Ignored for the stderr sink.
+  std::uint64_t rotate_bytes{0};
+};
+
+class Log {
+ public:
+  /// stderr sink at Info level.
+  Log() : Log(LogConfig{}) {}
+  /// Throws std::runtime_error when `cfg.path` cannot be opened.
+  explicit Log(LogConfig cfg);
+  ~Log();
+
+  Log(const Log&) = delete;
+  Log& operator=(const Log&) = delete;
+
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return static_cast<int>(level) >= static_cast<int>(cfg_.level);
+  }
+
+  /// Emit one JSONL line:
+  ///   {"ts":"...","mono_us":N,"level":"...","event":"...",<fields>}
+  /// `fields_json` is a pre-rendered fragment of `"key":value` pairs
+  /// (no surrounding braces; empty for none) — the caller escapes values
+  /// with obs::json_escape.  Below-threshold lines are dropped; the line
+  /// is flushed before returning and fsync()ed when `level` is Fatal.
+  void line(LogLevel level, std::string_view event,
+            std::string_view fields_json = {});
+
+  void debug(std::string_view event, std::string_view fields_json = {}) {
+    line(LogLevel::Debug, event, fields_json);
+  }
+  void info(std::string_view event, std::string_view fields_json = {}) {
+    line(LogLevel::Info, event, fields_json);
+  }
+  void warn(std::string_view event, std::string_view fields_json = {}) {
+    line(LogLevel::Warn, event, fields_json);
+  }
+  void error(std::string_view event, std::string_view fields_json = {}) {
+    line(LogLevel::Error, event, fields_json);
+  }
+  void fatal(std::string_view event, std::string_view fields_json = {}) {
+    line(LogLevel::Fatal, event, fields_json);
+  }
+
+  [[nodiscard]] LogLevel level() const noexcept { return cfg_.level; }
+  [[nodiscard]] std::uint64_t lines_written() const;
+  [[nodiscard]] std::uint64_t rotations() const;
+
+ private:
+  /// Rename the current file aside and start a fresh one (lock held).
+  void rotate_locked();
+
+  LogConfig cfg_;
+  mutable std::mutex mu_;
+  std::FILE* file_{nullptr};  // owned iff cfg_.path is non-empty
+  bool owns_file_{false};
+  std::uint64_t bytes_{0};  // current file size (owned sink only)
+  std::uint64_t lines_{0};
+  std::uint64_t rotations_{0};
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mcan::obs

@@ -1,0 +1,101 @@
+#include "obs/prom.hpp"
+
+#include <cstdint>
+
+#include "obs/jsonfmt.hpp"
+
+namespace mcan::obs {
+namespace {
+
+bool name_char_ok(char c, bool first) noexcept {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':')
+    return true;
+  return !first && c >= '0' && c <= '9';
+}
+
+/// "{a="x",b="y"}" or "" when there are no labels.  `extra` appends one
+/// more pre-rendered label pair (used for histogram `le`).
+std::string label_block(const std::vector<PromLabel>& labels,
+                        const std::string& extra = {}) {
+  if (labels.empty() && extra.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& l : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += l.name + "=\"" + prom_escape_label_value(l.value) + "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string prom_metric_name(std::string_view name, std::string_view prefix) {
+  std::string out;
+  out.reserve(prefix.size() + 1 + name.size());
+  if (!prefix.empty()) {
+    out.append(prefix);
+    out += '_';
+  }
+  for (const char c : name) {
+    out += name_char_ok(c, false) ? c : '_';
+  }
+  if (out.empty() || !name_char_ok(out.front(), true)) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string prom_escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string prom_render(const Registry& reg, std::string_view prefix,
+                        const std::vector<PromLabel>& labels) {
+  std::string out;
+  const std::string base_labels = label_block(labels);
+
+  for (const auto& [name, value] : reg.counters()) {
+    const std::string n = prom_metric_name(name, prefix);
+    out += "# TYPE " + n + " counter\n";
+    out += n + base_labels + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : reg.gauges()) {
+    const std::string n = prom_metric_name(name, prefix);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + base_labels + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, hist] : reg.histograms()) {
+    const std::string n = prom_metric_name(name, prefix);
+    out += "# TYPE " + n + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < hist.bounds.size(); ++i) {
+      cumulative += i < hist.buckets.size() ? hist.buckets[i] : 0;
+      out += n + "_bucket" +
+             label_block(labels, "le=\"" + fmt_double(hist.bounds[i]) + "\"") +
+             " " + std::to_string(cumulative) + "\n";
+    }
+    out += n + "_bucket" + label_block(labels, "le=\"+Inf\"") + " " +
+           std::to_string(hist.count) + "\n";
+    out += n + "_sum" + base_labels + " " + fmt_double(hist.sum) + "\n";
+    out += n + "_count" + base_labels + " " + std::to_string(hist.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace mcan::obs

@@ -1,0 +1,48 @@
+// Prometheus text exposition format v0.0.4 rendering of an obs::Registry.
+//
+// Dotted registry names ("serve.request_ms") become legal Prometheus names
+// ("serve_request_ms", optionally under a prefix: "michican_serve_request_ms").
+// Counters and gauges render one sample each; histograms render the
+// cumulative `_bucket{le="..."}` series (always ending in le="+Inf" equal to
+// `_count`), plus `_sum` and `_count` — exactly the shape promtool and a
+// scraping Prometheus expect.
+//
+// This is a render-only module: the serve daemon snapshots its registry
+// (plus cache-store gauges) per `stats` request and ships the text inline
+// in the michican.serve.v1 reply; nothing here touches the deterministic
+// report path.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mcan::obs {
+
+/// A fixed label attached to every rendered sample, e.g. {"socket", path}.
+struct PromLabel {
+  std::string name;
+  std::string value;
+};
+
+/// Sanitize into [a-zA-Z_:][a-zA-Z0-9_:]* (dots and other illegal
+/// characters become '_'; a leading digit gains a '_' prefix) and prepend
+/// `prefix` + '_' when a prefix is given.
+[[nodiscard]] std::string prom_metric_name(std::string_view name,
+                                           std::string_view prefix = {});
+
+/// Escape a label value per the exposition format: backslash, double-quote
+/// and newline.
+[[nodiscard]] std::string prom_escape_label_value(std::string_view value);
+
+/// Render the whole registry as exposition text (ends with a newline; empty
+/// registry renders to an empty string).  Metric order follows the
+/// registry's lexicographic map order: counters, then gauges, then
+/// histograms.
+[[nodiscard]] std::string prom_render(const Registry& reg,
+                                      std::string_view prefix = {},
+                                      const std::vector<PromLabel>& labels = {});
+
+}  // namespace mcan::obs

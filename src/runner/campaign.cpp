@@ -168,7 +168,11 @@ std::vector<CellPlan> plan_campaign(const CampaignConfig& cfg) {
 
 CampaignReport run_campaign(const CampaignConfig& cfg) {
   const auto campaign_start = Clock::now();
-  const std::vector<CellPlan> plan = plan_campaign(cfg);
+  const std::vector<CellPlan> plan = [&cfg] {
+    obs::SpanCollector::Scope span{cfg.spans, "plan", "service",
+                                   cfg.spans_parent};
+    return plan_campaign(cfg);
+  }();
   const std::size_t num_seeds = cfg.seeds.size();
 
   CampaignReport report;
@@ -200,16 +204,28 @@ CampaignReport run_campaign(const CampaignConfig& cfg) {
       } else {
         // Fetch-or-compute through the cell store.  A fetched entry that
         // fails to decode is treated exactly like a miss: recompute, then
-        // re-store over the bad bytes.
+        // re-store over the bad bytes — but counted as corrupt.
         if (cfg.cells != nullptr) {
+          obs::SpanCollector::Scope probe{cfg.spans, "cell.probe", "cell",
+                                          cfg.spans_parent};
+          probe.set_track(1 + static_cast<int>(cell.slot));
           if (const auto bytes = cfg.cells->fetch(cell.key)) {
             if (decode_cell(*bytes, task.result)) {
               task.ok = true;
               task.cached = true;
+            } else {
+              task.cache_corrupt = true;
             }
           }
         }
         if (!task.cached) {
+          obs::SpanCollector::Scope compute{cfg.spans, "cell.compute", "cell",
+                                            cfg.spans_parent};
+          compute.set_track(1 + static_cast<int>(cell.slot));
+          if (cfg.spans != nullptr) {
+            compute.set_args("\"spec\":" + std::to_string(cell.spec_index) +
+                             ",\"seed\":" + std::to_string(cell.seed));
+          }
           try {
             auto spec = cfg.specs[cell.spec_index];
             spec.seed = task.derived_seed;
@@ -244,13 +260,18 @@ CampaignReport run_campaign(const CampaignConfig& cfg) {
     } else if (report.cache_enabled) {
       ++report.cache_misses;
     }
+    if (task.cache_corrupt) ++report.cache_corrupt;
   }
 
   const auto aggregate_start = Clock::now();
-  report.specs.reserve(cfg.specs.size());
-  for (std::size_t si = 0; si < cfg.specs.size(); ++si) {
-    report.specs.push_back(
-        aggregate_spec(cfg.specs[si], report.tasks, si, num_seeds));
+  {
+    obs::SpanCollector::Scope span{cfg.spans, "aggregate", "service",
+                                   cfg.spans_parent};
+    report.specs.reserve(cfg.specs.size());
+    for (std::size_t si = 0; si < cfg.specs.size(); ++si) {
+      report.specs.push_back(
+          aggregate_spec(cfg.specs[si], report.tasks, si, num_seeds));
+    }
   }
   for (const auto& task : report.tasks) {
     if (task.ok) report.profile.merge(task.result.profile);

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "analysis/experiments.hpp"
+#include "obs/trace_context.hpp"
 #include "runner/cell_store.hpp"
 #include "sim/stats.hpp"
 
@@ -64,6 +65,12 @@ struct CampaignConfig {
   /// ("cancelled") without computing; in-flight cells finish normally and
   /// are still persisted to the store — a drained, partially-warm cache.
   const std::atomic<bool>* cancel{nullptr};
+  /// Request-trace sink (serve mode).  Null = no tracing.  When set, the
+  /// runner records plan / per-cell cache-probe / per-cell compute /
+  /// aggregate spans, parented under `spans_parent`.  Telemetry only —
+  /// attaching a collector never changes the report (guarded by test).
+  obs::SpanCollector* spans{nullptr};
+  std::uint64_t spans_parent{0};
 };
 
 /// One planned grid cell: the task identity plus its content-addressed
@@ -95,6 +102,10 @@ struct TaskResult {
   /// Result replayed from the cell store instead of computed.  Runtime
   /// fact: the deterministic report section is identical either way.
   bool cached{false};
+  /// A fetched entry decoded as garbage and the cell was recomputed.  The
+  /// store already verified the payload hash, so this flags codec/version
+  /// skew rather than disk rot.  Runtime fact, like `cached`.
+  bool cache_corrupt{false};
 };
 
 struct PercentileSet {
@@ -171,6 +182,9 @@ struct CampaignReport {
   std::uint64_t cache_hits{};
   std::uint64_t cache_misses{};
   std::uint64_t cells_cancelled{};
+  /// Cells whose fetched bytes failed to decode and were recomputed (a
+  /// subset of cache_misses).
+  std::uint64_t cache_corrupt{};
   /// Self-profile: per-task phase timings summed over the grid plus the
   /// campaign-level aggregate pass.  Wall clocks — runtime info only.
   obs::Profiler profile;

@@ -78,11 +78,21 @@ FuzzReport run_fuzz(const FuzzConfig& cfg) {
         key.spec_hash = fuzz_hash;
         key.seed = cell.derived_seed;
         if (cfg.cells != nullptr) {
+          obs::SpanCollector::Scope probe{cfg.spans, "cell.probe", "cell",
+                                          cfg.spans_parent};
+          probe.set_track(1 + static_cast<int>(index));
           if (const auto bytes = cfg.cells->fetch(key)) {
-            if (decode_fuzz_cell(*bytes, cell)) cell.cached = true;
+            if (decode_fuzz_cell(*bytes, cell)) {
+              cell.cached = true;
+            } else {
+              cell.cache_corrupt = true;
+            }
           }
         }
         if (!cell.cached) {
+          obs::SpanCollector::Scope compute{cfg.spans, "cell.compute", "cell",
+                                            cfg.spans_parent};
+          compute.set_track(1 + static_cast<int>(index));
           try {
             const auto c = conformance::generate_case(cell.derived_seed);
             cell.kind = c.kind;
@@ -110,6 +120,7 @@ FuzzReport run_fuzz(const FuzzConfig& cfg) {
   pool.wait_idle();
 
   for (const auto& cell : report.cells) {
+    if (cell.cache_corrupt) ++report.cache_corrupt;
     if (cell.cached) {
       ++report.cache_hits;
     } else if (cell.cancelled) {
@@ -128,6 +139,8 @@ FuzzReport run_fuzz(const FuzzConfig& cfg) {
   }
 
   // Shrink serially, in index order: deterministic regardless of jobs.
+  obs::SpanCollector::Scope shrink_span{cfg.spans, "shrink", "service",
+                                        cfg.spans_parent};
   for (const auto& cell : report.cells) {
     if (!cell.diverged) continue;
     FuzzDivergence div;
@@ -197,7 +210,8 @@ std::string to_json(const FuzzReport& report, JsonOptions opts) {
        << (report.cache_enabled ? "true" : "false")
        << ",\"hits\":" << report.cache_hits
        << ",\"misses\":" << report.cache_misses
-       << ",\"cancelled\":" << report.cells_cancelled << "}}";
+       << ",\"cancelled\":" << report.cells_cancelled
+       << ",\"corrupt\":" << report.cache_corrupt << "}}";
   }
   os << "}\n";
   return os.str();

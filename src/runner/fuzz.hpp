@@ -64,6 +64,9 @@ struct FuzzConfig {
   CellStore* cells{nullptr};
   /// Graceful-cancellation flag (see CampaignConfig::cancel).
   const std::atomic<bool>* cancel{nullptr};
+  /// Request-trace sink (see CampaignConfig::spans) — telemetry only.
+  obs::SpanCollector* spans{nullptr};
+  std::uint64_t spans_parent{0};
 };
 
 /// Outcome of one fuzz case.
@@ -78,6 +81,9 @@ struct FuzzCellResult {
   /// Replayed from the cell store (runtime fact; the deterministic report
   /// section is identical either way).
   bool cached{false};
+  /// Fetched bytes failed to decode; the case was recomputed (runtime fact,
+  /// never encoded into the cell codec).
+  bool cache_corrupt{false};
   /// Skipped by a cancellation request before it started.
   bool cancelled{false};
 };
@@ -114,6 +120,8 @@ struct FuzzReport {
   std::uint64_t cache_hits{};
   std::uint64_t cache_misses{};
   std::uint64_t cells_cancelled{};
+  /// Cases whose fetched bytes failed to decode and were recomputed.
+  std::uint64_t cache_corrupt{};
 };
 
 /// Run the fuzz campaign.  Throws std::invalid_argument on zero cases or an

@@ -127,6 +127,7 @@ std::string to_json(const CampaignReport& report, JsonOptions opts) {
        << ",\"hits\":" << report.cache_hits
        << ",\"misses\":" << report.cache_misses
        << ",\"cancelled\":" << report.cells_cancelled
+       << ",\"corrupt\":" << report.cache_corrupt
        << "},\"task_wall_ms\":";
     put_summary(os, sim::summarize(task_wall));
     os << ",\"perf\":{\"phases\":" << report.profile.to_json()

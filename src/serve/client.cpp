@@ -106,24 +106,19 @@ SubmitResult submit_request(
         res.report_json = r->get_string();
       }
       if (const auto* t = msg->find("table")) res.table = t->get_string();
-      // Re-serialize nothing: the cache_stats block arrives as a nested
-      // object, so cut its verbatim bytes out of the frame text instead
-      // (stats consumers diff these bytes across runs).
-      const auto pos = frame->find("\"cache_stats\":");
-      if (pos != std::string::npos) {
-        const auto start = pos + std::strlen("\"cache_stats\":");
-        int depth = 0;
-        for (std::size_t i = start; i < frame->size(); ++i) {
-          const char c = (*frame)[i];
-          if (c == '{') ++depth;
-          if (c == '}') {
-            if (--depth == 0) {
-              res.cache_stats_json = frame->substr(start, i - start + 1);
-              break;
-            }
-          }
-        }
+      if (const auto* p = msg->find("prom")) res.prom_text = p->get_string();
+      if (const auto* tr = msg->find("trace")) {
+        res.trace_json = tr->get_string();
       }
+      if (const auto* h = msg->find("health")) {
+        if (const auto* r = h->find("ready")) res.ready = r->get_bool(false);
+      }
+      // Re-serialize nothing: nested objects are cut out of the frame text
+      // as verbatim bytes (stats consumers diff these bytes across runs).
+      res.cache_stats_json = extract_object(*frame, "cache_stats");
+      res.service_json = extract_object(*frame, "service");
+      res.metrics_json = extract_object(*frame, "metrics");
+      res.health_json = extract_object(*frame, "health");
       break;
     }
     res.error = "unknown event in response frame";

@@ -25,6 +25,20 @@ struct SubmitResult {
   std::string cache_stats_json;
   /// Human summary table (campaign/fuzz only).
   std::string table;
+  /// The "service" snapshot object of a stats reply, verbatim (uptime,
+  /// request totals, latency percentiles, queue depth).
+  std::string service_json;
+  /// The "metrics" registry dump of a stats reply, verbatim.
+  std::string metrics_json;
+  /// Prometheus text exposition v0.0.4 from a stats reply (unescaped).
+  std::string prom_text;
+  /// The "health" object of a health reply, verbatim.
+  std::string health_json;
+  /// True when a health reply reported ready (exit 0 mirrors this).
+  bool ready{false};
+  /// Chrome-trace document from a done frame's "trace" field (unescaped) —
+  /// present when the request carried {"trace":{...,"export":true}}.
+  std::string trace_json;
 };
 
 /// Send `request_json` to the daemon at `socket_path` and collect the

@@ -105,9 +105,17 @@ DiskStore::DiskStore(std::filesystem::path dir, std::uint64_t cap_bytes)
     }
     const auto size = de.file_size(ec);
     if (ec) continue;
+    // "MCST1 " + 16-hex hash + space + >=1 length digit + newline.
     const auto header_min = kHeaderMagic.size() + 19;
-    const std::uint64_t payload =
-        size > header_min ? size - header_min : 0;  // refined on fetch
+    if (size < header_min) {
+      // Too short to hold even a header: a torn write from a crash.  Sweep
+      // it now and count it, instead of indexing it and letting a later
+      // fetch trip over it.
+      std::filesystem::remove(de.path(), ec);
+      ++stats_.corrupt;
+      continue;
+    }
+    const std::uint64_t payload = size - header_min;  // refined on fetch
     found.push_back({name.substr(0, name.size() - kEntrySuffix.size()),
                      payload, de.last_write_time(ec)});
   }

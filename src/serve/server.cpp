@@ -5,11 +5,15 @@
 #include <chrono>
 #include <csignal>
 #include <cstring>
+#include <deque>
 #include <filesystem>
+#include <fstream>
+#include <optional>
 #include <sstream>
 #include <string_view>
 #include <vector>
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -18,6 +22,9 @@
 #include "analysis/scenarios.hpp"
 #include "analysis/table.hpp"
 #include "obs/jsonfmt.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prom.hpp"
+#include "obs/trace_context.hpp"
 #include "runner/campaign.hpp"
 #include "runner/fuzz.hpp"
 #include "runner/report.hpp"
@@ -38,9 +45,56 @@ double elapsed_ms(Clock::time_point start) {
       .count();
 }
 
-void log_line(const ServerConfig& cfg, const std::string& line) {
-  if (cfg.log != nullptr) *cfg.log << "serve: " << line << "\n" << std::flush;
+void slog(const ServerConfig& cfg, obs::LogLevel level, std::string_view event,
+          std::string_view fields = {}) {
+  if (cfg.log != nullptr) cfg.log->line(level, event, fields);
 }
+
+/// Live service counters: request totals, latency histogram, sliding
+/// outcome window for the health error-rate check, queue gauges.  All of it
+/// is runtime telemetry — it never touches a report's deterministic bytes.
+struct ServiceState {
+  Clock::time_point start = Clock::now();
+  obs::Registry metrics;
+  /// Outcome of the most recent requests (true = served without an error
+  /// frame), newest at the back.
+  std::deque<bool> recent;
+  /// Connections accepted and waiting behind the in-flight request.
+  std::size_t queue_depth{0};
+  std::int64_t queue_depth_peak{0};
+
+  static constexpr std::size_t kRecentWindow = 32;
+  /// Queue saturation threshold for the readiness check — short of the
+  /// listen backlog (64) so health degrades before connects start failing.
+  static constexpr std::size_t kQueueSaturation = 48;
+
+  obs::Histogram& latency() {
+    return metrics.histogram(
+        "serve.request_ms",
+        {1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0,
+         5000.0, 10000.0, 30000.0, 60000.0});
+  }
+
+  void record(const std::string& op, bool ok, double wall_ms) {
+    ++metrics.counter("serve.requests");
+    ++metrics.counter("serve.requests_" + op);
+    if (!ok) ++metrics.counter("serve.errors");
+    latency().observe(wall_ms);
+    recent.push_back(ok);
+    while (recent.size() > kRecentWindow) recent.pop_front();
+  }
+
+  [[nodiscard]] double error_rate() const {
+    if (recent.empty()) return 0.0;
+    std::size_t bad = 0;
+    for (const bool ok : recent) {
+      if (!ok) ++bad;
+    }
+    return static_cast<double>(bad) / static_cast<double>(recent.size());
+  }
+
+  [[nodiscard]] double uptime_ms() const { return elapsed_ms(start); }
+};
 
 /// The cache_stats block: the one place per-run timing is allowed to live
 /// (the report itself stays deterministic).  `request` covers this request's
@@ -48,6 +102,7 @@ void log_line(const ServerConfig& cfg, const std::string& line) {
 std::string cache_stats_json(std::string_view op, double wall_ms,
                              std::uint64_t cells, std::uint64_t hits,
                              std::uint64_t misses, std::uint64_t cancelled,
+                             std::uint64_t corrupt,
                              const runner::CellStore::Stats& s) {
   std::ostringstream os;
   os << "{\"schema\":\"michican.serve.v1\",\"kind\":\"cache_stats\","
@@ -55,10 +110,10 @@ std::string cache_stats_json(std::string_view op, double wall_ms,
      << "\",\"wall_ms\":" << obs::fmt_double(wall_ms)
      << ",\"request\":{\"cells\":" << cells << ",\"hits\":" << hits
      << ",\"misses\":" << misses << ",\"cancelled\":" << cancelled
-     << "},\"store\":{\"hits\":" << s.hits << ",\"misses\":" << s.misses
-     << ",\"stores\":" << s.stores << ",\"evictions\":" << s.evictions
-     << ",\"corrupt\":" << s.corrupt << ",\"bytes\":" << s.bytes
-     << ",\"entries\":" << s.entries << "}}";
+     << ",\"corrupt\":" << corrupt << "},\"store\":{\"hits\":" << s.hits
+     << ",\"misses\":" << s.misses << ",\"stores\":" << s.stores
+     << ",\"evictions\":" << s.evictions << ",\"corrupt\":" << s.corrupt
+     << ",\"bytes\":" << s.bytes << ",\"entries\":" << s.entries << "}}";
   return os.str();
 }
 
@@ -70,15 +125,20 @@ void send_error(int fd, const std::string& message) {
 
 /// Shared request plumbing: per-request cancellation (server stop flag OR a
 /// vanished client, detected by a failed progress send) and progress
-/// forwarding.
+/// forwarding.  `received` anchors span timestamps to frame arrival.
 struct RequestContext {
   int fd;
   const ServerConfig* cfg;
+  Clock::time_point received;
   std::atomic<bool> cancel{false};
 
   void pump(std::size_t done, std::size_t total) {
     if (cfg->stop != nullptr && cfg->stop->load(std::memory_order_relaxed)) {
       cancel.store(true, std::memory_order_relaxed);
+    }
+    if (cfg->log != nullptr && cfg->log->enabled(obs::LogLevel::Debug)) {
+      cfg->log->debug("progress", "\"done\":" + std::to_string(done) +
+                                      ",\"total\":" + std::to_string(total));
     }
     std::ostringstream os;
     os << "{\"schema\":\"michican.serve.v1\",\"event\":\"progress\",\"done\":"
@@ -88,6 +148,68 @@ struct RequestContext {
     }
   }
 };
+
+/// Per-request trace state, built from the optional `trace` request field.
+/// Non-copyable (the collector holds a mutex), so handlers own one on the
+/// stack and init_trace() fills it in.
+struct TraceSetup {
+  std::optional<obs::SpanCollector> spans;
+  bool export_requested{false};
+  std::uint64_t root{0};
+
+  [[nodiscard]] obs::SpanCollector* collector() {
+    return spans ? &*spans : nullptr;
+  }
+};
+
+/// Parse {"trace":{"id":"<hex16>","export":<bool>}} and open the root +
+/// parse spans.  Requests without the field (old clients) leave `t` inert.
+void init_trace(TraceSetup& t, const JsonValue& req,
+                Clock::time_point received) {
+  const auto* tr = req.find("trace");
+  if (tr == nullptr) return;
+  std::uint64_t trace_id = 0;
+  if (const auto* id = tr->find("id")) {
+    if (const auto parsed = obs::parse_hex16(id->get_string())) {
+      trace_id = *parsed;
+    }
+  }
+  if (const auto* ex = tr->find("export")) {
+    t.export_requested = ex->get_bool(false);
+  }
+  t.spans.emplace(trace_id, received);
+  t.root = t.spans->next_id();
+  // The parse span covers everything from frame arrival to here: recv,
+  // JSON parse, and config construction.
+  obs::Span parse_span;
+  parse_span.id = t.spans->next_id();
+  parse_span.parent = t.root;
+  parse_span.name = "parse";
+  parse_span.category = "service";
+  parse_span.start_us = 0.0;
+  parse_span.dur_us = t.spans->now_us();
+  t.spans->record(std::move(parse_span));
+}
+
+/// Close the root span and render the export document: service spans
+/// spliced above the sim tracks when a sim trace is available, standalone
+/// otherwise.  Empty string when the request did not ask for an export.
+std::string finish_trace(TraceSetup& t, std::string_view op,
+                         std::string sim_trace) {
+  if (!t.spans) return {};
+  obs::Span root;
+  root.id = t.root;
+  root.parent = 0;
+  root.name = "request " + std::string{op};
+  root.category = "service";
+  root.start_us = 0.0;
+  root.dur_us = t.spans->now_us();
+  t.spans->record(std::move(root));
+  if (!t.export_requested) return {};
+  if (sim_trace.empty()) return t.spans->to_chrome_trace();
+  return obs::splice_into_chrome_trace(std::move(sim_trace),
+                                       t.spans->to_chrome_events());
+}
 
 std::string campaign_table(const runner::CampaignReport& rep) {
   using analysis::fmt;
@@ -119,6 +241,9 @@ void parse_seeds(const JsonValue& req, runner::SeedRange& seeds) {
 
 void handle_campaign(const ServerConfig& cfg, DiskStore& store,
                      const JsonValue& req, RequestContext& ctx) {
+  TraceSetup trace;
+  init_trace(trace, req, ctx.received);
+
   runner::CampaignConfig ccfg;
   const auto& registry = analysis::ScenarioRegistry::built_in();
   std::vector<std::string> names;
@@ -141,22 +266,53 @@ void handle_campaign(const ServerConfig& cfg, DiskStore& store,
   }
   ccfg.cells = &store;
   ccfg.cancel = &ctx.cancel;
+  ccfg.spans = trace.collector();
+  ccfg.spans_parent = trace.root;
   ccfg.progress = [&ctx](std::size_t done, std::size_t total) {
     ctx.pump(done, total);
   };
 
+  const auto store_corrupt_before = store.stats().corrupt;
   const auto start = Clock::now();
   const auto rep = runner::run_campaign(ccfg);
   const double wall_ms = elapsed_ms(start);
+  // Request-level corruption: decode failures seen by the runner plus
+  // hash-mismatch drops the store performed during this request.
+  const std::uint64_t corrupt =
+      rep.cache_corrupt + (store.stats().corrupt - store_corrupt_before);
 
-  runner::JsonOptions jopts;  // deterministic section only
-  if (const auto* it = req.find("include_tasks")) {
-    jopts.include_tasks = it->get_bool(true);
+  std::string report;
+  std::string table;
+  std::string stats;
+  {
+    obs::SpanCollector::Scope span{trace.collector(), "serialize", "service",
+                                   trace.root};
+    runner::JsonOptions jopts;  // deterministic section only
+    if (const auto* it = req.find("include_tasks")) {
+      jopts.include_tasks = it->get_bool(true);
+    }
+    report = runner::to_json(rep, jopts);
+    table = campaign_table(rep);
+    stats = cache_stats_json("campaign", wall_ms, rep.tasks.size(),
+                             rep.cache_hits, rep.cache_misses,
+                             rep.cells_cancelled, corrupt, store.stats());
   }
-  const auto report = runner::to_json(rep, jopts);
-  const auto stats = cache_stats_json(
-      "campaign", wall_ms, rep.tasks.size(), rep.cache_hits, rep.cache_misses,
-      rep.cells_cancelled, store.stats());
+
+  std::string sim_trace;
+  if (trace.export_requested && !rep.tasks.empty()) {
+    // Replay the first grid cell with timeline capture so the exported
+    // document shows the sim's bit-level tracks under the service spans.
+    obs::SpanCollector::Scope span{trace.collector(), "trace-export",
+                                   "service", trace.root};
+    try {
+      sim_trace =
+          runner::rerun_cell(ccfg, 0, ccfg.seeds.begin).timeline_json;
+    } catch (const std::exception&) {
+      sim_trace.clear();  // export stays service-spans-only
+    }
+  }
+  const std::string trace_doc =
+      finish_trace(trace, "campaign", std::move(sim_trace));
 
   const int exit_code =
       rep.failed_tasks() == 0 && rep.cells_cancelled == 0 ? 0 : 1;
@@ -164,20 +320,32 @@ void handle_campaign(const ServerConfig& cfg, DiskStore& store,
   os << "{\"schema\":\"michican.serve.v1\",\"event\":\"done\",\"op\":"
      << "\"campaign\",\"exit\":" << exit_code << ",\"report\":\""
      << obs::json_escape(report) << "\",\"table\":\""
-     << obs::json_escape(campaign_table(rep)) << "\",\"cache_stats\":"
-     << stats << "}";
+     << obs::json_escape(table) << "\",\"cache_stats\":" << stats;
+  if (!trace_doc.empty()) {
+    os << ",\"trace\":\"" << obs::json_escape(trace_doc) << "\"";
+  }
+  os << "}";
   send_frame(ctx.fd, os.str());
 
-  std::ostringstream line;
-  line << "campaign done: cells=" << rep.tasks.size()
-       << " hits=" << rep.cache_hits << " misses=" << rep.cache_misses
-       << " cancelled=" << rep.cells_cancelled
-       << " wall_ms=" << obs::fmt_double(wall_ms) << " exit=" << exit_code;
-  log_line(cfg, line.str());
+  std::ostringstream fields;
+  fields << "\"cells\":" << rep.tasks.size() << ",\"hits\":" << rep.cache_hits
+         << ",\"misses\":" << rep.cache_misses
+         << ",\"cancelled\":" << rep.cells_cancelled
+         << ",\"corrupt\":" << corrupt
+         << ",\"wall_ms\":" << obs::fmt_double(wall_ms)
+         << ",\"exit\":" << exit_code;
+  if (trace.spans) {
+    fields << ",\"trace_id\":\"" << obs::hex16(trace.spans->trace_id())
+           << "\"";
+  }
+  slog(cfg, obs::LogLevel::Info, "campaign_done", fields.str());
 }
 
 void handle_fuzz(const ServerConfig& cfg, DiskStore& store,
                  const JsonValue& req, RequestContext& ctx) {
+  TraceSetup trace;
+  init_trace(trace, req, ctx.received);
+
   runner::FuzzConfig fcfg;
   if (const auto* c = req.find("cases")) {
     fcfg.cases = static_cast<std::size_t>(c->get_u64(fcfg.cases));
@@ -191,18 +359,33 @@ void handle_fuzz(const ServerConfig& cfg, DiskStore& store,
   if (const auto* s = req.find("shrink")) fcfg.shrink = s->get_bool(true);
   fcfg.cells = &store;
   fcfg.cancel = &ctx.cancel;
+  fcfg.spans = trace.collector();
+  fcfg.spans_parent = trace.root;
   fcfg.progress = [&ctx](std::size_t done, std::size_t total) {
     ctx.pump(done, total);
   };
 
+  const auto store_corrupt_before = store.stats().corrupt;
   const auto start = Clock::now();
   const auto rep = runner::run_fuzz(fcfg);
   const double wall_ms = elapsed_ms(start);
+  const std::uint64_t corrupt =
+      rep.cache_corrupt + (store.stats().corrupt - store_corrupt_before);
 
-  const auto report = runner::to_json(rep, runner::JsonOptions{});
-  const auto stats = cache_stats_json("fuzz", wall_ms, rep.cases,
-                                      rep.cache_hits, rep.cache_misses,
-                                      rep.cells_cancelled, store.stats());
+  std::string report;
+  std::string stats;
+  {
+    obs::SpanCollector::Scope span{trace.collector(), "serialize", "service",
+                                   trace.root};
+    report = runner::to_json(rep, runner::JsonOptions{});
+    stats = cache_stats_json("fuzz", wall_ms, rep.cases, rep.cache_hits,
+                             rep.cache_misses, rep.cells_cancelled, corrupt,
+                             store.stats());
+  }
+  // Fuzz cases have no campaign cell to replay; the export is the service
+  // spans alone.
+  const std::string trace_doc = finish_trace(trace, "fuzz", {});
+
   const int exit_code =
       rep.divergences.empty() && rep.cells_cancelled == 0 ? 0 : 1;
   std::ostringstream os;
@@ -210,63 +393,174 @@ void handle_fuzz(const ServerConfig& cfg, DiskStore& store,
      << "\"fuzz\",\"exit\":" << exit_code << ",\"report\":\""
      << obs::json_escape(report) << "\",\"table\":\""
      << obs::json_escape(runner::format_summary(rep)) << "\",\"cache_stats\":"
-     << stats << "}";
+     << stats;
+  if (!trace_doc.empty()) {
+    os << ",\"trace\":\"" << obs::json_escape(trace_doc) << "\"";
+  }
+  os << "}";
   send_frame(ctx.fd, os.str());
 
-  std::ostringstream line;
-  line << "fuzz done: cases=" << rep.cases << " hits=" << rep.cache_hits
-       << " misses=" << rep.cache_misses
-       << " cancelled=" << rep.cells_cancelled
-       << " wall_ms=" << obs::fmt_double(wall_ms) << " exit=" << exit_code;
-  log_line(cfg, line.str());
+  std::ostringstream fields;
+  fields << "\"cases\":" << rep.cases << ",\"hits\":" << rep.cache_hits
+         << ",\"misses\":" << rep.cache_misses
+         << ",\"cancelled\":" << rep.cells_cancelled
+         << ",\"corrupt\":" << corrupt
+         << ",\"wall_ms\":" << obs::fmt_double(wall_ms)
+         << ",\"exit\":" << exit_code;
+  if (trace.spans) {
+    fields << ",\"trace_id\":\"" << obs::hex16(trace.spans->trace_id())
+           << "\"";
+  }
+  slog(cfg, obs::LogLevel::Info, "fuzz_done", fields.str());
+}
+
+/// The registry snapshot the Prometheus exposition renders: live service
+/// metrics plus uptime, queue gauges and the cache-store totals, all under
+/// stable dotted names ("michican_" prefix applied at render time).
+obs::Registry metrics_snapshot(const ServiceState& svc,
+                               const runner::CellStore::Stats& s) {
+  obs::Registry snap = svc.metrics;
+  snap.counter("serve.uptime_ms") =
+      static_cast<std::uint64_t>(svc.uptime_ms());
+  snap.gauge("serve.queue_depth") = static_cast<std::int64_t>(svc.queue_depth);
+  snap.gauge("serve.queue_depth_peak") = svc.queue_depth_peak;
+  snap.gauge("serve.in_flight") = 1;  // this stats request
+  snap.counter("cache.hits") = s.hits;
+  snap.counter("cache.misses") = s.misses;
+  snap.counter("cache.stores") = s.stores;
+  snap.counter("cache.evictions") = s.evictions;
+  snap.counter("cache.corrupt_entries") = s.corrupt;
+  snap.gauge("cache.bytes") = static_cast<std::int64_t>(s.bytes);
+  snap.gauge("cache.entries") = static_cast<std::int64_t>(s.entries);
+  return snap;
+}
+
+/// The "service" object of a stats reply: uptime, request totals, latency
+/// percentiles, queue and corruption figures — the dashboard's one-stop
+/// snapshot.
+std::string service_json(const ServiceState& svc,
+                         const runner::CellStore::Stats& s) {
+  const auto* h = svc.metrics.find_histogram("serve.request_ms");
+  std::ostringstream os;
+  os << "{\"uptime_ms\":" << obs::fmt_double(svc.uptime_ms())
+     << ",\"requests\":" << svc.metrics.counter_value("serve.requests")
+     << ",\"errors\":" << svc.metrics.counter_value("serve.errors")
+     << ",\"queue_depth\":" << svc.queue_depth
+     << ",\"queue_depth_peak\":" << svc.queue_depth_peak
+     << ",\"in_flight\":1,\"error_rate\":" << obs::fmt_double(svc.error_rate())
+     << ",\"latency_ms\":{";
+  if (h != nullptr && h->count > 0) {
+    os << "\"count\":" << h->count
+       << ",\"mean\":" << obs::fmt_double(h->sum /
+                                          static_cast<double>(h->count))
+       << ",\"p50\":" << obs::fmt_double(h->quantile(0.50))
+       << ",\"p95\":" << obs::fmt_double(h->quantile(0.95))
+       << ",\"p99\":" << obs::fmt_double(h->quantile(0.99));
+  } else {
+    os << "\"count\":0";
+  }
+  os << "},\"corrupt_entries\":" << s.corrupt << "}";
+  return os.str();
+}
+
+void handle_stats(DiskStore& store, const ServiceState& svc, int fd) {
+  const auto s = store.stats();
+  const auto snapshot = metrics_snapshot(svc, s);
+  const auto stats = cache_stats_json("stats", 0.0, 0, 0, 0, 0, 0, s);
+  std::ostringstream os;
+  os << "{\"schema\":\"michican.serve.v1\",\"event\":\"done\",\"op\":"
+     << "\"stats\",\"exit\":0,\"cache_stats\":" << stats
+     << ",\"service\":" << service_json(svc, s)
+     << ",\"metrics\":" << snapshot.to_json() << ",\"prom\":\""
+     << obs::json_escape(obs::prom_render(snapshot, "michican")) << "\"}";
+  send_frame(fd, os.str());
+}
+
+/// Readiness: cache dir writable (probe file round-trip), queue below the
+/// saturation threshold, recent error rate under one half.  Exit 1 when any
+/// check fails so shell-level health probes compose (`submit --health`).
+void handle_health(const ServerConfig& cfg, const ServiceState& svc, int fd) {
+  bool cache_writable = false;
+  {
+    const auto probe = std::filesystem::path{cfg.cache_dir} /
+                       ".michican-health.probe";
+    std::ofstream out{probe, std::ios::binary | std::ios::trunc};
+    out << "ok";
+    out.flush();
+    cache_writable = out.good();
+    out.close();
+    std::error_code ec;
+    std::filesystem::remove(probe, ec);
+  }
+  const bool queue_ok = svc.queue_depth < ServiceState::kQueueSaturation;
+  // The rate check needs a few samples before it can fail: a single early
+  // malformed request must not mark a fresh daemon unready.
+  const bool error_rate_ok = svc.recent.size() < 4 || svc.error_rate() < 0.5;
+  const bool ready = cache_writable && queue_ok && error_rate_ok;
+  std::ostringstream os;
+  os << "{\"schema\":\"michican.serve.v1\",\"event\":\"done\",\"op\":"
+     << "\"health\",\"exit\":" << (ready ? 0 : 1)
+     << ",\"health\":{\"ready\":" << (ready ? "true" : "false")
+     << ",\"checks\":{\"cache_writable\":" << (cache_writable ? "true" : "false")
+     << ",\"queue_ok\":" << (queue_ok ? "true" : "false")
+     << ",\"error_rate_ok\":" << (error_rate_ok ? "true" : "false")
+     << "},\"queue_depth\":" << svc.queue_depth
+     << ",\"error_rate\":" << obs::fmt_double(svc.error_rate()) << "}}";
+  send_frame(fd, os.str());
 }
 
 /// Serve one connection; returns true when the request asked for shutdown.
-bool handle_connection(const ServerConfig& cfg, DiskStore& store, int fd) {
+bool handle_connection(const ServerConfig& cfg, DiskStore& store,
+                       ServiceState& svc, int fd) {
+  const auto received = Clock::now();
   const auto frame = recv_frame(fd);
-  if (!frame) return false;
+  if (!frame) return false;  // client connected and vanished: nothing served
   const auto req = parse_json(*frame);
   if (!req || req->kind != JsonValue::Kind::Object) {
     send_error(fd, "malformed request frame");
+    svc.record("malformed", false, elapsed_ms(received));
     return false;
   }
   const auto* op_field = req->find("op");
   const std::string op{op_field != nullptr ? op_field->get_string() : ""};
 
+  bool ok = true;
+  bool shutdown = false;
+  std::string op_metric = op;
   if (op == "ping") {
     send_frame(fd, "{\"schema\":\"michican.serve.v1\",\"event\":\"done\","
                    "\"op\":\"ping\",\"exit\":0,\"pong\":true}");
-    return false;
-  }
-  if (op == "stats") {
-    const auto stats =
-        cache_stats_json("stats", 0.0, 0, 0, 0, 0, store.stats());
-    send_frame(fd, "{\"schema\":\"michican.serve.v1\",\"event\":\"done\","
-                   "\"op\":\"stats\",\"exit\":0,\"cache_stats\":" +
-                       stats + "}");
-    return false;
-  }
-  if (op == "shutdown") {
+  } else if (op == "stats") {
+    handle_stats(store, svc, fd);
+  } else if (op == "health") {
+    handle_health(cfg, svc, fd);
+  } else if (op == "shutdown") {
     send_frame(fd, "{\"schema\":\"michican.serve.v1\",\"event\":\"done\","
                    "\"op\":\"shutdown\",\"exit\":0}");
-    log_line(cfg, "shutdown requested");
-    return true;
-  }
-
-  RequestContext ctx{fd, &cfg};
-  try {
-    if (op == "campaign") {
-      handle_campaign(cfg, store, *req, ctx);
-    } else if (op == "fuzz") {
-      handle_fuzz(cfg, store, *req, ctx);
-    } else {
-      send_error(fd, "unknown op '" + op + "'");
+    slog(cfg, obs::LogLevel::Info, "shutdown_requested");
+    shutdown = true;
+  } else if (op == "campaign" || op == "fuzz") {
+    RequestContext ctx{fd, &cfg, received};
+    try {
+      if (op == "campaign") {
+        handle_campaign(cfg, store, *req, ctx);
+      } else {
+        handle_fuzz(cfg, store, *req, ctx);
+      }
+    } catch (const std::exception& e) {
+      send_error(fd, e.what());
+      slog(cfg, obs::LogLevel::Error, "request_failed",
+           "\"op\":\"" + obs::json_escape(op) + "\",\"error\":\"" +
+               obs::json_escape(e.what()) + "\"");
+      ok = false;
     }
-  } catch (const std::exception& e) {
-    send_error(fd, e.what());
-    log_line(cfg, std::string{"request failed: "} + e.what());
+  } else {
+    send_error(fd, "unknown op '" + op + "'");
+    ok = false;
+    op_metric = "unknown";
   }
-  return false;
+  svc.record(op_metric, ok, elapsed_ms(received));
+  return shutdown;
 }
 
 }  // namespace
@@ -286,15 +580,18 @@ int run_server(const ServerConfig& cfg) {
   sockaddr_un addr{};
   if (cfg.socket_path.empty() ||
       cfg.socket_path.size() >= sizeof(addr.sun_path)) {
-    log_line(cfg, "socket path empty or too long: " + cfg.socket_path);
+    slog(cfg, obs::LogLevel::Fatal, "bad_socket_path",
+         "\"socket\":\"" + obs::json_escape(cfg.socket_path) + "\"");
     return 1;
   }
 
   DiskStore store{cfg.cache_dir, cfg.cache_cap_bytes};
+  ServiceState svc;
 
   const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd < 0) {
-    log_line(cfg, std::string{"socket(): "} + std::strerror(errno));
+    slog(cfg, obs::LogLevel::Fatal, "socket_error",
+         "\"error\":\"" + obs::json_escape(std::strerror(errno)) + "\"");
     return 1;
   }
   ::unlink(cfg.socket_path.c_str());  // stale socket from a previous run
@@ -304,50 +601,76 @@ int run_server(const ServerConfig& cfg) {
   if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0 ||
       ::listen(listen_fd, 64) != 0) {
-    log_line(cfg, std::string{"bind/listen "} + cfg.socket_path + ": " +
-                      std::strerror(errno));
+    slog(cfg, obs::LogLevel::Fatal, "bind_error",
+         "\"socket\":\"" + obs::json_escape(cfg.socket_path) +
+             "\",\"error\":\"" + obs::json_escape(std::strerror(errno)) +
+             "\"");
     ::close(listen_fd);
     return 1;
   }
+  // Non-blocking listen socket: after poll() reports readiness the accept
+  // loop drains every pending connection into the explicit FIFO, so
+  // queue_depth is a real number instead of kernel-backlog guesswork.
+  ::fcntl(listen_fd, F_SETFL,
+          ::fcntl(listen_fd, F_GETFL, 0) | O_NONBLOCK);
   {
     const auto s = store.stats();
-    std::ostringstream line;
-    line << "listening on " << cfg.socket_path << ", cache " << cfg.cache_dir
-         << " (" << s.entries << " entries, " << s.bytes << " bytes"
-         << (cfg.cache_cap_bytes != 0
-                 ? ", cap " + std::to_string(cfg.cache_cap_bytes)
-                 : std::string{})
-         << "), engine " << runner::kEngineVersion;
-    log_line(cfg, line.str());
+    std::ostringstream fields;
+    fields << "\"socket\":\"" << obs::json_escape(cfg.socket_path)
+           << "\",\"cache_dir\":\"" << obs::json_escape(cfg.cache_dir)
+           << "\",\"entries\":" << s.entries << ",\"bytes\":" << s.bytes
+           << ",\"cap_bytes\":" << cfg.cache_cap_bytes << ",\"engine\":\""
+           << runner::kEngineVersion << "\"";
+    slog(cfg, obs::LogLevel::Info, "listening", fields.str());
   }
 
+  std::deque<int> pending;
   bool shutdown = false;
   while (!shutdown) {
     if (cfg.stop != nullptr && cfg.stop->load(std::memory_order_relaxed)) {
-      log_line(cfg, "stop signal observed");
+      slog(cfg, obs::LogLevel::Info, "stop_observed");
       break;
     }
     pollfd pfd{listen_fd, POLLIN, 0};
-    const int rc = ::poll(&pfd, 1, 200);
+    // Block only when idle; with queued connections just scoop up whatever
+    // has arrived and keep serving.
+    const int rc = ::poll(&pfd, 1, pending.empty() ? 200 : 0);
     if (rc < 0) {
-      if (errno == EINTR) continue;
-      log_line(cfg, std::string{"poll(): "} + std::strerror(errno));
-      break;
+      if (errno != EINTR) {
+        slog(cfg, obs::LogLevel::Error, "poll_error",
+             "\"error\":\"" + obs::json_escape(std::strerror(errno)) + "\"");
+        break;
+      }
+    } else if (rc > 0 && (pfd.revents & POLLIN) != 0) {
+      while (true) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+          if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+            slog(cfg, obs::LogLevel::Error, "accept_error",
+                 "\"error\":\"" + obs::json_escape(std::strerror(errno)) +
+                     "\"");
+          }
+          break;
+        }
+        pending.push_back(fd);
+      }
     }
-    if (rc == 0 || (pfd.revents & POLLIN) == 0) continue;
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      log_line(cfg, std::string{"accept(): "} + std::strerror(errno));
-      break;
-    }
-    shutdown = handle_connection(cfg, store, fd);
+    if (pending.empty()) continue;
+    const int fd = pending.front();
+    pending.pop_front();
+    svc.queue_depth = pending.size();
+    svc.queue_depth_peak = std::max(
+        svc.queue_depth_peak, static_cast<std::int64_t>(pending.size()));
+    shutdown = handle_connection(cfg, store, svc, fd);
     ::close(fd);
   }
+  for (const int fd : pending) ::close(fd);
 
   ::close(listen_fd);
   ::unlink(cfg.socket_path.c_str());
-  log_line(cfg, "exiting");
+  slog(cfg, obs::LogLevel::Info, "exiting",
+       "\"requests\":" +
+           std::to_string(svc.metrics.counter_value("serve.requests")));
   return 0;
 }
 

@@ -8,7 +8,7 @@
 //    "base_seed":<u64>, "jobs":<n>, "include_tasks":<bool>}
 //   {"op":"fuzz","cases":<n>,"seeds":{...},"base_seed":<u64>,"jobs":<n>,
 //    "shrink":<bool>}
-//   {"op":"ping"} | {"op":"stats"} | {"op":"shutdown"}
+//   {"op":"ping"} | {"op":"stats"} | {"op":"health"} | {"op":"shutdown"}
 //
 // Response: zero or more {"event":"progress","done":d,"total":t} frames,
 // then exactly one terminal frame —
@@ -25,20 +25,37 @@
 // the object the CI incremental-cache smoke asserts its >=10x warm speedup
 // and 100% hit rate against.
 //
-// Requests are served one at a time in arrival order: the listen backlog
-// *is* the job queue, and serial execution keeps every campaign's full
-// --jobs worth of workers.  SIGINT/SIGTERM (install_stop_signal_handlers)
-// set a flag the accept loop polls and the in-flight campaign's
-// cancellation hook observes: unstarted cells are skipped, in-flight cells
-// finish and persist to the cache, the terminal frame still goes out, then
-// the daemon unlinks its socket and exits — a drained, partially-warm
-// cache, never a torn one.
+// Requests are served one at a time in arrival order: accepted connections
+// queue in an explicit FIFO (so `stats`/`health` can report a real queue
+// depth), and serial execution keeps every campaign's full --jobs worth of
+// workers.  SIGINT/SIGTERM (install_stop_signal_handlers) set a flag the
+// accept loop polls and the in-flight campaign's cancellation hook
+// observes: unstarted cells are skipped, in-flight cells finish and persist
+// to the cache, the terminal frame still goes out, then the daemon unlinks
+// its socket and exits — a drained, partially-warm cache, never a torn one.
+//
+// Observability (all out-of-band; the deterministic report bytes never
+// change):
+//   * structured JSONL log (obs::Log) — one line per lifecycle event and
+//     request, per-task progress at debug level;
+//   * optional request tracing — a request may carry
+//     {"trace":{"id":"<hex16>","export":<bool>}}; the id tags every span
+//     and, with export, the done frame gains a "trace" field holding a
+//     Chrome-trace document of service spans spliced above the first grid
+//     cell's sim tracks (old clients simply omit the field);
+//   * `stats` returns the full metrics snapshot — latency histogram with
+//     p50/p95/p99, queue depth, cache counters including corrupt entries —
+//     as a "service" object, a "metrics" registry dump, and a "prom"
+//     Prometheus text exposition;
+//   * `health` reports readiness (cache dir writable, queue not saturated,
+//     recent error rate) with exit 1 when not ready.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <ostream>
 #include <string>
+
+#include "obs/log.hpp"
 
 namespace mcan::serve {
 
@@ -50,8 +67,8 @@ struct ServerConfig {
   /// Default worker threads for requests that do not name a jobs count
   /// (0 = hardware concurrency).
   unsigned jobs{0};
-  /// Optional log sink (one line per lifecycle event and request).
-  std::ostream* log{nullptr};
+  /// Optional structured log sink (JSONL, see obs::Log).  Not owned.
+  obs::Log* log{nullptr};
   /// External stop flag; the daemon exits soon after it reads true.
   /// Typically &stop_flag() with install_stop_signal_handlers() in place.
   const std::atomic<bool>* stop{nullptr};

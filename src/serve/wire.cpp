@@ -305,4 +305,35 @@ std::optional<JsonValue> parse_json(std::string_view text) {
   return Parser{text}.run();
 }
 
+std::string extract_object(std::string_view doc, std::string_view key) {
+  const std::string needle = "\"" + std::string{key} + "\":";
+  const auto at = doc.find(needle);
+  if (at == std::string_view::npos) return {};
+  std::size_t i = at + needle.size();
+  while (i < doc.size() && (doc[i] == ' ' || doc[i] == '\t')) ++i;
+  if (i >= doc.size() || doc[i] != '{') return {};
+  const std::size_t start = i;
+  int depth = 0;
+  bool in_string = false;
+  for (; i < doc.size(); ++i) {
+    const char c = doc[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      if (--depth == 0) return std::string{doc.substr(start, i - start + 1)};
+    }
+  }
+  return {};
+}
+
 }  // namespace mcan::serve

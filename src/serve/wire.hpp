@@ -67,4 +67,13 @@ struct JsonValue {
 /// trailing garbage.
 [[nodiscard]] std::optional<JsonValue> parse_json(std::string_view text);
 
+/// Cut the verbatim bytes of the first `"key":{...}` object value out of a
+/// rendered JSON document, balancing braces while skipping string literals
+/// (so braces inside escaped report text cannot confuse the match).  Empty
+/// string when the key is absent or unbalanced.  Used by clients that diff
+/// exact server-rendered bytes (cache_stats, service, health) instead of
+/// re-serializing a parse.
+[[nodiscard]] std::string extract_object(std::string_view doc,
+                                         std::string_view key);
+
 }  // namespace mcan::serve

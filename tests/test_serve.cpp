@@ -203,6 +203,26 @@ TEST(CampaignCache, PresetCancelFlagSkipsEveryCell) {
   }
 }
 
+TEST(CampaignCache, DecodeCorruptEntryIsCountedAndRecomputed) {
+  runner::MemoryStore store;
+  auto cfg = small_campaign(&store);
+  const auto cold = runner::run_campaign(cfg);
+  EXPECT_EQ(cold.cache_corrupt, 0u);
+
+  // Overwrite one cached cell with bytes that hash fine at the store layer
+  // but fail to decode: the runner must count it corrupt, recompute, and
+  // still land on the identical report.
+  const auto cells = runner::plan_campaign(cfg);
+  ASSERT_FALSE(cells.empty());
+  store.store(cells[0].key, "not a cell payload");
+
+  const auto warm = runner::run_campaign(cfg);
+  EXPECT_EQ(warm.cache_corrupt, 1u);
+  EXPECT_EQ(warm.cache_misses, 1u);  // the corrupt probe is a miss
+  EXPECT_EQ(warm.cache_hits, warm.tasks.size() - 1);
+  EXPECT_EQ(runner::to_json(cold), runner::to_json(warm));
+}
+
 TEST(FuzzCache, WarmRerunIsByteIdenticalAndAllHits) {
   runner::MemoryStore store;
   runner::FuzzConfig cfg;
@@ -313,6 +333,26 @@ TEST(DiskStore, NeverEvictsTheEntryJustStored) {
   fs::remove_all(dir);
 }
 
+TEST(DiskStore, StartupSweepDropsAndCountsTornShortFiles) {
+  const auto dir = scratch_dir("sweep");
+  {
+    serve::DiskStore store{dir};
+    runner::CellKey key;
+    key.spec_hash = 5;
+    store.store(key, "survives the restart");
+  }
+  // A file too short to hold even a header is a torn write from a crash.
+  const auto torn = dir / "torn-entry.cell";
+  std::ofstream{torn, std::ios::binary} << "MCST";
+
+  serve::DiskStore reopened{dir};
+  const auto s = reopened.stats();
+  EXPECT_EQ(s.corrupt, 1u);
+  EXPECT_EQ(s.entries, 1u);  // only the valid entry was indexed
+  EXPECT_FALSE(fs::exists(torn));
+  fs::remove_all(dir);
+}
+
 TEST(DiskStore, DrivesAWarmCampaignLikeMemoryStore) {
   const auto dir = scratch_dir("campaign");
   serve::DiskStore store{dir};
@@ -401,6 +441,23 @@ TEST(Wire, JsonParserRejectsMalformedInput) {
   EXPECT_FALSE(serve::parse_json(deep).has_value());  // depth-limited
 }
 
+TEST(Wire, ExtractObjectCutsVerbatimNestedBytes) {
+  const std::string doc =
+      "{\"report\":\"{\\\"cache_stats\\\":{\\\"decoy\\\":1}}\","
+      "\"cache_stats\":{\"store\":{\"hits\":2},\"wall_ms\":1.5},"
+      "\"service\":{\"requests\":3}}";
+  // Braces inside the escaped report string must not confuse the cut, and
+  // the decoy key inside it must not match before the real one.
+  EXPECT_EQ(serve::extract_object(doc, "cache_stats"),
+            "{\"store\":{\"hits\":2},\"wall_ms\":1.5}");
+  EXPECT_EQ(serve::extract_object(doc, "service"), "{\"requests\":3}");
+  EXPECT_EQ(serve::extract_object(doc, "absent"), "");
+  EXPECT_EQ(serve::extract_object("{\"a\":1}", "a"), "");  // not an object
+  EXPECT_EQ(serve::extract_object("{\"a\":{\"unbalanced\":1}", "a"),
+            "{\"unbalanced\":1}");
+  EXPECT_EQ(serve::extract_object("{\"a\":{\"torn\":", "a"), "");
+}
+
 // ---------------------------------------------------------- end-to-end --
 
 TEST(ServeEndToEnd, ColdThenWarmSubmitIsByteIdentical) {
@@ -456,6 +513,128 @@ TEST(ServeEndToEnd, ColdThenWarmSubmitIsByteIdentical) {
   EXPECT_TRUE(down.ok) << down.error;
   daemon.join();
   EXPECT_FALSE(fs::exists(cfg.socket_path));  // unlinked on exit
+  fs::remove_all(dir);
+}
+
+TEST(ServeEndToEnd, StatsHealthAndPromExposition) {
+  const auto dir = scratch_dir("obs");
+  serve::ServerConfig cfg;
+  cfg.socket_path = (dir / "serve.sock").string();
+  cfg.cache_dir = (dir / "cache").string();
+  cfg.jobs = 2;
+  std::atomic<bool> stop{false};
+  cfg.stop = &stop;
+  std::thread daemon{[&cfg] { EXPECT_EQ(serve::run_server(cfg), 0); }};
+
+  const auto run = serve::submit_request(
+      cfg.socket_path,
+      "{\"op\":\"campaign\",\"scenarios\":[\"4\"],"
+      "\"seeds\":{\"begin\":0,\"end\":2},\"jobs\":2}",
+      5000);
+  ASSERT_TRUE(run.ok) << run.error;
+
+  const auto stats = serve::submit_request(
+      cfg.socket_path, "{\"op\":\"stats\"}", 1000);
+  ASSERT_TRUE(stats.ok) << stats.error;
+  EXPECT_EQ(stats.exit_code, 0);
+  // The service snapshot parses and reflects the campaign just served.
+  const auto svc = serve::parse_json(stats.service_json);
+  ASSERT_TRUE(svc.has_value()) << stats.service_json;
+  EXPECT_GE(svc->find("requests")->get_u64(), 1u);
+  EXPECT_GT(svc->find("uptime_ms")->get_number(), 0.0);
+  ASSERT_NE(svc->find("latency_ms"), nullptr);
+  EXPECT_GE(svc->find("latency_ms")->find("count")->get_u64(), 1u);
+  EXPECT_NE(svc->find("queue_depth"), nullptr);
+  // The metrics dump is a valid registry rendering.
+  const auto met = serve::parse_json(stats.metrics_json);
+  ASSERT_TRUE(met.has_value()) << stats.metrics_json;
+  EXPECT_NE(met->find("histograms")->find("serve.request_ms"), nullptr);
+  // Prometheus text names the request counter and the latency histogram.
+  EXPECT_NE(stats.prom_text.find("# TYPE michican_serve_requests counter"),
+            std::string::npos);
+  EXPECT_NE(stats.prom_text.find(
+                "michican_serve_request_ms_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(stats.prom_text.find("michican_cache_hits"), std::string::npos);
+
+  const auto health = serve::submit_request(
+      cfg.socket_path, "{\"op\":\"health\"}", 1000);
+  ASSERT_TRUE(health.ok) << health.error;
+  EXPECT_TRUE(health.ready);
+  EXPECT_EQ(health.exit_code, 0);
+  const auto h = serve::parse_json(health.health_json);
+  ASSERT_TRUE(h.has_value()) << health.health_json;
+  EXPECT_TRUE(h->find("checks")->find("cache_writable")->get_bool(false));
+  EXPECT_TRUE(h->find("checks")->find("queue_ok")->get_bool(false));
+
+  (void)serve::submit_request(cfg.socket_path, "{\"op\":\"shutdown\"}", 1000);
+  daemon.join();
+  fs::remove_all(dir);
+}
+
+TEST(ServeEndToEnd, TraceExportSharesOneTraceIdWithSimTracks) {
+  const auto dir = scratch_dir("trace");
+  serve::ServerConfig cfg;
+  cfg.socket_path = (dir / "serve.sock").string();
+  cfg.cache_dir = (dir / "cache").string();
+  cfg.jobs = 2;
+  std::atomic<bool> stop{false};
+  cfg.stop = &stop;
+  std::thread daemon{[&cfg] { EXPECT_EQ(serve::run_server(cfg), 0); }};
+
+  // Old-client shape: no trace field — the reply must carry no trace
+  // either (backward compatibility both ways).
+  const std::string plain_req =
+      "{\"op\":\"campaign\",\"scenarios\":[\"4\"],"
+      "\"seeds\":{\"begin\":0,\"end\":2},\"jobs\":2}";
+  const auto plain = serve::submit_request(cfg.socket_path, plain_req, 5000);
+  ASSERT_TRUE(plain.ok) << plain.error;
+  EXPECT_TRUE(plain.trace_json.empty());
+
+  const std::string traced_req =
+      "{\"op\":\"campaign\",\"scenarios\":[\"4\"],"
+      "\"seeds\":{\"begin\":0,\"end\":2},\"jobs\":2,"
+      "\"trace\":{\"id\":\"00000000deadbeef\",\"export\":true}}";
+  const auto traced = serve::submit_request(cfg.socket_path, traced_req, 1000);
+  ASSERT_TRUE(traced.ok) << traced.error;
+  ASSERT_FALSE(traced.trace_json.empty());
+  // Telemetry neutrality: the traced submit replays the plain submit's
+  // cached cells byte-identically.
+  EXPECT_EQ(traced.report_json, plain.report_json);
+
+  const auto doc = serve::parse_json(traced.trace_json);
+  ASSERT_TRUE(doc.has_value()) << traced.trace_json.substr(0, 200);
+  bool saw_sim_track = false;     // pid 0: the replayed cell's sim events
+  bool saw_service_span = false;  // pid 1: the request's service spans
+  bool saw_cell_span = false;
+  for (const auto& ev : doc->find("traceEvents")->array) {
+    const auto* ph = ev.find("ph");
+    if (ph == nullptr || ph->get_string() != "X") continue;
+    if (ev.find("pid")->get_u64() == 0) {
+      saw_sim_track = true;
+      continue;
+    }
+    saw_service_span = true;
+    // Every service span carries the client-chosen trace id.
+    EXPECT_EQ(ev.find("args")->find("trace_id")->get_string(),
+              "00000000deadbeef");
+    if (ev.find("name")->get_string() == "cell.compute" ||
+        ev.find("name")->get_string() == "cell.probe") {
+      saw_cell_span = true;
+    }
+  }
+  EXPECT_TRUE(saw_sim_track);
+  EXPECT_TRUE(saw_service_span);
+  EXPECT_TRUE(saw_cell_span);
+  for (const auto name : {"request campaign", "parse", "plan", "aggregate",
+                          "serialize"}) {
+    EXPECT_NE(traced.trace_json.find("\"" + std::string{name} + "\""),
+              std::string::npos)
+        << name;
+  }
+
+  (void)serve::submit_request(cfg.socket_path, "{\"op\":\"shutdown\"}", 1000);
+  daemon.join();
   fs::remove_all(dir);
 }
 
