@@ -4,38 +4,49 @@
 // runner flags (--jobs, --seeds, --report, --trace-out, --progress,
 // --no-fast-path) are extracted once, `--help` and the usage text are
 // generated from the table, and an unknown subcommand is named explicitly
-// (exit 2).  Scenario operands — `experiment`, `campaign`, `trace`,
-// `fault-sweep` — resolve through analysis::ScenarioRegistry, the same
-// registry `list-scenarios` enumerates and bench_throughput draws from, so
-// a name means the same spec everywhere.
+// (exit 2).  Per-subcommand flags are declared as runner::ArgTable rows —
+// one declaration drives parsing, the usage text and the near-miss
+// diagnostics, so no subcommand grows its own drifting argument loop.
+// Scenario operands — `experiment`, `campaign`, `trace`, `fault-sweep`,
+// `fleet` — resolve through analysis::ScenarioRegistry, the same registry
+// `list-scenarios` enumerates and bench_throughput draws from, so a name
+// means the same spec everywhere.
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "analysis/experiments.hpp"
 #include "analysis/latency.hpp"
 #include "analysis/scenarios.hpp"
 #include "analysis/table.hpp"
+#include "obs/jsonfmt.hpp"
 #include "obs/log.hpp"
 #include "obs/timeline.hpp"
 #include "obs/trace_context.hpp"
 #include "restbus/dbc.hpp"
 #include "restbus/schedulability.hpp"
 #include "restbus/vehicles.hpp"
+#include "runner/argspec.hpp"
 #include "runner/campaign.hpp"
 #include "runner/cli.hpp"
-#include "obs/jsonfmt.hpp"
 #include "runner/fault_sweep.hpp"
+#include "runner/fleet.hpp"
 #include "runner/fuzz.hpp"
 #include "runner/report.hpp"
+#include "runner/report_writer.hpp"
+#include "runner/schemas.hpp"
 #include "serve/client.hpp"
+#include "serve/disk_store.hpp"
 #include "serve/server.hpp"
 #include "serve/wire.hpp"
 
@@ -43,6 +54,8 @@ namespace {
 
 using namespace mcan;
 using analysis::fmt;
+using runner::ArgTable;
+using runner::ReportWriter;
 
 const analysis::ScenarioRegistry& registry() {
   return analysis::ScenarioRegistry::built_in();
@@ -52,29 +65,19 @@ std::uint64_t parse_seed(const std::string& text) {
   return std::strtoull(text.c_str(), nullptr, 10);
 }
 
-int parse_int(const std::string& text, int lo, int hi, const char* what) {
-  const int v = std::atoi(text.c_str());
-  if (v < lo || v > hi) {
-    throw std::invalid_argument(std::string{what} + " out of range: '" +
+double parse_double_arg(const std::string& text, const char* what) {
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(text, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used == 0 || used != text.size()) {
+    throw std::invalid_argument(std::string{what} + ": malformed number '" +
                                 text + "'");
   }
   return v;
-}
-
-/// Write report text to `path`, flushing *before* the error check — a
-/// buffered ofstream only surfaces a failed write (full disk, unwritable
-/// path) at flush/close time, and a destructor-time failure is silently
-/// dropped, which used to let subcommands exit 0 with no report on disk.
-bool write_text_report(const std::string& path, const std::string& text) {
-  std::ofstream out{path, std::ios::binary};
-  out << text;
-  out.flush();
-  if (!out) {
-    std::cerr << "error: could not write " << path << "\n";
-    return false;
-  }
-  std::cout << "JSON report: " << path << "\n";
-  return true;
 }
 
 int cmd_experiment(const runner::CliOptions& opts,
@@ -185,16 +188,10 @@ int cmd_campaign(const runner::CliOptions& opts,
                          std::to_string(rep.jobs_used) + ", " +
                          fmt(rep.wall_ms, 0) + " ms wall:");
 
-  if (!opts.report_path.empty()) {
-    runner::JsonOptions jopts;
-    jopts.include_runtime = true;
-    if (runner::write_json_file(opts.report_path, rep, jopts)) {
-      std::cout << "JSON report: " << opts.report_path << "\n";
-    } else {
-      std::cerr << "error: could not write " << opts.report_path << "\n";
-      return 1;
-    }
-  }
+  runner::JsonOptions jopts;
+  jopts.include_runtime = true;
+  const ReportWriter report{opts.report_path};
+  if (!report.write(runner::to_json(rep, jopts))) return 1;
   if (!opts.trace_path.empty()) {
     if (const int rc = write_campaign_trace(cfg, opts.trace_path); rc != 0) {
       return rc;
@@ -232,21 +229,11 @@ std::vector<double> parse_ber_list(const std::string& text) {
 
 int cmd_fault_sweep(const runner::CliOptions& opts,
                     const std::vector<std::string>& args) {
-  std::vector<std::string> scenarios;
   std::vector<double> bers;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    const auto& arg = args[i];
-    if (arg == "--bers") {
-      if (i + 1 >= args.size()) {
-        throw std::invalid_argument("--bers needs a value");
-      }
-      bers = parse_ber_list(args[++i]);
-    } else if (arg.rfind("--bers=", 0) == 0) {
-      bers = parse_ber_list(arg.substr(7));
-    } else {
-      scenarios.push_back(arg);
-    }
-  }
+  ArgTable table;
+  table.value("--bers", "B1,B2,..", "comma-separated bit-error rates",
+              [&bers](const std::string& v) { bers = parse_ber_list(v); });
+  auto scenarios = table.parse(args, ArgTable::Unknown::Reject, "fault-sweep");
   if (scenarios.empty()) scenarios = {"spoof", "dos", "ef"};
 
   runner::FaultSweepConfig cfg;
@@ -268,13 +255,10 @@ int cmd_fault_sweep(const runner::CliOptions& opts,
             << " ms wall:\n"
             << runner::format_table(rep);
 
-  if (!opts.report_path.empty()) {
-    runner::JsonOptions jopts;
-    jopts.include_runtime = true;
-    if (!write_text_report(opts.report_path, runner::to_json(rep, jopts))) {
-      return 1;
-    }
-  }
+  runner::JsonOptions jopts;
+  jopts.include_runtime = true;
+  const ReportWriter report{opts.report_path};
+  if (!report.write(runner::to_json(rep, jopts))) return 1;
   if (!opts.trace_path.empty()) {
     if (const int rc = write_campaign_trace(runner::fault_sweep_campaign(cfg),
                                             opts.trace_path);
@@ -289,28 +273,20 @@ int cmd_fuzz(const runner::CliOptions& opts,
              const std::vector<std::string>& args) {
   runner::FuzzConfig cfg;
   std::string repro_dir;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    const auto& arg = args[i];
-    const auto take = [&](const std::string& flag) -> std::string {
-      if (arg.size() > flag.size() && arg[flag.size()] == '=') {
-        return arg.substr(flag.size() + 1);
-      }
-      if (i + 1 >= args.size()) {
-        throw std::invalid_argument(flag + " needs a value");
-      }
-      return args[++i];
-    };
-    if (arg.rfind("--cases", 0) == 0 && (arg.size() == 7 || arg[7] == '=')) {
-      cfg.cases = static_cast<std::size_t>(
-          parse_int(take("--cases"), 1, 10'000'000, "--cases"));
-    } else if (arg.rfind("--repro-dir", 0) == 0 &&
-               (arg.size() == 11 || arg[11] == '=')) {
-      repro_dir = take("--repro-dir");
-    } else if (arg == "--no-shrink") {
-      cfg.shrink = false;
-    } else {
-      throw std::invalid_argument("fuzz: unexpected argument '" + arg + "'");
-    }
+  ArgTable table;
+  table
+      .value("--cases", "N", "conformance cases to generate",
+             [&cfg](const std::string& v) {
+               cfg.cases = static_cast<std::size_t>(
+                   runner::parse_int_arg(v, 1, 10'000'000, "--cases"));
+             })
+      .str("--repro-dir", "PATH", "write repro .json/.cpp pairs here",
+           &repro_dir)
+      .flag("--no-shrink", "keep divergences unshrunk", &cfg.shrink, false);
+  const auto rest = table.parse(args, ArgTable::Unknown::Reject, "fuzz");
+  if (!rest.empty()) {
+    throw std::invalid_argument("fuzz: unexpected argument '" + rest.front() +
+                                "'");
   }
   // The differ always runs both kernels (that is the point), so
   // --no-fast-path does not apply here; --seeds picks the case population.
@@ -321,24 +297,16 @@ int cmd_fuzz(const runner::CliOptions& opts,
 
   std::cout << runner::format_summary(rep);
 
-  if (!opts.report_path.empty()) {
-    runner::JsonOptions jopts;
-    jopts.include_runtime = true;
-    if (!write_text_report(opts.report_path, runner::to_json(rep, jopts))) {
-      return 1;
-    }
-  }
+  runner::JsonOptions jopts;
+  jopts.include_runtime = true;
+  const ReportWriter report{opts.report_path};
+  if (!report.write(runner::to_json(rep, jopts))) return 1;
   if (!repro_dir.empty()) {
     for (const auto& d : rep.divergences) {
       const auto stem =
           repro_dir + "/fuzz_repro_" + std::to_string(d.derived_seed);
-      std::ofstream json{stem + ".json", std::ios::binary};
-      std::ofstream test{stem + ".cpp", std::ios::binary};
-      json << d.repro_json;
-      test << d.repro_test;
-      json.flush();
-      test.flush();
-      if (!json || !test) {
+      if (!ReportWriter::write_file(stem + ".json", d.repro_json) ||
+          !ReportWriter::write_file(stem + ".cpp", d.repro_test)) {
         std::cerr << "error: could not write repro files at " << stem
                   << ".{json,cpp}\n";
         return 1;
@@ -353,27 +321,11 @@ int cmd_trace(const runner::CliOptions& opts,
               const std::vector<std::string>& args) {
   std::string out_path = "michican_trace.json";
   std::string jsonl_path;
-  std::vector<std::string> positional;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    const auto& arg = args[i];
-    const auto take = [&](const std::string& flag) -> std::string {
-      if (arg.size() > flag.size() && arg[flag.size()] == '=') {
-        return arg.substr(flag.size() + 1);
-      }
-      if (i + 1 >= args.size()) {
-        throw std::invalid_argument(flag + " needs a value");
-      }
-      return args[++i];
-    };
-    if (arg.rfind("--out", 0) == 0 && (arg.size() == 5 || arg[5] == '=')) {
-      out_path = take("--out");
-    } else if (arg.rfind("--jsonl", 0) == 0 &&
-               (arg.size() == 7 || arg[7] == '=')) {
-      jsonl_path = take("--jsonl");
-    } else {
-      positional.push_back(arg);
-    }
-  }
+  ArgTable table;
+  table.str("--out", "PATH", "trace output path", &out_path)
+      .str("--jsonl", "PATH", "also dump raw events as JSONL here",
+           &jsonl_path);
+  const auto positional = table.parse(args, ArgTable::Unknown::Reject, "trace");
   if (positional.empty() || positional.size() > 3) {
     throw std::invalid_argument(
         "trace: expected <scenario> [seed] [duration_ms]");
@@ -399,7 +351,7 @@ int cmd_trace(const runner::CliOptions& opts,
 int cmd_sweep(const runner::CliOptions& opts,
               const std::vector<std::string>& args) {
   const int max_attackers =
-      args.empty() ? 4 : parse_int(args[0], 1, 16, "max_attackers");
+      args.empty() ? 4 : runner::parse_int_arg(args[0], 1, 16, "max_attackers");
   analysis::AsciiTable t{{"Attackers", "Total bus-off (bits)", "ms @50k"}};
   const sim::BusSpeed speed{50'000};
   for (int a = 1; a <= max_attackers; ++a) {
@@ -418,7 +370,8 @@ int cmd_sweep(const runner::CliOptions& opts,
 int cmd_latency(const runner::CliOptions&,
                 const std::vector<std::string>& args) {
   const int num_fsms =
-      args.empty() ? 10'000 : parse_int(args[0], 1, 10'000'000, "num_fsms");
+      args.empty() ? 10'000
+                   : runner::parse_int_arg(args[0], 1, 10'000'000, "num_fsms");
   analysis::LatencyStudyConfig cfg;
   cfg.num_fsms = num_fsms;
   cfg.verify_fsms = std::min(num_fsms, 200);
@@ -436,7 +389,7 @@ int cmd_rta(const runner::CliOptions&, const std::vector<std::string>& args) {
   if (args.empty()) {
     throw std::invalid_argument("rta: expected <bus_index 0..7>");
   }
-  const int bus_index = parse_int(args[0], 0, 7, "bus index");
+  const int bus_index = runner::parse_int_arg(args[0], 0, 7, "bus index");
   const double attack_bits = args.size() > 1 ? std::atof(args[1].c_str()) : 0.0;
   const auto matrices = restbus::all_vehicle_matrices();
   const auto& m = matrices[static_cast<std::size_t>(bus_index)];
@@ -461,29 +414,10 @@ int cmd_dbc(const runner::CliOptions&, const std::vector<std::string>& args) {
   if (args.empty()) {
     throw std::invalid_argument("dbc: expected <bus_index 0..7>");
   }
-  const int bus_index = parse_int(args[0], 0, 7, "bus index");
+  const int bus_index = runner::parse_int_arg(args[0], 0, 7, "bus index");
   std::cout << restbus::to_dbc(
       restbus::all_vehicle_matrices()[static_cast<std::size_t>(bus_index)]);
   return 0;
-}
-
-/// "--flag value" / "--flag=value" extraction for the serve/submit arg
-/// loops (same contract as the other subcommands' local `take` lambdas).
-std::string take_value(const std::vector<std::string>& args, std::size_t& i,
-                       const std::string& flag) {
-  const auto& arg = args[i];
-  if (arg.size() > flag.size() && arg[flag.size()] == '=') {
-    return arg.substr(flag.size() + 1);
-  }
-  if (i + 1 >= args.size()) {
-    throw std::invalid_argument(flag + " needs a value");
-  }
-  return args[++i];
-}
-
-bool flag_matches(const std::string& arg, const std::string& flag) {
-  return arg.rfind(flag, 0) == 0 &&
-         (arg.size() == flag.size() || arg[flag.size()] == '=');
 }
 
 int cmd_serve(const runner::CliOptions& opts,
@@ -493,34 +427,38 @@ int cmd_serve(const runner::CliOptions& opts,
   cfg.cache_dir = ".michican-cache";
   cfg.jobs = opts.jobs;
   obs::LogConfig log_cfg;  // stderr, info, no rotation
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    const auto& arg = args[i];
-    if (flag_matches(arg, "--socket")) {
-      cfg.socket_path = take_value(args, i, "--socket");
-    } else if (flag_matches(arg, "--cache-dir")) {
-      cfg.cache_dir = take_value(args, i, "--cache-dir");
-    } else if (flag_matches(arg, "--cache-cap-mb")) {
-      const int mb = parse_int(take_value(args, i, "--cache-cap-mb"), 1,
-                               1 << 20, "--cache-cap-mb");
-      cfg.cache_cap_bytes = static_cast<std::uint64_t>(mb) << 20;
-    } else if (flag_matches(arg, "--log")) {
-      log_cfg.path = take_value(args, i, "--log");
-    } else if (flag_matches(arg, "--log-level")) {
-      const auto text = take_value(args, i, "--log-level");
-      const auto level = obs::parse_log_level(text);
-      if (!level) {
-        throw std::invalid_argument(
-            "--log-level: expected debug|info|warn|error|fatal, got '" +
-            text + "'");
-      }
-      log_cfg.level = *level;
-    } else if (flag_matches(arg, "--log-rotate-mb")) {
-      const int mb = parse_int(take_value(args, i, "--log-rotate-mb"), 1,
-                               1 << 20, "--log-rotate-mb");
-      log_cfg.rotate_bytes = static_cast<std::uint64_t>(mb) << 20;
-    } else {
-      throw std::invalid_argument("serve: unexpected argument '" + arg + "'");
-    }
+  ArgTable table;
+  table.str("--socket", "PATH", "Unix socket path", &cfg.socket_path)
+      .str("--cache-dir", "PATH", "cell-cache directory", &cfg.cache_dir)
+      .value("--cache-cap-mb", "N", "cache size cap in MiB",
+             [&cfg](const std::string& v) {
+               const int mb =
+                   runner::parse_int_arg(v, 1, 1 << 20, "--cache-cap-mb");
+               cfg.cache_cap_bytes = static_cast<std::uint64_t>(mb) << 20;
+             })
+      .str("--log", "PATH", "structured JSONL log path (default stderr)",
+           &log_cfg.path)
+      .value("--log-level", "LVL", "debug|info|warn|error|fatal",
+             [&log_cfg](const std::string& v) {
+               const auto level = obs::parse_log_level(v);
+               if (!level) {
+                 throw std::invalid_argument(
+                     "--log-level: expected debug|info|warn|error|fatal, "
+                     "got '" +
+                     v + "'");
+               }
+               log_cfg.level = *level;
+             })
+      .value("--log-rotate-mb", "N", "rotate the log past N MiB",
+             [&log_cfg](const std::string& v) {
+               const int mb =
+                   runner::parse_int_arg(v, 1, 1 << 20, "--log-rotate-mb");
+               log_cfg.rotate_bytes = static_cast<std::uint64_t>(mb) << 20;
+             });
+  const auto rest = table.parse(args, ArgTable::Unknown::Reject, "serve");
+  if (!rest.empty()) {
+    throw std::invalid_argument("serve: unexpected argument '" + rest.front() +
+                                "'");
   }
   std::optional<obs::Log> log;
   try {
@@ -542,39 +480,28 @@ int cmd_submit(const runner::CliOptions& opts,
   std::string op = "campaign";
   int wait_ms = 0;
   std::size_t cases = 200;
-  std::vector<std::string> scenarios;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    const auto& arg = args[i];
-    if (flag_matches(arg, "--socket")) {
-      socket_path = take_value(args, i, "--socket");
-    } else if (flag_matches(arg, "--cache-stats")) {
-      cache_stats_path = take_value(args, i, "--cache-stats");
-    } else if (flag_matches(arg, "--wait-ms")) {
-      wait_ms = parse_int(take_value(args, i, "--wait-ms"), 0, 600'000,
-                          "--wait-ms");
-    } else if (flag_matches(arg, "--cases")) {
-      cases = static_cast<std::size_t>(
-          parse_int(take_value(args, i, "--cases"), 1, 10'000'000, "--cases"));
-    } else if (arg == "--fuzz") {
-      op = "fuzz";
-    } else if (arg == "--ping") {
-      op = "ping";
-    } else if (arg == "--stats") {
-      op = "stats";
-    } else if (arg == "--health") {
-      op = "health";
-    } else if (arg == "--shutdown") {
-      op = "shutdown";
-    } else if (!arg.empty() && arg[0] == '-') {
-      throw std::invalid_argument("submit: unexpected argument '" + arg +
-                                  "'");
-    } else {
-      scenarios.push_back(arg);
-    }
-  }
+  ArgTable table;
+  table.str("--socket", "PATH", "Unix socket path", &socket_path)
+      .str("--cache-stats", "PATH", "write the cache stats JSON here",
+           &cache_stats_path)
+      .int_in("--wait-ms", "N", "wait for the socket to appear", 0, 600'000,
+              &wait_ms)
+      .value("--cases", "N", "fuzz cases",
+             [&cases](const std::string& v) {
+               cases = static_cast<std::size_t>(
+                   runner::parse_int_arg(v, 1, 10'000'000, "--cases"));
+             })
+      .flag("--fuzz", "submit a fuzz run", [&op] { op = "fuzz"; })
+      .flag("--ping", "liveness probe", [&op] { op = "ping"; })
+      .flag("--stats", "fetch cache statistics", [&op] { op = "stats"; })
+      .flag("--health", "readiness probe", [&op] { op = "health"; })
+      .flag("--shutdown", "ask the daemon to exit", [&op] { op = "shutdown"; });
+  const auto scenarios =
+      table.parse(args, ArgTable::Unknown::Reject, "submit");
 
   std::ostringstream req;
-  req << "{\"schema\":\"michican.serve.v1\",\"op\":\"" << op << "\"";
+  req << "{\"schema\":\"" << runner::kServeSchema << "\",\"op\":\"" << op
+      << "\"";
   if (op == "campaign") {
     req << ",\"scenarios\":[";
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
@@ -592,7 +519,7 @@ int cmd_submit(const runner::CliOptions& opts,
       // submit carries the same id on every run — spans in the server log
       // and the exported document correlate by construction.
       obs::TraceIdBuilder id;
-      id.mix("michican.serve.v1");
+      id.mix(runner::kServeSchema);
       id.mix(op);
       id.mix_u64(opts.seeds.begin);
       id.mix_u64(opts.seeds.end);
@@ -627,18 +554,11 @@ int cmd_submit(const runner::CliOptions& opts,
       std::cerr << "error: server response carried no report\n";
       return 1;
     }
-    if (!write_text_report(opts.report_path, res.report_json)) return 1;
+    const ReportWriter report{opts.report_path};
+    if (!report.write(res.report_json)) return 1;
   }
-  if (!cache_stats_path.empty()) {
-    std::ofstream out{cache_stats_path, std::ios::binary};
-    out << res.cache_stats_json << "\n";
-    out.flush();
-    if (!out) {
-      std::cerr << "error: could not write " << cache_stats_path << "\n";
-      return 1;
-    }
-    std::cout << "cache stats: " << cache_stats_path << "\n";
-  }
+  const ReportWriter cache_stats{cache_stats_path, "cache stats"};
+  if (!cache_stats.write(res.cache_stats_json + "\n")) return 1;
   if (!opts.trace_path.empty() && (op == "campaign" || op == "fuzz")) {
     if (res.trace_json.empty()) {
       std::cerr << "error: server response carried no trace\n";
@@ -735,31 +655,25 @@ int cmd_stats(const runner::CliOptions&,
   bool prom = false;
   bool json = false;
   bool watch = false;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    const auto& arg = args[i];
-    if (flag_matches(arg, "--socket")) {
-      socket_path = take_value(args, i, "--socket");
-    } else if (flag_matches(arg, "--wait-ms")) {
-      wait_ms = parse_int(take_value(args, i, "--wait-ms"), 0, 600'000,
-                          "--wait-ms");
-    } else if (flag_matches(arg, "--interval-ms")) {
-      interval_ms = parse_int(take_value(args, i, "--interval-ms"), 50,
-                              600'000, "--interval-ms");
-    } else if (flag_matches(arg, "--count")) {
-      count = parse_int(take_value(args, i, "--count"), 1, 1'000'000,
-                        "--count");
-    } else if (arg == "--prom") {
-      prom = true;
-    } else if (arg == "--json") {
-      json = true;
-    } else if (arg == "--watch") {
-      watch = true;
-    } else {
-      throw std::invalid_argument("stats: unexpected argument '" + arg + "'");
-    }
+  ArgTable table;
+  table.str("--socket", "PATH", "Unix socket path", &socket_path)
+      .int_in("--wait-ms", "N", "wait for the socket to appear", 0, 600'000,
+              &wait_ms)
+      .int_in("--interval-ms", "N", "refresh interval for --watch", 50,
+              600'000, &interval_ms)
+      .int_in("--count", "N", "stop --watch after N refreshes", 1, 1'000'000,
+              &count)
+      .flag("--prom", "Prometheus text exposition format", &prom)
+      .flag("--json", "raw JSON snapshot", &json)
+      .flag("--watch", "refresh the dashboard in place", &watch);
+  const auto rest = table.parse(args, ArgTable::Unknown::Reject, "stats");
+  if (!rest.empty()) {
+    throw std::invalid_argument("stats: unexpected argument '" + rest.front() +
+                                "'");
   }
-  const std::string req =
-      "{\"schema\":\"michican.serve.v1\",\"op\":\"stats\"}";
+  const std::string req = "{\"schema\":\"" +
+                          std::string{runner::kServeSchema} +
+                          "\",\"op\":\"stats\"}";
   int done = 0;
   while (true) {
     const auto res = serve::submit_request(socket_path, req, wait_ms);
@@ -784,16 +698,133 @@ int cmd_stats(const runner::CliOptions&,
   return 0;
 }
 
+/// Path of this binary for fork/exec re-invocation.  /proc/self/exe is
+/// itself a valid execv() target, so the fallback stays functional even if
+/// the readlink fails.
+std::string self_exe_path() {
+  std::array<char, 4096> buf{};
+  const ssize_t n = ::readlink("/proc/self/exe", buf.data(), buf.size() - 1);
+  if (n > 0) return std::string(buf.data(), static_cast<std::size_t>(n));
+  return "/proc/self/exe";
+}
+
+/// Declarations shared by `fleet` (spawner side) and `fleet-worker`.
+ArgTable fleet_shared_table(runner::FleetConfig& cfg) {
+  ArgTable table;
+  table
+      .u64("--vehicles", "N", "vehicle instances: seeds [0, N) per scenario",
+           &cfg.vehicles)
+      .u64("--base-seed", "S", "root of the two-level seed split",
+           &cfg.base_seed)
+      .value("--duration-ms", "MS",
+             "recording duration override (0 = scenario default)",
+             [&cfg](const std::string& v) {
+               cfg.duration_ms = parse_double_arg(v, "--duration-ms");
+             })
+      .str("--cache-dir", "PATH", "shared content-addressed cell cache",
+           &cfg.cache_dir);
+  return table;
+}
+
+int cmd_fleet(const runner::CliOptions& opts,
+              const std::vector<std::string>& args) {
+  runner::FleetConfig cfg;
+  cfg.jobs = opts.jobs;
+  cfg.fast_path = opts.fast_path;
+  cfg.batching = opts.batching;
+  cfg.cache_dir = ".michican-fleet-cache";
+  std::string fleet_stats_path;
+  ArgTable table = fleet_shared_table(cfg);
+  table
+      .value("--shards", "K", "worker processes (clamped to [1, vehicles])",
+             [&cfg](const std::string& v) {
+               cfg.shards = static_cast<std::size_t>(
+                   runner::parse_u64_arg(v, "--shards"));
+             })
+      .str("--checkpoint", "PATH",
+           "progress manifest, refreshed every interval; validates resumes",
+           &cfg.checkpoint_path)
+      .value("--checkpoint-interval-ms", "MS", "manifest refresh period",
+             [&cfg](const std::string& v) {
+               cfg.checkpoint_interval_ms =
+                   parse_double_arg(v, "--checkpoint-interval-ms");
+             })
+      .str("--fleet-stats", "PATH",
+           "write the runtime shard/cache stats JSON here",
+           &fleet_stats_path);
+  cfg.scenarios = table.parse(args, ArgTable::Unknown::Reject, "fleet");
+  if (cfg.scenarios.empty()) {
+    cfg.scenarios = {"1", "2", "3", "4", "5", "6"};
+  }
+  cfg.self_exe = self_exe_path();
+  cfg.open_store = [](const std::string& dir) {
+    return std::unique_ptr<runner::CellStore>{new serve::DiskStore{dir}};
+  };
+  if (opts.progress) {
+    cfg.log = [](const std::string& line) { std::cerr << line << "\n"; };
+  }
+  const auto rep = runner::run_fleet(cfg);
+
+  std::cout << "Fleet: " << rep.vehicles << " vehicles x "
+            << rep.scenarios.size() << " scenarios over " << rep.shards_used
+            << " shards, " << fmt(rep.wall_ms, 0) << " ms wall\n"
+            << "merge pass: " << rep.merged.cache_hits << " cells cached, "
+            << rep.merged.cache_misses << " recomputed, "
+            << rep.failed_tasks() << " failed ("
+            << rep.cells_at_start << " cells warm at start)\n";
+
+  const ReportWriter report{opts.report_path, "fleet report"};
+  if (!report.write(runner::to_json(rep))) return 1;
+  const ReportWriter stats{fleet_stats_path, "fleet stats"};
+  if (!stats.write(runner::fleet_stats_json(rep))) return 1;
+  return rep.failed_tasks() == 0 ? 0 : 1;
+}
+
+int cmd_fleet_worker(const runner::CliOptions& opts,
+                     const std::vector<std::string>& args) {
+  runner::FleetConfig cfg;
+  cfg.jobs = opts.jobs;
+  cfg.fast_path = opts.fast_path;
+  cfg.batching = opts.batching;
+  std::uint64_t shard = 0;
+  std::uint64_t shards = 1;
+  std::string summary_path;
+  ArgTable table = fleet_shared_table(cfg);
+  table.u64("--shard", "K", "this worker's shard index", &shard)
+      .u64("--shards", "K", "total shard count", &shards)
+      .str("--summary", "PATH", "write this shard's campaign report here",
+           &summary_path);
+  cfg.scenarios = table.parse(args, ArgTable::Unknown::Reject, "fleet-worker");
+  cfg.shards = static_cast<std::size_t>(shards);
+  if (cfg.cache_dir.empty()) {
+    throw std::invalid_argument("fleet-worker: --cache-dir is required");
+  }
+  serve::DiskStore store{cfg.cache_dir};
+  const auto rep =
+      runner::run_fleet_shard(cfg, static_cast<std::size_t>(shard), &store);
+  if (!summary_path.empty()) {
+    runner::JsonOptions jopts;
+    jopts.include_runtime = true;
+    jopts.include_tasks = false;
+    if (!runner::write_json_file(summary_path, rep, jopts)) {
+      std::cerr << "error: could not write " << summary_path << "\n";
+      return 1;
+    }
+  }
+  return rep.failed_tasks() == 0 ? 0 : 1;
+}
+
 int cmd_list_scenarios(const runner::CliOptions&,
                        const std::vector<std::string>&) {
-  analysis::AsciiTable t{{"Name", "Aliases", "Description"}};
+  analysis::AsciiTable t{{"Name", "Aliases", "Buses", "Description"}};
   for (const auto& s : registry().all()) {
     std::string aliases;
     for (const auto& a : s.aliases) {
       if (!aliases.empty()) aliases += ", ";
       aliases += a;
     }
-    t.add_row({s.name, aliases, s.description});
+    t.add_row({s.name, aliases, std::to_string(s.make().topology.buses),
+               s.description});
   }
   t.print(std::cout, "Registered scenarios:");
   return 0;
@@ -855,7 +886,22 @@ int main(int argc, char** argv) {
        "(default), Prometheus text (--prom), or JSON (--json); --watch "
        "refreshes in place",
        cmd_stats},
-      {"list-scenarios", "", "enumerate the named scenario registry",
+      {"fleet",
+       "[scenario...] [--vehicles N] [--shards K] [--cache-dir PATH] "
+       "[--checkpoint PATH] [--duration-ms MS] [--fleet-stats PATH]",
+       "shard a vehicle-fleet campaign across worker processes over a "
+       "shared cell cache; the merged report is byte-identical for any "
+       "--shards value, and a killed run resumes from the cache "
+       "(--checkpoint tracks progress); --report writes the deterministic "
+       "report",
+       cmd_fleet},
+      {"fleet-worker",
+       "--shard K --shards K --vehicles N --cache-dir PATH [scenario...]",
+       "internal: one fleet shard, fork/exec'd by `fleet` (runs its seed "
+       "sub-range against the shared cache and writes a summary report)",
+       cmd_fleet_worker},
+      {"list-scenarios", "",
+       "enumerate the named scenario registry with bus topology",
        cmd_list_scenarios},
   };
   mcan::runner::CliOptions defaults;

@@ -15,6 +15,7 @@
 #include "core/michican_node.hpp"
 #include "obs/timeline.hpp"
 #include "restbus/replay.hpp"
+#include "restbus/topology.hpp"
 #include "restbus/vehicles.hpp"
 
 namespace mcan::analysis {
@@ -147,6 +148,28 @@ void validate(const ExperimentSpec& spec) {
                                   "sjw must stay below half a bit)");
     }
   }
+  const auto& topo = spec.topology;
+  if (topo.buses == 0) {
+    throw std::invalid_argument("experiment '" + spec.label +
+                                "': topology must have >= 1 bus");
+  }
+  if (topo.buses > 1 && topo.gateway_latency.value() < 1) {
+    throw std::invalid_argument(
+        "experiment '" + spec.label +
+        "': gateway_latency must be >= 1 bit when buses > 1");
+  }
+  if (topo.attacker_bus >= topo.buses || topo.defender_bus >= topo.buses ||
+      topo.restbus_bus >= topo.buses) {
+    throw std::invalid_argument("experiment '" + spec.label +
+                                "': bus index out of range (must be < " +
+                                std::to_string(topo.buses) + ")");
+  }
+  for (const auto& r : topo.routes) {
+    if (r.extended ? r.id > can::kMaxExtId : r.id > can::kMaxStdId) {
+      throw std::invalid_argument("experiment '" + spec.label +
+                                  "': gateway route ID out of range");
+    }
+  }
   for (const auto& e : spec.error_attackers) {
     if (e.victim_id > can::kMaxStdId) {
       throw std::invalid_argument("experiment '" + spec.label +
@@ -222,7 +245,18 @@ void export_log_histograms(const sim::EventLog& log,
 ExperimentResult run_experiment(const ExperimentSpec& spec) {
   const auto t_begin = ProfileClock::now();
   validate(spec);
-  can::WiredAndBus bus{spec.speed};
+  // Always build a topology; a single-bus spec degenerates to one plain
+  // WiredAndBus stepped without chunking, so the recording is bit-for-bit
+  // the historical single-segment recording.
+  restbus::TopologyConfig tcfg;
+  tcfg.buses = spec.topology.buses;
+  tcfg.speed = spec.speed;
+  tcfg.gateway_latency = spec.topology.gateway_latency;
+  tcfg.routes = spec.topology.routes;
+  restbus::VehicleTopology topo{std::move(tcfg)};
+  can::WiredAndBus& defender_bus = topo.bus(spec.topology.defender_bus);
+  can::WiredAndBus& attacker_bus = topo.bus(spec.topology.attacker_bus);
+  can::WiredAndBus& restbus_bus = topo.bus(spec.topology.restbus_bus);
   const double bits_per_ms =
       static_cast<double>(spec.speed.bits_per_second) / 1e3;
 
@@ -236,7 +270,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   def_cfg.scenario = spec.scenario;
   def_cfg.defense_enabled = spec.defense_enabled;
   core::MichiCanNode defender{"defender", ivn, def_cfg};
-  defender.attach_to(bus);
+  defender.attach_to(defender_bus);
   if (spec.defender_period.value() > 0) {
     can::CanFrame own;
     own.id = spec.defender_id;
@@ -254,7 +288,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     cfg.seed = spec.seed * 1000 + i;
     auto a = std::make_unique<Attacker>("attacker" + std::to_string(i + 1),
                                         cfg);
-    a->attach_to(bus);
+    a->attach_to(attacker_bus);
     attackers.push_back(std::move(a));
   }
 
@@ -263,7 +297,9 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   for (std::size_t i = 0; i < spec.error_attackers.size(); ++i) {
     stompers.push_back(std::make_unique<attack::ErrorFrameAttacker>(
         "stomper" + std::to_string(i + 1), spec.error_attackers[i]));
-    bus.attach(*stompers.back());
+    // Stompers destroy the victim's transmissions, so they sit on the
+    // defender's segment (identical to the attacker's on a single bus).
+    defender_bus.attach(*stompers.back());
   }
 
   // --- physical-layer fault injection ---------------------------------------
@@ -271,7 +307,9 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   if (spec.fault.any()) {
     injector = std::make_unique<can::FaultInjector>(
         spec.fault, sim::derive_seed(spec.seed, 0xFA117));
-    bus.set_fault_injector(injector.get());
+    // Faults are a property of the monitored wire: they ride the
+    // defender's segment (the only segment on a single bus).
+    defender_bus.set_fault_injector(injector.get());
   }
 
   // --- restbus --------------------------------------------------------------
@@ -284,21 +322,21 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
                 spec.restbus_target_load);
     restbus::ReplayConfig rcfg;
     rcfg.seed = spec.seed ^ 0xBEEF;
-    rb = std::make_unique<restbus::RestbusSim>(replayed, bus, rcfg);
+    rb = std::make_unique<restbus::RestbusSim>(replayed, restbus_bus, rcfg);
   }
 
   // --- run the recording ----------------------------------------------------
-  bus.set_fast_path(spec.fast_path);
-  bus.set_batching(spec.batching);
+  topo.set_fast_path(spec.fast_path);
+  topo.set_batching(spec.batching);
   const auto t_setup = ProfileClock::now();
-  bus.run_for(spec.duration);
+  topo.run_for(spec.duration);
   const auto t_sim = ProfileClock::now();
 
   // --- harvest --------------------------------------------------------------
   ExperimentResult res;
   res.spec = spec;
-  res.bits_skipped = bus.bits_skipped();
-  res.bits_batched = bus.bits_batched();
+  res.bits_skipped = topo.bits_skipped();
+  res.bits_batched = topo.bits_batched();
 
   sim::BitTime first_attack_start = 0;
   sim::BitTime last_first_busoff = 0;
@@ -310,26 +348,29 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     AttackerOutcome out;
     out.node = std::string{a.node().name()};
     out.primary_id = spec.attackers[i].ids.front();
-    const auto bits = busoff_durations_bits(bus.log(), out.node);
+    const auto bits = busoff_durations_bits(attacker_bus.log(), out.node);
     out.busoff_bits = sim::summarize(bits);
     auto ms = bits;
     for (auto& b : ms) b = spec.speed.bits_to_ms(b);
     out.busoff_ms = sim::summarize(ms);
     out.busoff_cycles_ms = std::move(ms);
     out.busoff_count = bits.size();
-    out.retransmissions = bus.log().count(EventKind::FrameTxStart, out.node);
+    out.retransmissions =
+        attacker_bus.log().count(EventKind::FrameTxStart, out.node);
     out.ended_bus_off = a.node().is_bus_off();
     out.final_tec = a.node().tec();
     res.attackers.push_back(out);
 
-    if (const auto* s = bus.log().first(EventKind::FrameTxStart, 0, out.node);
+    if (const auto* s =
+            attacker_bus.log().first(EventKind::FrameTxStart, 0, out.node);
         s != nullptr) {
       if (!have_start || s->at < first_attack_start) {
         first_attack_start = s->at;
         have_start = true;
       }
     }
-    if (const auto* b = bus.log().first(EventKind::BusOff, 0, out.node);
+    if (const auto* b =
+            attacker_bus.log().first(EventKind::BusOff, 0, out.node);
         b != nullptr) {
       last_first_busoff = std::max(last_first_busoff, b->at);
     } else {
@@ -339,9 +380,10 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   if (have_start && all_attackers_offed) {
     res.first_cycle_total_bits =
         static_cast<double>(last_first_busoff - first_attack_start);
-    res.fig6_trace = bus.trace().render(
+    res.fig6_trace = attacker_bus.trace().render(
         first_attack_start,
-        std::min<sim::BitTime>(last_first_busoff + 30, bus.trace().size()),
+        std::min<sim::BitTime>(last_first_busoff + 30,
+                               attacker_bus.trace().size()),
         /*group=*/39);
   }
 
@@ -370,7 +412,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
       if (a.extended) attacker_ids.push_back(can::ext_base(id));
     }
   }
-  for (const auto& ev : bus.log().events()) {
+  for (const auto& ev : defender_bus.log().events()) {
     if (ev.kind != EventKind::AttackDetected) continue;
     if (std::find(attacker_ids.begin(), attacker_ids.end(), ev.id) ==
         attacker_ids.end()) {
@@ -389,11 +431,18 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     res.restbus_drops = rbs.dropped_frames;
     res.restbus_any_bus_off = rb->any_bus_off();
   }
-  res.busy_fraction = bus.trace().busy_fraction(0, bus.now());
+  // Measured load on the *monitored* segment (the only segment when
+  // buses == 1, so the historical value is unchanged).
+  res.busy_fraction =
+      defender_bus.trace().busy_fraction(0, defender_bus.now());
   const auto t_harvest = ProfileClock::now();
 
   // --- metrics shard --------------------------------------------------------
-  bus.export_metrics(res.metrics);
+  // Per-segment counters sum deterministically (export_metrics uses +=),
+  // so a single-bus topology registers the historical values unchanged.
+  for (std::size_t i = 0; i < topo.bus_count(); ++i) {
+    topo.bus(i).export_metrics(res.metrics);
+  }
   defender.controller().export_metrics(res.metrics, "defender");
   defender.monitor().export_metrics(res.metrics, "monitor");
   for (const auto& a : attackers) {
@@ -405,15 +454,19 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     res.metrics.counter("restbus.drops") += res.restbus_drops;
   }
   if (injector) injector->export_metrics(res.metrics);
-  export_log_histograms(bus.log(), res.attackers, res.metrics);
+  topo.export_metrics(res.metrics);  // no-op on a single bus
+  for (std::size_t i = 0; i < topo.bus_count(); ++i) {
+    export_log_histograms(topo.bus(i).log(), res.attackers, res.metrics);
+  }
   const auto t_metrics = ProfileClock::now();
 
   // --- timeline export (opt-in: the only obs feature with per-event cost) ---
   if (spec.capture_timeline) {
     obs::TimelineOptions topt;
     topt.speed = spec.speed;
-    res.timeline_json = obs::to_chrome_trace(bus.log(), &bus.trace(), topt);
-    res.events_jsonl = obs::to_jsonl(bus.log());
+    res.timeline_json = obs::to_chrome_trace(defender_bus.log(),
+                                             &defender_bus.trace(), topt);
+    res.events_jsonl = obs::to_jsonl(defender_bus.log());
   }
   const auto t_timeline = ProfileClock::now();
 

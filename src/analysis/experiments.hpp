@@ -16,6 +16,7 @@
 #include "attack/attacker.hpp"
 #include "attack/error_frame.hpp"
 #include "can/fault_injector.hpp"
+#include "can/gateway.hpp"
 #include "can/types.hpp"
 #include "core/detection.hpp"
 #include "obs/metrics.hpp"
@@ -24,6 +25,30 @@
 #include "sim/types.hpp"
 
 namespace mcan::analysis {
+
+/// Multi-bus vehicle wiring for an experiment.  The default (buses == 1)
+/// reproduces the historical single-segment recording bit-for-bit; with
+/// buses > 1 the experiment builds a restbus::VehicleTopology — adjacent
+/// segments chained by store-and-forward gateways with the symmetric
+/// `routes` table — and places each actor on its configured segment, so a
+/// powertrain-bus attack and a body-bus defender only interact through
+/// gateway forwarding.
+struct TopologySpec {
+  /// Number of bus segments (all at ExperimentSpec::speed).
+  std::size_t buses{1};
+  /// Store-and-forward latency per gateway hop, in shared bit times.
+  /// Must be >= 1 when buses > 1 (see restbus::VehicleTopology).
+  sim::Bits gateway_latency{64};
+  /// Routing table installed symmetrically on every gateway.
+  std::vector<can::RouteId> routes;
+  /// Segment indices (all must be < buses).  The fault injector and the
+  /// error-frame stompers ride the defender's segment: faults are a
+  /// property of the monitored wire, and a stomper needs the victim's
+  /// transmissions under its feet.
+  std::size_t attacker_bus{0};
+  std::size_t defender_bus{0};
+  std::size_t restbus_bus{0};
+};
 
 struct ExperimentSpec {
   int number{0};  // 1..6 for the paper's experiments, 0 for custom
@@ -66,6 +91,8 @@ struct ExperimentSpec {
   /// per round).  Byte-identical to per-bit stepping; forcing it off
   /// (--no-batch) pins the per-bit kernel when bisecting.
   bool batching{true};
+  /// Multi-bus wiring; the default single-bus value changes nothing.
+  TopologySpec topology;
 };
 
 struct AttackerOutcome {

@@ -1,7 +1,11 @@
 #include "analysis/scenarios.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
+#include <vector>
+
+#include "restbus/vehicles.hpp"
 
 namespace mcan::analysis {
 namespace {
@@ -62,6 +66,61 @@ ExperimentSpec restbus_idle_spec() {
   ExperimentSpec spec;
   spec.label = "restbus_idle";
   spec.restbus = true;
+  return spec;
+}
+
+/// Spoofing duel across the gateway: the attacker floods 0x173 on the
+/// powertrain segment, the gateway forwards it to the body segment where
+/// the defender monitors.  The defender cannot reach the original attacker
+/// — its counterattack lands on the gateway's egress controller, which
+/// becomes the proxy victim — but the forwarded spoof is still neutralized
+/// on the monitored bus (the CANflict-style cross-segment surface).
+ExperimentSpec gw_spoof_spec() {
+  auto spec = table2_experiment(2);
+  spec.number = 0;
+  spec.label = "gateway-forwarded spoofing 0x173";
+  spec.topology.buses = 2;
+  spec.topology.attacker_bus = 0;
+  spec.topology.defender_bus = 1;
+  spec.topology.restbus_bus = 1;
+  spec.topology.routes = {{0x173, false}};
+  return spec;
+}
+
+/// DoS containment: the 0x064 flood saturates the powertrain segment, but
+/// the gateway's routing table only carries 0x173 — the body segment (with
+/// the defender and a light rest-bus load) never sees the flood.
+ExperimentSpec gw_dos_spec() {
+  auto spec = table2_experiment(4);
+  spec.number = 0;
+  spec.label = "gateway-contained DoS 0x064";
+  spec.restbus = true;
+  spec.topology.buses = 2;
+  spec.topology.attacker_bus = 0;
+  spec.topology.defender_bus = 1;
+  spec.topology.restbus_bus = 1;
+  spec.topology.routes = {{0x173, false}};
+  return spec;
+}
+
+/// Benign cross-segment traffic: the Veh. D rest-bus matrix replays on the
+/// powertrain segment and the gateway forwards a handful of its IDs to the
+/// body segment, where the armed defender must stay quiet (no false
+/// detections on forwarded legitimate frames).
+ExperimentSpec gw_forward_spec() {
+  ExperimentSpec spec;
+  spec.label = "gateway benign forwarding";
+  spec.restbus = true;
+  spec.topology.buses = 2;
+  spec.topology.attacker_bus = 0;
+  spec.topology.defender_bus = 1;
+  spec.topology.restbus_bus = 0;
+  const auto ids = restbus::vehicle_matrix(restbus::Vehicle::D, 1).ecu_ids();
+  for (const auto id : ids) {
+    if (id == spec.defender_id) continue;
+    spec.topology.routes.push_back({id, /*extended=*/false});
+    if (spec.topology.routes.size() == 4) break;
+  }
   return spec;
 }
 
@@ -141,7 +200,41 @@ ScenarioRegistry make_built_in() {
            {},
            "fault-sweep cell: error-frame stomper on a bus with BER 1e-4",
            [] { return fault_variant(error_frame_experiment(), 1e-4); }});
+  reg.add({"gw-spoof",
+           {},
+           "two-bus vehicle: spoofing 0x173 forwarded across the gateway to "
+           "the defender's segment",
+           gw_spoof_spec});
+  reg.add({"gw-dos",
+           {},
+           "two-bus vehicle: DoS 0x064 contained by the gateway routing "
+           "table (body segment unharmed)",
+           gw_dos_spec});
+  reg.add({"gw-forward",
+           {},
+           "two-bus vehicle: benign rest-bus IDs forwarded across the "
+           "gateway, armed defender stays quiet",
+           gw_forward_spec});
   return reg;
+}
+
+/// Edit distance with unit costs, for near-miss suggestions on unknown
+/// scenario names.  Inputs are short kebab-case keys, so the quadratic
+/// table is microscopic.
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t prev = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t cur = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         prev + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      prev = cur;
+    }
+  }
+  return row[b.size()];
 }
 
 }  // namespace
@@ -170,15 +263,49 @@ const Scenario* ScenarioRegistry::find(std::string_view name) const noexcept {
   return nullptr;
 }
 
+std::vector<std::string> ScenarioRegistry::suggest(
+    std::string_view name) const {
+  // A lookup key counts as a near miss when it is within a small edit
+  // distance (typos) or the input is a unique prefix (abbreviations).
+  const std::size_t budget = name.size() <= 4 ? 1 : 2;
+  std::vector<std::pair<std::size_t, std::string>> ranked;
+  const auto consider = [&](const std::string& key) {
+    const auto d = edit_distance(name, key);
+    if (d <= budget || (name.size() >= 2 && key.rfind(name, 0) == 0)) {
+      ranked.emplace_back(d, key);
+    }
+  };
+  for (const auto& s : scenarios_) {
+    consider(s.name);
+    for (const auto& alias : s.aliases) consider(alias);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<std::string> out;
+  for (auto& [d, key] : ranked) {
+    if (std::find(out.begin(), out.end(), key) == out.end()) {
+      out.push_back(std::move(key));
+    }
+  }
+  return out;
+}
+
 ExperimentSpec ScenarioRegistry::make(std::string_view name) const {
   if (const Scenario* s = find(name)) return s->make();
+  std::string msg = "unknown scenario '" + std::string{name} + "'";
+  if (const auto near = suggest(name); !near.empty()) {
+    msg += " (did you mean: ";
+    for (std::size_t i = 0; i < near.size(); ++i) {
+      if (i != 0) msg += ", ";
+      msg += near[i];
+    }
+    msg += "?)";
+  }
   std::string known;
   for (const auto& s : scenarios_) {
     if (!known.empty()) known += ", ";
     known += s.name;
   }
-  throw std::invalid_argument("unknown scenario '" + std::string{name} +
-                              "' (known: " + known + ")");
+  throw std::invalid_argument(msg + " (known: " + known + ")");
 }
 
 }  // namespace mcan::analysis

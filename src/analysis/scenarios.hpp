@@ -53,8 +53,14 @@ class ScenarioRegistry {
   [[nodiscard]] const Scenario* find(std::string_view name) const noexcept;
 
   /// Build a fresh spec for `name`.  Throws std::invalid_argument naming
-  /// the known scenarios when the lookup fails.
+  /// near-miss candidates (see suggest()) and the known scenarios when the
+  /// lookup fails.
   [[nodiscard]] ExperimentSpec make(std::string_view name) const;
+
+  /// Near-miss lookup keys for an unknown name: small-edit-distance typos
+  /// and unique-prefix abbreviations, ranked by distance.  Empty when
+  /// nothing plausible is registered.
+  [[nodiscard]] std::vector<std::string> suggest(std::string_view name) const;
 
   /// Registration-order list (stable: drivers and reports iterate it).
   [[nodiscard]] const std::vector<Scenario>& all() const noexcept {

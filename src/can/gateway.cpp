@@ -4,43 +4,67 @@
 
 namespace mcan::can {
 
-namespace {
-
-/// Apply a routing verdict: forward across the gateway or account a drop.
-void route(const GatewayNode::Filter& filter, const CanFrame& f,
-           BitController& egress, std::uint64_t& forwarded,
-           std::uint64_t& dropped) {
-  if (!filter) return;
-  switch (filter(f)) {
-    case FilterVerdict::Ignore:
-      return;
-    case FilterVerdict::Drop:
-      ++dropped;
-      return;
-    case FilterVerdict::Forward:
-      break;
-  }
-  if (egress.enqueue(f)) {
-    ++forwarded;
-  } else {
-    ++dropped;
-  }
-}
-
-}  // namespace
-
 GatewayNode::GatewayNode(std::string name, Filter a_to_b, Filter b_to_a)
     : name_(std::move(name)),
       filter_ab_(std::move(a_to_b)),
       filter_ba_(std::move(b_to_a)),
       a_(name_ + "/a"),
       b_(name_ + "/b") {
-  a_.set_rx_callback([this](const CanFrame& f, sim::BitTime) {
-    route(filter_ab_, f, b_, fwd_ab_, dropped_);
+  a_.set_rx_callback([this](const CanFrame& f, sim::BitTime at) {
+    on_rx(filter_ab_, f, at, pending_ab_, b_, fwd_ab_);
   });
-  b_.set_rx_callback([this](const CanFrame& f, sim::BitTime) {
-    route(filter_ba_, f, a_, fwd_ba_, dropped_);
+  b_.set_rx_callback([this](const CanFrame& f, sim::BitTime at) {
+    on_rx(filter_ba_, f, at, pending_ba_, a_, fwd_ba_);
   });
+}
+
+void GatewayNode::on_rx(const Filter& filter, const CanFrame& f,
+                        sim::BitTime at, std::deque<Pending>& queue,
+                        BitController& egress, std::uint64_t& forwarded) {
+  if (!filter) return;
+  switch (filter(f)) {
+    case FilterVerdict::Ignore:
+      return;
+    case FilterVerdict::Drop:
+      ++dropped_;
+      return;
+    case FilterVerdict::Forward:
+      break;
+  }
+  if (latency_.value() == 0) {
+    release(f, egress, forwarded);
+    return;
+  }
+  queue.push_back(Pending{sim::sat_add(at, latency_.value()), f});
+}
+
+void GatewayNode::release(const CanFrame& f, BitController& egress,
+                          std::uint64_t& forwarded) {
+  if (egress.enqueue(f)) {
+    ++forwarded;
+  } else {
+    ++dropped_;
+  }
+}
+
+void GatewayNode::flush_due(sim::BitTime now) {
+  while (!pending_ab_.empty() && pending_ab_.front().release <= now) {
+    release(pending_ab_.front().frame, b_, fwd_ab_);
+    pending_ab_.pop_front();
+  }
+  while (!pending_ba_.empty() && pending_ba_.front().release <= now) {
+    release(pending_ba_.front().frame, a_, fwd_ba_);
+    pending_ba_.pop_front();
+  }
+}
+
+sim::BitTime GatewayNode::next_release() const noexcept {
+  sim::BitTime next = kNever;
+  if (!pending_ab_.empty()) next = pending_ab_.front().release;
+  if (!pending_ba_.empty() && pending_ba_.front().release < next) {
+    next = pending_ba_.front().release;
+  }
+  return next;
 }
 
 void GatewayNode::attach_to(WiredAndBus& bus_a, WiredAndBus& bus_b) {

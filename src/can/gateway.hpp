@@ -8,12 +8,14 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "can/bus.hpp"
 #include "can/controller.hpp"
+#include "can/node.hpp"
 
 namespace mcan::can {
 
@@ -33,6 +35,36 @@ class GatewayNode {
 
   void attach_to(WiredAndBus& bus_a, WiredAndBus& bus_b);
 
+  /// Store-and-forward latency: a frame fully received at bit time T is
+  /// handed to the egress controller's queue at T + latency.  The default
+  /// (0) keeps the historical behaviour of enqueueing inside the rx
+  /// callback — i.e. the forwarding delay is just the egress controller's
+  /// own arbitration.  With a nonzero latency the gateway parks accepted
+  /// frames in per-direction release queues; a co-simulation driver (e.g.
+  /// restbus::VehicleTopology) calls flush_due() at its chunk boundaries
+  /// and uses next_release() to bound the chunk length, so the release
+  /// times — and therefore the recordings — are independent of which
+  /// engine tier stepped the buses in between.
+  void set_forward_latency(sim::Bits latency) noexcept {
+    latency_ = latency;
+  }
+  [[nodiscard]] sim::Bits forward_latency() const noexcept { return latency_; }
+
+  /// Move every parked frame whose release time is <= now to its egress
+  /// controller.  Frames are released in arrival order per direction; an
+  /// egress queue that is full counts the frame as dropped (the target bus
+  /// is saturated), exactly like the latency-0 path.
+  void flush_due(sim::BitTime now);
+
+  /// Earliest release time among parked frames, or kNever when both
+  /// direction queues are empty.
+  [[nodiscard]] sim::BitTime next_release() const noexcept;
+
+  /// Parked frames awaiting release (both directions).
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_ab_.size() + pending_ba_.size();
+  }
+
   [[nodiscard]] BitController& side_a() noexcept { return a_; }
   [[nodiscard]] BitController& side_b() noexcept { return b_; }
   [[nodiscard]] std::uint64_t forwarded_a_to_b() const noexcept {
@@ -48,11 +80,26 @@ class GatewayNode {
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
 
  private:
+  /// One accepted frame parked until its store-and-forward release time.
+  struct Pending {
+    sim::BitTime release{};
+    CanFrame frame;
+  };
+
+  void on_rx(const Filter& filter, const CanFrame& f, sim::BitTime at,
+             std::deque<Pending>& queue, BitController& egress,
+             std::uint64_t& forwarded);
+  void release(const CanFrame& f, BitController& egress,
+               std::uint64_t& forwarded);
+
   std::string name_;
   Filter filter_ab_;
   Filter filter_ba_;
   BitController a_;
   BitController b_;
+  sim::Bits latency_{0};
+  std::deque<Pending> pending_ab_;
+  std::deque<Pending> pending_ba_;
   std::uint64_t fwd_ab_{0};
   std::uint64_t fwd_ba_{0};
   std::uint64_t dropped_{0};

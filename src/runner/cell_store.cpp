@@ -98,6 +98,24 @@ std::uint64_t spec_fingerprint(const analysis::ExperimentSpec& spec) {
     fp.mix_u64(e.max_stomps);
     fp.mix_u64(e.start);
   }
+
+  // Topology mixed only for genuinely multi-bus specs: the default
+  // single-bus wiring is the historical experiment, so its fingerprints —
+  // and every cache entry keyed on them — stay valid.
+  const auto& topo = spec.topology;
+  if (topo.buses > 1) {
+    fp.mix_str("topology");
+    fp.mix_u64(topo.buses);
+    fp.mix_u64(topo.gateway_latency.value());
+    fp.mix_u64(topo.attacker_bus);
+    fp.mix_u64(topo.defender_bus);
+    fp.mix_u64(topo.restbus_bus);
+    fp.mix_u64(topo.routes.size());
+    for (const auto& r : topo.routes) {
+      fp.mix_u64(r.id);
+      fp.mix_u64(r.extended ? 1 : 0);
+    }
+  }
   // fast_path / batching / capture_timeline excluded by design: the
   // equivalence gates guarantee they cannot change the result.
   return fp.digest();

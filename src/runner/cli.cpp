@@ -7,22 +7,37 @@
 #include <string_view>
 #include <vector>
 
+#include "runner/argspec.hpp"
+
 namespace mcan::runner {
 namespace {
 
-std::uint64_t parse_u64(const std::string& text, const char* what) {
-  std::size_t pos = 0;
-  std::uint64_t v = 0;
-  try {
-    v = std::stoull(text, &pos, 10);
-  } catch (const std::exception&) {
-    pos = 0;
-  }
-  if (pos == 0 || pos != text.size()) {
-    throw std::invalid_argument(std::string{"malformed "} + what + ": '" +
-                                text + "'");
-  }
-  return v;
+/// The one declaration of the shared runner flags (cli.hpp file comment).
+/// parse_cli() extracts through it and usage_text() renders it, so the
+/// accepted flags and the documented flags cannot drift apart.
+ArgTable shared_cli_table(CliOptions& opts) {
+  ArgTable table;
+  table
+      .value("--jobs", "N", "worker threads (0 = hardware concurrency)",
+             [&opts](const std::string& v) {
+               opts.jobs = static_cast<unsigned>(parse_u64_arg(v, "--jobs"));
+             })
+      .value("--seeds", "A..B",
+             "half-open seed range [A, B); \"--seeds N\" means [0, N)",
+             [&opts](const std::string& v) { opts.seeds = parse_seed_range(v); })
+      .str("--report", "PATH", "write the JSON report here",
+           &opts.report_path)
+      .str("--trace-out", "P",
+           "write a Chrome trace-event JSON of the first grid cell",
+           &opts.trace_path)
+      .flag("--progress", "stream per-task progress to stderr",
+            &opts.progress)
+      .flag("--no-fast-path",
+            "pin the naive per-bit kernel (disable quiescence skipping)",
+            &opts.fast_path, false)
+      .flag("--no-batch", "disable the word-level batched bit engine",
+            &opts.batching, false);
+  return table;
 }
 
 }  // namespace
@@ -32,10 +47,10 @@ SeedRange parse_seed_range(const std::string& text) {
   const auto dots = text.find("..");
   if (dots == std::string::npos) {
     range.begin = 0;
-    range.end = parse_u64(text, "seed count");
+    range.end = parse_u64_arg(text, "seed count");
   } else {
-    range.begin = parse_u64(text.substr(0, dots), "seed range begin");
-    range.end = parse_u64(text.substr(dots + 2), "seed range end");
+    range.begin = parse_u64_arg(text.substr(0, dots), "seed range begin");
+    range.end = parse_u64_arg(text.substr(dots + 2), "seed range end");
   }
   if (range.size() == 0) {
     throw std::invalid_argument("empty seed range: '" + text + "'");
@@ -45,50 +60,7 @@ SeedRange parse_seed_range(const std::string& text) {
 
 CliOptions parse_cli(int& argc, char** argv, CliOptions defaults) {
   CliOptions opts = defaults;
-  std::vector<char*> kept;
-  kept.reserve(static_cast<std::size_t>(argc));
-  if (argc > 0) kept.push_back(argv[0]);
-
-  const auto take_value = [&](int& i, std::string_view arg,
-                              std::string_view flag) -> std::string {
-    if (arg.size() > flag.size() && arg[flag.size()] == '=') {
-      return std::string{arg.substr(flag.size() + 1)};
-    }
-    if (i + 1 >= argc) {
-      throw std::invalid_argument(std::string{flag} + " needs a value");
-    }
-    return std::string{argv[++i]};
-  };
-
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg{argv[i]};
-    if (arg == "--progress") {
-      opts.progress = true;
-    } else if (arg == "--no-fast-path") {
-      opts.fast_path = false;
-    } else if (arg == "--no-batch") {
-      opts.batching = false;
-    } else if (arg.rfind("--jobs", 0) == 0 &&
-               (arg.size() == 6 || arg[6] == '=')) {
-      opts.jobs = static_cast<unsigned>(
-          parse_u64(take_value(i, arg, "--jobs"), "--jobs"));
-    } else if (arg.rfind("--seeds", 0) == 0 &&
-               (arg.size() == 7 || arg[7] == '=')) {
-      opts.seeds = parse_seed_range(take_value(i, arg, "--seeds"));
-    } else if (arg.rfind("--report", 0) == 0 &&
-               (arg.size() == 8 || arg[8] == '=')) {
-      opts.report_path = take_value(i, arg, "--report");
-    } else if (arg.rfind("--trace-out", 0) == 0 &&
-               (arg.size() == 11 || arg[11] == '=')) {
-      opts.trace_path = take_value(i, arg, "--trace-out");
-    } else {
-      kept.push_back(argv[i]);
-    }
-  }
-
-  argc = static_cast<int>(kept.size());
-  for (std::size_t i = 0; i < kept.size(); ++i) argv[i] = kept[i];
-  argv[argc] = nullptr;
+  shared_cli_table(opts).extract_argv(argc, argv);
   return opts;
 }
 
@@ -115,17 +87,9 @@ std::string usage_text(std::string_view prog,
     if (!sub.operands.empty()) os << " " << sub.operands;
     os << "\n      " << sub.help << "\n";
   }
+  CliOptions dummy;
   os << "shared flags (any subcommand):\n"
-        "  --jobs N        worker threads (0 = hardware concurrency)\n"
-        "  --seeds A..B    half-open seed range [A, B); \"--seeds N\" means "
-        "[0, N)\n"
-        "  --report PATH   write the JSON report here\n"
-        "  --trace-out P   write a Chrome trace-event JSON of the first "
-        "grid cell\n"
-        "  --progress      stream per-task progress to stderr\n"
-        "  --no-fast-path  pin the naive per-bit kernel (disable "
-        "quiescence skipping)\n"
-        "  --no-batch      disable the word-level batched bit engine\n";
+     << shared_cli_table(dummy).help_text();
   return os.str();
 }
 

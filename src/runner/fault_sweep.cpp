@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "obs/jsonfmt.hpp"
+#include "runner/schemas.hpp"
 
 namespace mcan::runner {
 namespace {
@@ -117,7 +118,7 @@ FaultSweepReport run_fault_sweep(const FaultSweepConfig& cfg) {
 
 std::string to_json(const FaultSweepReport& report, JsonOptions opts) {
   std::ostringstream os;
-  os << "{\"schema\":\"michican.fault_sweep.v1\",\"bers\":[";
+  os << "{\"schema\":\"" << kFaultSweepSchema << "\",\"bers\":[";
   for (std::size_t i = 0; i < report.bers.size(); ++i) {
     if (i != 0) os << ",";
     os << fmt_double(report.bers[i]);

@@ -8,6 +8,7 @@
 #include "conformance/generator.hpp"
 #include "obs/jsonfmt.hpp"
 #include "runner/cell_codec.hpp"
+#include "runner/schemas.hpp"
 #include "runner/thread_pool.hpp"
 #include "sim/rng.hpp"
 
@@ -173,7 +174,7 @@ std::string to_json(const FuzzReport& report, JsonOptions opts) {
   using obs::fmt_double;
   using obs::json_escape;
   std::ostringstream os;
-  os << "{\"schema\":\"michican.fuzz.v1\",\"base_seed\":" << report.base_seed
+  os << "{\"schema\":\"" << kFuzzSchema << "\",\"base_seed\":" << report.base_seed
      << ",\"seeds\":{\"begin\":" << report.seeds.begin
      << ",\"end\":" << report.seeds.end << "},\"cases\":" << report.cases
      << ",\"kinds\":{\"clean\":" << report.kind_counts[0]

@@ -3,10 +3,11 @@
 #include <array>
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 
 #include "obs/jsonfmt.hpp"
+#include "runner/report_writer.hpp"
+#include "runner/schemas.hpp"
 
 namespace mcan::runner {
 namespace {
@@ -92,7 +93,7 @@ void put_task(std::ostringstream& os, const TaskResult& task) {
 std::string to_json(const CampaignReport& report, JsonOptions opts) {
   const auto serialize_start = std::chrono::steady_clock::now();
   std::ostringstream os;
-  os << "{\"schema\":\"michican.campaign.v1\",\"base_seed\":"
+  os << "{\"schema\":\"" << kCampaignSchema << "\",\"base_seed\":"
      << report.base_seed << ",\"seeds\":{\"begin\":" << report.seeds.begin
      << ",\"end\":" << report.seeds.end << "},\"specs\":[";
   for (std::size_t i = 0; i < report.specs.size(); ++i) {
@@ -154,14 +155,7 @@ std::string to_json(const CampaignReport& report, JsonOptions opts) {
 
 bool write_json_file(const std::string& path, const CampaignReport& report,
                      JsonOptions opts) {
-  std::ofstream out{path, std::ios::binary};
-  if (!out) return false;
-  out << to_json(report, opts);
-  // Flush before checking: a report smaller than the stream buffer would
-  // otherwise only hit the device at destruction, after the error check —
-  // the "exit 0 on a failed --report write" bug (e.g. /dev/full).
-  out.flush();
-  return static_cast<bool>(out);
+  return ReportWriter::write_file(path, to_json(report, opts));
 }
 
 }  // namespace mcan::runner

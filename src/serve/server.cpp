@@ -28,6 +28,7 @@
 #include "runner/campaign.hpp"
 #include "runner/fuzz.hpp"
 #include "runner/report.hpp"
+#include "runner/schemas.hpp"
 #include "serve/disk_store.hpp"
 #include "serve/wire.hpp"
 
@@ -35,6 +36,12 @@ namespace mcan::serve {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Shared head of every reply envelope: {"schema":"michican.serve.v1"
+/// (the schema name itself lives in runner/schemas.hpp).
+std::string schema_head() {
+  return "{\"schema\":\"" + std::string{runner::kServeSchema} + "\"";
+}
 
 std::atomic<bool> g_stop{false};
 
@@ -105,7 +112,7 @@ std::string cache_stats_json(std::string_view op, double wall_ms,
                              std::uint64_t corrupt,
                              const runner::CellStore::Stats& s) {
   std::ostringstream os;
-  os << "{\"schema\":\"michican.serve.v1\",\"kind\":\"cache_stats\","
+  os << schema_head() + ",\"kind\":\"cache_stats\","
      << "\"engine\":\"" << runner::kEngineVersion << "\",\"op\":\"" << op
      << "\",\"wall_ms\":" << obs::fmt_double(wall_ms)
      << ",\"request\":{\"cells\":" << cells << ",\"hits\":" << hits
@@ -118,7 +125,7 @@ std::string cache_stats_json(std::string_view op, double wall_ms,
 }
 
 void send_error(int fd, const std::string& message) {
-  send_frame(fd, "{\"schema\":\"michican.serve.v1\",\"event\":\"error\","
+  send_frame(fd, schema_head() + ",\"event\":\"error\","
                  "\"message\":\"" +
                      obs::json_escape(message) + "\"}");
 }
@@ -141,7 +148,7 @@ struct RequestContext {
                                       ",\"total\":" + std::to_string(total));
     }
     std::ostringstream os;
-    os << "{\"schema\":\"michican.serve.v1\",\"event\":\"progress\",\"done\":"
+    os << schema_head() + ",\"event\":\"progress\",\"done\":"
        << done << ",\"total\":" << total << "}";
     if (!send_frame(fd, os.str())) {
       cancel.store(true, std::memory_order_relaxed);
@@ -317,7 +324,7 @@ void handle_campaign(const ServerConfig& cfg, DiskStore& store,
   const int exit_code =
       rep.failed_tasks() == 0 && rep.cells_cancelled == 0 ? 0 : 1;
   std::ostringstream os;
-  os << "{\"schema\":\"michican.serve.v1\",\"event\":\"done\",\"op\":"
+  os << schema_head() + ",\"event\":\"done\",\"op\":"
      << "\"campaign\",\"exit\":" << exit_code << ",\"report\":\""
      << obs::json_escape(report) << "\",\"table\":\""
      << obs::json_escape(table) << "\",\"cache_stats\":" << stats;
@@ -389,7 +396,7 @@ void handle_fuzz(const ServerConfig& cfg, DiskStore& store,
   const int exit_code =
       rep.divergences.empty() && rep.cells_cancelled == 0 ? 0 : 1;
   std::ostringstream os;
-  os << "{\"schema\":\"michican.serve.v1\",\"event\":\"done\",\"op\":"
+  os << schema_head() + ",\"event\":\"done\",\"op\":"
      << "\"fuzz\",\"exit\":" << exit_code << ",\"report\":\""
      << obs::json_escape(report) << "\",\"table\":\""
      << obs::json_escape(runner::format_summary(rep)) << "\",\"cache_stats\":"
@@ -468,7 +475,7 @@ void handle_stats(DiskStore& store, const ServiceState& svc, int fd) {
   const auto snapshot = metrics_snapshot(svc, s);
   const auto stats = cache_stats_json("stats", 0.0, 0, 0, 0, 0, 0, s);
   std::ostringstream os;
-  os << "{\"schema\":\"michican.serve.v1\",\"event\":\"done\",\"op\":"
+  os << schema_head() + ",\"event\":\"done\",\"op\":"
      << "\"stats\",\"exit\":0,\"cache_stats\":" << stats
      << ",\"service\":" << service_json(svc, s)
      << ",\"metrics\":" << snapshot.to_json() << ",\"prom\":\""
@@ -498,7 +505,7 @@ void handle_health(const ServerConfig& cfg, const ServiceState& svc, int fd) {
   const bool error_rate_ok = svc.recent.size() < 4 || svc.error_rate() < 0.5;
   const bool ready = cache_writable && queue_ok && error_rate_ok;
   std::ostringstream os;
-  os << "{\"schema\":\"michican.serve.v1\",\"event\":\"done\",\"op\":"
+  os << schema_head() + ",\"event\":\"done\",\"op\":"
      << "\"health\",\"exit\":" << (ready ? 0 : 1)
      << ",\"health\":{\"ready\":" << (ready ? "true" : "false")
      << ",\"checks\":{\"cache_writable\":" << (cache_writable ? "true" : "false")
@@ -528,14 +535,14 @@ bool handle_connection(const ServerConfig& cfg, DiskStore& store,
   bool shutdown = false;
   std::string op_metric = op;
   if (op == "ping") {
-    send_frame(fd, "{\"schema\":\"michican.serve.v1\",\"event\":\"done\","
+    send_frame(fd, schema_head() + ",\"event\":\"done\","
                    "\"op\":\"ping\",\"exit\":0,\"pong\":true}");
   } else if (op == "stats") {
     handle_stats(store, svc, fd);
   } else if (op == "health") {
     handle_health(cfg, svc, fd);
   } else if (op == "shutdown") {
-    send_frame(fd, "{\"schema\":\"michican.serve.v1\",\"event\":\"done\","
+    send_frame(fd, schema_head() + ",\"event\":\"done\","
                    "\"op\":\"shutdown\",\"exit\":0}");
     slog(cfg, obs::LogLevel::Info, "shutdown_requested");
     shutdown = true;

@@ -191,6 +191,34 @@ TEST(EngineEquivalence, FaultInjectionGridByteIdenticalAcrossEngines) {
       << "fault grid: batched report depends on the worker count";
 }
 
+// The registry sweep above is only a multi-bus gate if the registry
+// actually contains gateway-bridged scenarios; pin that so dropping them
+// can't silently shrink the equivalence surface.
+TEST(EngineEquivalence, RegistrySweepCoversMultiBusTopologies) {
+  std::size_t multibus = 0;
+  for (const auto& s : analysis::ScenarioRegistry::built_in().all()) {
+    if (s.make().topology.buses > 1) ++multibus;
+  }
+  EXPECT_GE(multibus, 2u)
+      << "expected gateway-bridged (buses > 1) scenarios in the registry";
+}
+
+// Cross-bus wakeups with a latency that never aligns with 64-bit batch
+// words: gateway release times fall mid-word, so both the quiescence skip
+// and the batched engine must chunk around them without losing an edge.
+TEST(EngineEquivalence, MultiBusOddLatencyByteIdenticalAcrossEngines) {
+  auto base = analysis::ScenarioRegistry::built_in().make("gw-spoof");
+  base.topology.gateway_latency = sim::Bits{13};
+  base.duration = sim::Millis{400.0};
+  const std::vector<analysis::ExperimentSpec> specs{base};
+  const std::string reference =
+      campaign_json(specs, Engine::Batched, /*jobs=*/1);
+  EXPECT_EQ(reference, campaign_json(specs, Engine::Quiescence, /*jobs=*/1))
+      << "multi-bus odd latency: quiescence engine diverges";
+  EXPECT_EQ(reference, campaign_json(specs, Engine::Naive, /*jobs=*/1))
+      << "multi-bus odd latency: naive engine diverges";
+}
+
 TEST(EngineEquivalence, GoldenOutputsByteIdenticalWithTimelineCapture) {
   auto make = [](Engine engine) {
     auto spec = analysis::ScenarioRegistry::built_in().make("fig6");
