@@ -81,10 +81,12 @@ using obs::fmt_double;
 /// rest-bus replay with the defense monitor off, so nearly every bit sits
 /// inside a long transparent horizon the word engine can resolve 64 at a
 /// time.  kOverheadScenario hosts the observability-cost measurement.
+/// atk-flood-paced tracks the toolkit attack profiles: a rate-paced flood
+/// against the live defense with the rest-bus replay underneath.
 constexpr const char* kScenarioNames[] = {
     "idle-bus", "restbus-idle", "controllers-only",
-    "exp2",     "exp5",         "busy-bus",
-    "dos-ber1e-4"};
+    "exp2",     "exp5",         "atk-flood-paced",
+    "busy-bus", "dos-ber1e-4"};
 constexpr const char* kIdleHeavy = "restbus-idle";
 constexpr const char* kBusyBus = "busy-bus";
 constexpr const char* kOverheadScenario = "exp5";

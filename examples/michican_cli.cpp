@@ -15,9 +15,11 @@
 #include <array>
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -33,6 +35,8 @@
 #include "obs/log.hpp"
 #include "obs/timeline.hpp"
 #include "obs/trace_context.hpp"
+#include "attack/profiles.hpp"
+#include "restbus/candump.hpp"
 #include "restbus/dbc.hpp"
 #include "restbus/schedulability.hpp"
 #include "restbus/vehicles.hpp"
@@ -80,16 +84,87 @@ double parse_double_arg(const std::string& text, const char* what) {
   return v;
 }
 
+/// `--replay` trace ingestion, shared by the experiment and campaign
+/// subcommands: a captured log (candump -L or toolkit CSV) drives either
+/// the rest-bus or a Replay-profile attacker in every selected scenario.
+struct ReplayFlags {
+  std::string file;
+  std::string target{"restbus"};  // restbus | attacker
+  std::string format{"auto"};     // auto | candump | csv
+  double time_scale{1.0};
+};
+
+void add_replay_flags(ArgTable& table, ReplayFlags& rf) {
+  table
+      .str("--replay", "FILE",
+           "replay a captured trace (candump -L or CSV) in every scenario",
+           &rf.file)
+      .str("--replay-target", "T",
+           "what the trace drives: restbus (default) or attacker",
+           &rf.target)
+      .str("--replay-format", "F",
+           "trace encoding: auto (default, sniffed), candump or csv",
+           &rf.format)
+      .value("--replay-time-scale", "X",
+             "dilate the recorded timestamps by X (default 1)",
+             [&rf](const std::string& v) {
+               rf.time_scale = parse_double_arg(v, "--replay-time-scale");
+             });
+}
+
+void apply_replay(const ReplayFlags& rf, analysis::ExperimentSpec& spec) {
+  if (rf.file.empty()) return;
+  std::ifstream in{rf.file, std::ios::binary};
+  if (!in) {
+    throw std::invalid_argument("--replay: cannot read '" + rf.file + "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  restbus::TraceFormat format{};
+  if (rf.format == "candump") {
+    format = restbus::TraceFormat::Candump;
+  } else if (rf.format == "csv") {
+    format = restbus::TraceFormat::Csv;
+  } else if (rf.format == "auto") {
+    format = restbus::sniff_trace_format(text.str());
+  } else {
+    throw std::invalid_argument(
+        "--replay-format: expected auto, candump or csv, got '" + rf.format +
+        "'");
+  }
+  if (rf.target == "attacker") {
+    attack::AttackerConfig a;
+    a.profile = attack::AttackProfile::Replay;
+    a.replay_trace = text.str();
+    a.replay_format = format;
+    a.replay_time_scale = rf.time_scale;
+    spec.attackers.push_back(std::move(a));
+  } else if (rf.target == "restbus") {
+    spec.trace_replay.text = text.str();
+    spec.trace_replay.format = format;
+    spec.trace_replay.time_scale = rf.time_scale;
+  } else {
+    throw std::invalid_argument(
+        "--replay-target: expected restbus or attacker, got '" + rf.target +
+        "'");
+  }
+}
+
 int cmd_experiment(const runner::CliOptions& opts,
                    const std::vector<std::string>& args) {
-  if (args.empty() || args.size() > 3) {
+  ReplayFlags rf;
+  ArgTable table;
+  add_replay_flags(table, rf);
+  const auto pos = table.parse(args, ArgTable::Unknown::Reject, "experiment");
+  if (pos.empty() || pos.size() > 3) {
     throw std::invalid_argument(
         "experiment: expected <scenario> [seed] [duration_ms]");
   }
-  auto spec = registry().make(args[0]);
-  spec.seed = args.size() > 1 ? parse_seed(args[1]) : 42ull;
+  auto spec = registry().make(pos[0]);
+  apply_replay(rf, spec);
+  spec.seed = pos.size() > 1 ? parse_seed(pos[1]) : 42ull;
   const double duration_ms =
-      args.size() > 2 ? std::atof(args[2].c_str()) : spec.duration.value();
+      pos.size() > 2 ? std::atof(pos[2].c_str()) : spec.duration.value();
   spec.duration = sim::Millis{duration_ms};
   spec.fast_path = opts.fast_path;
   spec.batching = opts.batching;
@@ -104,7 +179,7 @@ int cmd_experiment(const runner::CliOptions& opts,
                a.ended_bus_off ? "bus-off" : "active"});
   }
   const std::string which =
-      spec.number > 0 ? std::to_string(spec.number) : args[0];
+      spec.number > 0 ? std::to_string(spec.number) : pos[0];
   t.print(std::cout, "Experiment " + which + " (" + spec.label + ", seed " +
                          std::to_string(spec.seed) + ", " +
                          fmt(duration_ms, 0) + " ms):");
@@ -155,11 +230,21 @@ int write_campaign_trace(const runner::CampaignConfig& cfg,
 
 int cmd_campaign(const runner::CliOptions& opts,
                  const std::vector<std::string>& args) {
-  std::vector<std::string> names{args};
+  ReplayFlags rf;
+  bool runtime_block = true;
+  ArgTable table;
+  add_replay_flags(table, rf);
+  table.flag("--no-runtime",
+             "omit the runtime block (wall clocks, jobs) so reports are "
+             "byte-comparable across --jobs values",
+             &runtime_block, false);
+  std::vector<std::string> names =
+      table.parse(args, ArgTable::Unknown::Reject, "campaign");
   if (names.empty()) names = {"1", "2", "3", "4", "5", "6"};
   runner::CampaignConfig cfg;
   for (const auto& name : names) {
     auto spec = registry().make(name);
+    apply_replay(rf, spec);
     spec.fast_path = opts.fast_path;
     spec.batching = opts.batching;
     cfg.specs.push_back(std::move(spec));
@@ -189,7 +274,7 @@ int cmd_campaign(const runner::CliOptions& opts,
                          fmt(rep.wall_ms, 0) + " ms wall:");
 
   runner::JsonOptions jopts;
-  jopts.include_runtime = true;
+  jopts.include_runtime = runtime_block;
   const ReportWriter report{opts.report_path};
   if (!report.write(runner::to_json(rep, jopts))) return 1;
   if (!opts.trace_path.empty()) {
@@ -834,11 +919,11 @@ int cmd_list_scenarios(const runner::CliOptions&,
 
 int main(int argc, char** argv) {
   const std::vector<runner::Subcommand> table{
-      {"experiment", "<scenario> [seed] [duration_ms]",
+      {"experiment", "<scenario> [seed] [duration_ms] [--replay FILE ...]",
        "run one named scenario (e.g. a Table II experiment) and print the "
        "outcome",
        cmd_experiment},
-      {"campaign", "[scenario...]",
+      {"campaign", "[scenario...] [--replay FILE ...]",
        "fan scenarios (default: exp1..exp6) over a seed range across a "
        "worker pool; results are bit-identical for any --jobs value",
        cmd_campaign},

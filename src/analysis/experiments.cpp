@@ -10,6 +10,7 @@
 #include <string>
 
 #include "analysis/busoff_meter.hpp"
+#include "attack/profiles.hpp"
 #include "can/bus.hpp"
 #include "can/periodic.hpp"
 #include "core/michican_node.hpp"
@@ -119,7 +120,9 @@ void validate(const ExperimentSpec& spec) {
                                 "': defender_period must be >= 0");
   }
   for (const auto& a : spec.attackers) {
-    if (a.ids.empty()) {
+    const bool scripted_ids = a.profile == attack::AttackProfile::Scripted ||
+                              a.profile == attack::AttackProfile::Flood;
+    if (scripted_ids && a.ids.empty()) {
       throw std::invalid_argument("experiment '" + spec.label +
                                   "': attacker with empty ID list");
     }
@@ -128,6 +131,53 @@ void validate(const ExperimentSpec& spec) {
         throw std::invalid_argument("experiment '" + spec.label +
                                     "': CAN ID out of range");
       }
+    }
+    if (a.rate_fps < 0.0) {
+      throw std::invalid_argument("experiment '" + spec.label +
+                                  "': rate_fps must be >= 0");
+    }
+    if (a.profile == attack::AttackProfile::Fuzz) {
+      if (a.fuzz_id_min > a.fuzz_id_max) {
+        throw std::invalid_argument("experiment '" + spec.label +
+                                    "': empty fuzz ID range");
+      }
+      if (a.fuzz_id_max > (a.extended ? can::kMaxExtId : can::kMaxStdId)) {
+        throw std::invalid_argument("experiment '" + spec.label +
+                                    "': fuzz ID range out of range");
+      }
+      if (a.fuzz_dlc_min > a.fuzz_dlc_max || a.fuzz_dlc_max > 8) {
+        throw std::invalid_argument("experiment '" + spec.label +
+                                    "': fuzz DLC range must stay within 0..8");
+      }
+    }
+    if (a.profile == attack::AttackProfile::Replay) {
+      if (a.replay_trace.empty()) {
+        throw std::invalid_argument("experiment '" + spec.label +
+                                    "': replay attacker with empty trace");
+      }
+      if (a.replay_time_scale <= 0.0) {
+        throw std::invalid_argument("experiment '" + spec.label +
+                                    "': replay_time_scale must be > 0");
+      }
+      try {
+        (void)restbus::parse_trace(a.replay_trace, a.replay_format);
+      } catch (const std::exception& e) {
+        throw std::invalid_argument("experiment '" + spec.label +
+                                    "': replay trace: " + e.what());
+      }
+    }
+  }
+  if (!spec.trace_replay.text.empty()) {
+    if (spec.trace_replay.time_scale <= 0.0) {
+      throw std::invalid_argument("experiment '" + spec.label +
+                                  "': trace_replay.time_scale must be > 0");
+    }
+    try {
+      (void)restbus::parse_trace(spec.trace_replay.text,
+                                 spec.trace_replay.format);
+    } catch (const std::exception& e) {
+      throw std::invalid_argument("experiment '" + spec.label +
+                                  "': trace_replay: " + e.what());
     }
   }
   if (spec.fault.bit_error_rate < 0.0 || spec.fault.bit_error_rate >= 1.0) {
@@ -282,12 +332,12 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   }
 
   // --- attackers ------------------------------------------------------------
-  std::vector<std::unique_ptr<Attacker>> attackers;
+  std::vector<std::unique_ptr<attack::AttackerNode>> attackers;
   for (std::size_t i = 0; i < spec.attackers.size(); ++i) {
     auto cfg = spec.attackers[i];
     cfg.seed = spec.seed * 1000 + i;
-    auto a = std::make_unique<Attacker>("attacker" + std::to_string(i + 1),
-                                        cfg);
+    auto a = attack::make_attacker("attacker" + std::to_string(i + 1),
+                                   std::move(cfg), spec.speed);
     a->attach_to(attacker_bus);
     attackers.push_back(std::move(a));
   }
@@ -325,6 +375,17 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     rb = std::make_unique<restbus::RestbusSim>(replayed, restbus_bus, rcfg);
   }
 
+  // --- captured-trace replay onto the rest-bus segment ----------------------
+  std::unique_ptr<can::BitController> trace_replay_ctrl;
+  if (!spec.trace_replay.text.empty()) {
+    trace_replay_ctrl = std::make_unique<can::BitController>("trace-replay");
+    restbus::attach_candump_replay(
+        *trace_replay_ctrl,
+        restbus::parse_trace(spec.trace_replay.text, spec.trace_replay.format),
+        spec.speed, spec.trace_replay.time_scale);
+    trace_replay_ctrl->attach_to(restbus_bus);
+  }
+
   // --- run the recording ----------------------------------------------------
   topo.set_fast_path(spec.fast_path);
   topo.set_batching(spec.batching);
@@ -347,7 +408,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     const auto& a = *attackers[i];
     AttackerOutcome out;
     out.node = std::string{a.node().name()};
-    out.primary_id = spec.attackers[i].ids.front();
+    out.primary_id = attack::primary_attack_id(spec.attackers[i]);
     const auto bits = busoff_durations_bits(attacker_bus.log(), out.node);
     out.busoff_bits = sim::summarize(bits);
     auto ms = bits;
@@ -404,13 +465,12 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
 
   // Classify detections: a verdict whose observed ID belongs to no attacker
   // flagged legitimate traffic.  The denominator of the detection rate is
-  // the number of attack frames actually started.
+  // the number of attack frames actually started.  Each attacker reports
+  // its own IDs (configured list for scripted profiles, runtime-injected
+  // set for fuzz/replay, extended IDs pre-expanded to their 11-bit base).
   std::vector<can::CanId> attacker_ids;
-  for (const auto& a : spec.attackers) {
-    for (const auto id : a.ids) {
-      attacker_ids.push_back(id);
-      if (a.extended) attacker_ids.push_back(can::ext_base(id));
-    }
+  for (const auto& a : attackers) {
+    for (const auto id : a->injected_ids()) attacker_ids.push_back(id);
   }
   for (const auto& ev : defender_bus.log().events()) {
     if (ev.kind != EventKind::AttackDetected) continue;
@@ -430,6 +490,13 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     res.restbus_frames_delivered = rbs.frames_sent;
     res.restbus_drops = rbs.dropped_frames;
     res.restbus_any_bus_off = rb->any_bus_off();
+  }
+  if (trace_replay_ctrl) {
+    // The replayed capture is rest-bus traffic: fold its deliveries into
+    // the same counter the campaign reports aggregate.
+    res.restbus_frames_delivered += trace_replay_ctrl->stats().frames_sent;
+    res.restbus_any_bus_off =
+        res.restbus_any_bus_off || trace_replay_ctrl->is_bus_off();
   }
   // Measured load on the *monitored* segment (the only segment when
   // buses == 1, so the historical value is unchanged).
@@ -452,6 +519,10 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     res.metrics.counter("restbus.frames_delivered") +=
         res.restbus_frames_delivered;
     res.metrics.counter("restbus.drops") += res.restbus_drops;
+  }
+  if (trace_replay_ctrl) {
+    res.metrics.counter("restbus.trace_replay_frames") +=
+        trace_replay_ctrl->stats().frames_sent;
   }
   if (injector) injector->export_metrics(res.metrics);
   topo.export_metrics(res.metrics);  // no-op on a single bus

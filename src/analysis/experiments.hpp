@@ -50,6 +50,16 @@ struct TopologySpec {
   std::size_t restbus_bus{0};
 };
 
+/// Rest-bus-side trace ingestion: a captured log (candump -L or toolkit
+/// CSV) replayed onto the rest-bus segment through a dedicated controller,
+/// so recorded vehicle traffic can drive any scenario.  Empty text = off.
+/// (Attacker-side replay is AttackProfile::Replay on an AttackerConfig.)
+struct TraceReplaySpec {
+  std::string text;
+  restbus::TraceFormat format{restbus::TraceFormat::Candump};
+  double time_scale{1.0};
+};
+
 struct ExperimentSpec {
   int number{0};  // 1..6 for the paper's experiments, 0 for custom
   std::string label;
@@ -93,6 +103,8 @@ struct ExperimentSpec {
   bool batching{true};
   /// Multi-bus wiring; the default single-bus value changes nothing.
   TopologySpec topology;
+  /// Captured-log replay onto the rest-bus segment; default off.
+  TraceReplaySpec trace_replay;
 };
 
 struct AttackerOutcome {

@@ -5,6 +5,10 @@
 #include <utility>
 #include <vector>
 
+#include <cstdio>
+
+#include "attack/profiles.hpp"
+#include "restbus/candump.hpp"
 #include "restbus/vehicles.hpp"
 
 namespace mcan::analysis {
@@ -124,6 +128,145 @@ ExperimentSpec gw_forward_spec() {
   return spec;
 }
 
+// --- toolkit attack profiles (ROADMAP item 3) ------------------------------
+
+ExperimentSpec atk_flood_dos_spec() {
+  // candos: continuous lowest-priority flood — the Flood profile with no
+  // pacing degenerates to the Table II DoS shape, but runs through the
+  // profile dispatch end to end.
+  ExperimentSpec spec;
+  spec.label = "flood DoS 0x000 (continuous)";
+  spec.defender_period = sim::Millis{0.0};
+  auto a = attack::Attacker::traditional_dos();
+  a.profile = attack::AttackProfile::Flood;
+  spec.attackers = {a};
+  spec.restbus = true;
+  return spec;
+}
+
+ExperimentSpec atk_flood_paced_spec() {
+  // flood --rate: a 0x173 spoof flood paced at 100 frames/s (500 bit times
+  // at 50 kbit/s), so the monitor sees periodic rather than back-to-back
+  // spoofs.
+  ExperimentSpec spec;
+  spec.label = "spoof flood 0x173 at 100 fps";
+  spec.defender_period = sim::Millis{0.0};
+  auto a = attack::Attacker::spoof(0x173);
+  a.profile = attack::AttackProfile::Flood;
+  a.rate_fps = 100.0;
+  spec.attackers = {a};
+  spec.restbus = true;
+  return spec;
+}
+
+ExperimentSpec atk_fuzz_std_spec() {
+  // canfuzzer over the 11-bit space: random ID/DLC/payload at 50 frames/s
+  // against the armed defender and the rest-bus replay.
+  ExperimentSpec spec;
+  spec.label = "fuzz 11-bit IDs at 50 fps";
+  spec.defender_period = sim::Millis{0.0};
+  attack::AttackerConfig a;
+  a.profile = attack::AttackProfile::Fuzz;
+  a.rate_fps = 50.0;
+  a.fuzz_id_min = 0x000;
+  a.fuzz_id_max = can::kMaxStdId;
+  a.fuzz_dlc_min = 0;
+  a.fuzz_dlc_max = 8;
+  spec.attackers = {a};
+  spec.restbus = true;
+  return spec;
+}
+
+ExperimentSpec atk_fuzz_ext_spec() {
+  // canfuzzer with the extended-ID option: 29-bit identifiers exercise the
+  // CAN 2.0B framing through every engine tier.
+  ExperimentSpec spec;
+  spec.label = "fuzz 29-bit IDs at 50 fps";
+  spec.defender_period = sim::Millis{0.0};
+  attack::AttackerConfig a;
+  a.profile = attack::AttackProfile::Fuzz;
+  a.extended = true;
+  a.rate_fps = 50.0;
+  a.fuzz_id_min = 0x000;
+  a.fuzz_id_max = can::kMaxExtId;
+  a.fuzz_dlc_min = 0;
+  a.fuzz_dlc_max = 8;
+  spec.attackers = {a};
+  return spec;
+}
+
+/// A deterministic "captured" spoof log: 0x173 every 25 ms with seeded
+/// payloads, closed by an equal-timestamp pair (stable-sort coverage).
+/// Timestamps are composed from integers — never printf("%f") — so the
+/// spec is identical under any process locale.
+std::string spoof_replay_trace() {
+  std::string out;
+  sim::Rng rng{0xA77ACC};
+  char buf[32];
+  const auto append_frame = [&](long long us) {
+    int n = std::snprintf(buf, sizeof buf, "(%lld.%06lld) can0 173#",
+                          us / 1000000, us % 1000000);
+    out.append(buf, static_cast<std::size_t>(n));
+    for (int b = 0; b < 8; ++b) {
+      std::snprintf(buf, sizeof buf, "%02X",
+                    static_cast<unsigned>(rng.uniform(0, 255)));
+      out += buf;
+    }
+    out += '\n';
+  };
+  for (int i = 0; i < 64; ++i) append_frame(2000 + 25000LL * i);
+  append_frame(2000 + 25000LL * 64);
+  append_frame(2000 + 25000LL * 64);  // duplicate timestamp, stable order
+  return out;
+}
+
+ExperimentSpec atk_replay_spoof_spec() {
+  // canreplay -t: the captured spoof log drives the attacker with exact
+  // inter-frame timing through a compliant controller.
+  ExperimentSpec spec;
+  spec.label = "replayed spoof capture on 0x173";
+  spec.defender_period = sim::Millis{0.0};
+  attack::AttackerConfig a;
+  a.profile = attack::AttackProfile::Replay;
+  a.replay_trace = spoof_replay_trace();
+  a.replay_format = restbus::TraceFormat::Candump;
+  spec.attackers = {a};
+  return spec;
+}
+
+ExperimentSpec atk_replay_csv_spec() {
+  // Trace-replay ingestion on the rest-bus side: a benign toolkit CSV
+  // capture (four Veh.-D-style IDs on a 20 ms cadence) replays onto the
+  // monitored bus; the armed defender must stay quiet.
+  ExperimentSpec spec;
+  spec.label = "benign CSV capture on the rest-bus";
+  std::vector<restbus::CandumpEntry> trace;
+  sim::Rng rng{0xC5F};
+  // The capture must carry IDs the IVN knows (the monitor treats unknown
+  // identifiers as attack traffic): draw four from the Veh. D matrix.
+  std::vector<can::CanId> ids;
+  for (const auto id : restbus::vehicle_matrix(restbus::Vehicle::D, 1)
+                           .ecu_ids()) {
+    if (id == spec.defender_id) continue;
+    ids.push_back(id);
+    if (ids.size() == 4) break;
+  }
+  for (int i = 0; i < 80; ++i) {
+    restbus::CandumpEntry e;
+    e.t_seconds = (5000.0 + 20000.0 * i) / 1e6;
+    e.frame.id = ids[static_cast<std::size_t>(i) % ids.size()];
+    e.frame.dlc = 8;
+    for (int b = 0; b < 8; ++b) {
+      e.frame.data[static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(rng.uniform(0, 255));
+    }
+    trace.push_back(std::move(e));
+  }
+  spec.trace_replay.text = restbus::to_csv(trace);
+  spec.trace_replay.format = restbus::TraceFormat::Csv;
+  return spec;
+}
+
 ScenarioRegistry make_built_in() {
   ScenarioRegistry reg;
   reg.add({"exp1",
@@ -215,6 +358,36 @@ ScenarioRegistry make_built_in() {
            "two-bus vehicle: benign rest-bus IDs forwarded across the "
            "gateway, armed defender stays quiet",
            gw_forward_spec});
+  reg.add({"atk-flood-dos",
+           {},
+           "attack profile: continuous lowest-priority (0x000) DoS flood "
+           "through the Flood dispatch (candos)",
+           atk_flood_dos_spec});
+  reg.add({"atk-flood-paced",
+           {},
+           "attack profile: 0x173 spoof flood paced at 100 frames/s "
+           "(flood --rate)",
+           atk_flood_paced_spec});
+  reg.add({"atk-fuzz-std",
+           {},
+           "attack profile: seeded random ID/DLC/payload fuzzing over the "
+           "11-bit space at 50 frames/s (canfuzzer)",
+           atk_fuzz_std_spec});
+  reg.add({"atk-fuzz-ext",
+           {},
+           "attack profile: seeded fuzzing with 29-bit extended identifiers "
+           "at 50 frames/s",
+           atk_fuzz_ext_spec});
+  reg.add({"atk-replay-spoof",
+           {},
+           "attack profile: captured 0x173 spoof log injected with exact "
+           "inter-frame timing (canreplay -t)",
+           atk_replay_spoof_spec});
+  reg.add({"atk-replay-csv",
+           {},
+           "trace-replay ingestion: benign toolkit CSV capture drives the "
+           "rest-bus, armed defender stays quiet",
+           atk_replay_csv_spec});
   return reg;
 }
 

@@ -3,7 +3,6 @@
 #include <cmath>
 
 namespace mcan::attack {
-namespace {
 
 can::BitController::Config attacker_controller_config(
     const AttackerConfig& cfg) {
@@ -17,8 +16,6 @@ can::BitController::Config attacker_controller_config(
   c.tx_queue_capacity = 4;
   return c;
 }
-
-}  // namespace
 
 Attacker::Attacker(std::string name, AttackerConfig cfg)
     : cfg_(std::move(cfg)),
@@ -63,6 +60,16 @@ void Attacker::pump(sim::BitTime now) {
     }
   }
   if (ctrl_.enqueue(f)) ++injected_;
+}
+
+std::vector<can::CanId> Attacker::injected_ids() const {
+  std::vector<can::CanId> out = cfg_.ids;
+  if (cfg_.extended) {
+    const auto n = out.size();
+    out.reserve(2 * n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(can::ext_base(out[i]));
+  }
+  return out;
 }
 
 AttackerConfig Attacker::spoof(can::CanId victim_id) {

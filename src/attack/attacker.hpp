@@ -11,6 +11,7 @@
 #include "can/bus.hpp"
 #include "can/controller.hpp"
 #include "can/frame.hpp"
+#include "restbus/candump.hpp"
 #include "sim/rng.hpp"
 
 namespace mcan::attack {
@@ -22,6 +23,16 @@ enum class AttackKind : std::uint8_t {
   TargetedDos,     // an ID just below the victim's silences it selectively
   Miscellaneous,   // ID above the highest legitimate one (harmless)
   Alternating,     // Exp. 6: one ECU toggling between two IDs
+};
+
+/// Behavioural profiles ported from the related attack toolkits
+/// (SNIPPETS.md: flood/candos, canfuzzer, canreplay).
+enum class AttackProfile : std::uint8_t {
+  Scripted,  // fixed ID list, the paper's Table II attackers (default)
+  Flood,     // fixed ID list at a frames/second rate (`flood --rate`)
+  Fuzz,      // seeded random ID/DLC/payload (`canfuzzer`)
+  Replay,    // injections driven by a parsed trace with candump -t-style
+             // exact inter-frame timing (`canreplay -t`)
 };
 
 struct AttackerConfig {
@@ -40,22 +51,65 @@ struct AttackerConfig {
   /// Exp. 6 where the *other* queued ID transmits after recovery.
   bool clear_queue_on_bus_off{false};
   std::uint64_t seed{1};
+
+  /// Which behavioural profile drives the injections.  Scripted keeps the
+  /// historical Attacker semantics; the toolkit profiles below interpret
+  /// the extra knobs.
+  AttackProfile profile{AttackProfile::Scripted};
+  /// Flood/Fuzz pacing in frames per second; > 0 overrides period_bits
+  /// against the experiment's bus speed (toolkit `--rate` semantics),
+  /// 0 keeps period_bits (and 0/0 means continuous flood).
+  double rate_fps{0.0};
+  /// Fuzz profile: inclusive identifier range (`extended` selects the
+  /// 29-bit space) and inclusive DLC range.
+  can::CanId fuzz_id_min{0x000};
+  can::CanId fuzz_id_max{can::kMaxStdId};
+  std::uint8_t fuzz_dlc_min{8};
+  std::uint8_t fuzz_dlc_max{8};
+  /// Replay profile: trace document (candump -L or toolkit CSV), its
+  /// encoding, and the time dilation applied to the recorded timestamps.
+  std::string replay_trace;
+  restbus::TraceFormat replay_format{restbus::TraceFormat::Candump};
+  double replay_time_scale{1.0};
 };
 
-/// A compromised ECU driving one of the attack patterns.
-class Attacker {
+/// Controller settings shared by every attacker profile (shallow queue,
+/// persistent-recovery semantics from AttackerConfig).
+[[nodiscard]] can::BitController::Config attacker_controller_config(
+    const AttackerConfig& cfg);
+
+/// Interface every attacker profile implements; experiments hold attackers
+/// through this so scripted and toolkit profiles mix in one spec.
+class AttackerNode {
+ public:
+  virtual ~AttackerNode() = default;
+
+  virtual void attach_to(can::WiredAndBus& bus) = 0;
+  [[nodiscard]] virtual can::BitController& node() noexcept = 0;
+  [[nodiscard]] virtual const can::BitController& node() const noexcept = 0;
+  [[nodiscard]] virtual std::uint64_t frames_injected() const noexcept = 0;
+  /// Identifiers this attacker targets as the arbitration monitor observes
+  /// them (extended IDs are also reported via their 11-bit base).  Scripted
+  /// profiles report their configured list; fuzz/replay report the IDs
+  /// actually injected so far — used to classify detections as true/false.
+  [[nodiscard]] virtual std::vector<can::CanId> injected_ids() const = 0;
+};
+
+/// A compromised ECU driving one of the scripted attack patterns.
+class Attacker : public AttackerNode {
  public:
   Attacker(std::string name, AttackerConfig cfg);
 
-  void attach_to(can::WiredAndBus& bus) { ctrl_.attach_to(bus); }
+  void attach_to(can::WiredAndBus& bus) override { ctrl_.attach_to(bus); }
 
-  [[nodiscard]] can::BitController& node() noexcept { return ctrl_; }
-  [[nodiscard]] const can::BitController& node() const noexcept {
+  [[nodiscard]] can::BitController& node() noexcept override { return ctrl_; }
+  [[nodiscard]] const can::BitController& node() const noexcept override {
     return ctrl_;
   }
-  [[nodiscard]] std::uint64_t frames_injected() const noexcept {
+  [[nodiscard]] std::uint64_t frames_injected() const noexcept override {
     return injected_;
   }
+  [[nodiscard]] std::vector<can::CanId> injected_ids() const override;
 
   /// Convenience factories for the paper's experiments.
   static AttackerConfig spoof(can::CanId victim_id);

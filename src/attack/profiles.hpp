@@ -1,0 +1,90 @@
+// Toolkit attack profiles (ROADMAP item 3): flood at a configurable rate,
+// seeded random-ID/DLC/payload fuzzing, and trace-driven replay with exact
+// inter-frame timing — the attack shapes the related toolkits implement
+// (SNIPPETS.md: flood/candos, canfuzzer, canreplay -t) and the SoK argues
+// defenses must be evaluated against.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "attack/attacker.hpp"
+#include "sim/types.hpp"
+
+namespace mcan::attack {
+
+/// Scripted attacker whose pacing is given in frames/second against the
+/// experiment's bus speed (`flood --rate` semantics); rate 0 keeps the
+/// configured period_bits (continuous flood when both are 0).
+class FloodAttacker : public Attacker {
+ public:
+  FloodAttacker(std::string name, AttackerConfig cfg, sim::BusSpeed speed);
+};
+
+/// Seeded fuzzer: every injected frame draws a fresh identifier from
+/// [fuzz_id_min, fuzz_id_max], a DLC from [fuzz_dlc_min, fuzz_dlc_max] and
+/// a random payload.  Same seed -> identical frame sequence.
+class FuzzAttacker : public AttackerNode {
+ public:
+  FuzzAttacker(std::string name, AttackerConfig cfg, sim::BusSpeed speed);
+
+  void attach_to(can::WiredAndBus& bus) override { ctrl_.attach_to(bus); }
+  [[nodiscard]] can::BitController& node() noexcept override { return ctrl_; }
+  [[nodiscard]] const can::BitController& node() const noexcept override {
+    return ctrl_;
+  }
+  [[nodiscard]] std::uint64_t frames_injected() const noexcept override {
+    return injected_;
+  }
+  [[nodiscard]] std::vector<can::CanId> injected_ids() const override;
+
+ private:
+  void pump(sim::BitTime now);
+  [[nodiscard]] sim::BitTime pump_next(sim::BitTime now) const;
+
+  AttackerConfig cfg_;
+  can::BitController ctrl_;
+  sim::Rng rng_;
+  double next_due_{0.0};
+  std::uint64_t injected_{0};
+  std::set<can::CanId> ids_;  // ordered -> deterministic injected_ids()
+};
+
+/// Trace-driven attacker: parses `replay_trace` and injects each frame at
+/// its recorded timestamp (scaled by replay_time_scale), i.e. candump
+/// `-t`-style exact inter-frame timing through a compliant controller.
+class ReplayAttacker : public AttackerNode {
+ public:
+  ReplayAttacker(std::string name, AttackerConfig cfg, sim::BusSpeed speed);
+
+  void attach_to(can::WiredAndBus& bus) override { ctrl_.attach_to(bus); }
+  [[nodiscard]] can::BitController& node() noexcept override { return ctrl_; }
+  [[nodiscard]] const can::BitController& node() const noexcept override {
+    return ctrl_;
+  }
+  [[nodiscard]] std::uint64_t frames_injected() const noexcept override {
+    return injected_;
+  }
+  [[nodiscard]] std::vector<can::CanId> injected_ids() const override;
+
+ private:
+  AttackerConfig cfg_;
+  can::BitController ctrl_;
+  std::uint64_t injected_{0};
+  std::set<can::CanId> ids_;
+};
+
+/// Profile-dispatching factory: the experiment harness builds every
+/// attacker through this so one spec can mix scripted and toolkit
+/// profiles.  `speed` resolves rate_fps and replay timestamps into bit
+/// times.
+[[nodiscard]] std::unique_ptr<AttackerNode> make_attacker(
+    std::string name, AttackerConfig cfg, sim::BusSpeed speed);
+
+/// The identifier a report lists for an attacker config: the first
+/// scripted/flood ID, the bottom of the fuzz range, or the first frame of
+/// the replay trace (0 when unresolvable).
+[[nodiscard]] can::CanId primary_attack_id(const AttackerConfig& cfg);
+
+}  // namespace mcan::attack

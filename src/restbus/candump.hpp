@@ -5,8 +5,16 @@
 //   (1436509052.249713) can0 123#DEADBEEF
 //   (1436509052.449813) can0 00000042#11        (8 hex digits = extended)
 //   (1436509052.650013) can0 2A0#R              (remote frame)
+//
+// The attack toolkits log CSV instead (`timestamp,id,dlc,data`), so the
+// same ingestion path also reads:
+//   timestamp,id,dlc,data
+//   0.000000,123,4,DEADBEEF
+//   0.200100,0x00000042,1,11                    (>0x7FF or 8 digits = extended)
+//   0.400200,2A0,0,R                            (remote frame)
 #pragma once
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,15 +31,40 @@ struct CandumpEntry {
   can::CanFrame frame;
 };
 
+/// Supported on-disk trace encodings for the replay ingestion path.
+enum class TraceFormat : std::uint8_t {
+  Candump,  // candump -L: "(ts) iface ID#DATA"
+  Csv,      // toolkit logs: "timestamp,id,dlc,data"
+};
+
 /// One candump -L line for a frame.
 [[nodiscard]] std::string to_candump_line(const CandumpEntry& e);
 
 /// Serialize a whole trace.
 [[nodiscard]] std::string to_candump(const std::vector<CandumpEntry>& trace);
 
+/// Serialize a trace as toolkit CSV (with a `timestamp,id,dlc,data` header).
+[[nodiscard]] std::string to_csv(const std::vector<CandumpEntry>& trace);
+
 /// Parse a candump -L document.  Throws std::runtime_error on malformed
-/// lines; blank lines are ignored.
+/// lines; blank lines are ignored.  Parsing is locale-independent: the
+/// timestamp is read with std::from_chars, never std::stod.
 [[nodiscard]] std::vector<CandumpEntry> parse_candump(std::string_view text);
+
+/// Parse a toolkit CSV trace (`timestamp,id,dlc,data`).  An optional header
+/// row (first field non-numeric) and blank lines are ignored.  The id is hex
+/// with an optional 0x prefix; 8 hex digits or a value above 0x7FF mark an
+/// extended identifier; a data field of `R` marks a remote frame.  Throws
+/// std::runtime_error on malformed lines.
+[[nodiscard]] std::vector<CandumpEntry> parse_csv_trace(std::string_view text);
+
+/// Guess the trace encoding from the first non-blank line: candump lines
+/// start with '(' — anything else is treated as CSV.
+[[nodiscard]] TraceFormat sniff_trace_format(std::string_view text);
+
+/// Format-dispatching parse for the replay ingestion path.
+[[nodiscard]] std::vector<CandumpEntry> parse_trace(std::string_view text,
+                                                    TraceFormat format);
 
 /// A bus observer that records every completed frame as a candump trace —
 /// the simulator's PCAN logger.
@@ -55,9 +88,14 @@ class CandumpRecorder {
 
 /// Replay a parsed trace onto the bus through a dedicated controller:
 /// each entry is enqueued at its recorded time (scaled by `time_scale`,
-/// e.g. 10 to dilate a 500 kbit/s trace onto a 50 kbit/s bus).
-void attach_candump_replay(can::BitController& ctrl,
-                           std::vector<CandumpEntry> trace,
-                           sim::BusSpeed speed, double time_scale = 1.0);
+/// e.g. 10 to dilate a 500 kbit/s trace onto a 50 kbit/s bus).  Entries
+/// are ordered by timestamp with a stable sort so equal timestamps keep
+/// their original trace order on every platform.  `on_enqueue`, when set,
+/// fires for every frame accepted into the controller's tx queue (the
+/// ReplayAttacker uses it to count injections).
+void attach_candump_replay(
+    can::BitController& ctrl, std::vector<CandumpEntry> trace,
+    sim::BusSpeed speed, double time_scale = 1.0,
+    std::function<void(const can::CanFrame&)> on_enqueue = {});
 
 }  // namespace mcan::restbus

@@ -37,10 +37,15 @@ std::size_t edit_distance(std::string_view a, std::string_view b) {
 }  // namespace
 
 std::uint64_t parse_u64_arg(const std::string& text, std::string_view what) {
+  // std::stoull accepts leading whitespace and a sign — "-1" silently
+  // wraps to 2^64-1 with a full-length pos.  An unsigned count must be
+  // bare digits, nothing else.
+  const bool digits_only =
+      !text.empty() && text.find_first_not_of("0123456789") == std::string::npos;
   std::size_t pos = 0;
   std::uint64_t v = 0;
   try {
-    v = std::stoull(text, &pos, 10);
+    if (digits_only) v = std::stoull(text, &pos, 10);
   } catch (const std::exception&) {
     pos = 0;
   }

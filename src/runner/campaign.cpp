@@ -5,6 +5,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "attack/profiles.hpp"
 #include "runner/cell_codec.hpp"
 #include "runner/thread_pool.hpp"
 #include "sim/rng.hpp"
@@ -91,9 +92,7 @@ SpecAggregate aggregate_spec(const analysis::ExperimentSpec& spec,
   agg.busoff_ms_pct = percentiles(pooled_cycles);
   for (std::size_t a = 0; a < per_attacker.size(); ++a) {
     AttackerAggregate aa;
-    aa.primary_id = spec.attackers[a].ids.empty()
-                        ? can::CanId{0}
-                        : spec.attackers[a].ids.front();
+    aa.primary_id = attack::primary_attack_id(spec.attackers[a]);
     aa.cycles = per_attacker[a].size();
     aa.busoff_ms = sim::summarize(per_attacker[a]);
     aa.busoff_ms_pct = percentiles(per_attacker[a]);

@@ -55,6 +55,21 @@ std::uint64_t spec_fingerprint(const analysis::ExperimentSpec& spec) {
     fp.mix_u64(a.persistent ? 1 : 0);
     fp.mix_u64(a.clear_queue_on_bus_off ? 1 : 0);
     fp.mix_u64(a.seed);
+    // Profile knobs mixed only for non-scripted attackers: a default
+    // (Scripted) config is the historical attacker, so its fingerprints —
+    // and every cache entry keyed on them — stay valid.
+    if (a.profile != attack::AttackProfile::Scripted) {
+      fp.mix_str("profile");
+      fp.mix_u64(static_cast<std::uint64_t>(a.profile));
+      fp.mix_double(a.rate_fps);
+      fp.mix_u64(a.fuzz_id_min);
+      fp.mix_u64(a.fuzz_id_max);
+      fp.mix_u64(a.fuzz_dlc_min);
+      fp.mix_u64(a.fuzz_dlc_max);
+      fp.mix_str(a.replay_trace);
+      fp.mix_u64(static_cast<std::uint64_t>(a.replay_format));
+      fp.mix_double(a.replay_time_scale);
+    }
   }
 
   fp.mix_u64(spec.restbus ? 1 : 0);
@@ -115,6 +130,14 @@ std::uint64_t spec_fingerprint(const analysis::ExperimentSpec& spec) {
       fp.mix_u64(r.id);
       fp.mix_u64(r.extended ? 1 : 0);
     }
+  }
+  // Rest-bus trace replay mixed only when configured, same compatibility
+  // rationale as topology above.
+  if (!spec.trace_replay.text.empty()) {
+    fp.mix_str("trace-replay");
+    fp.mix_str(spec.trace_replay.text);
+    fp.mix_u64(static_cast<std::uint64_t>(spec.trace_replay.format));
+    fp.mix_double(spec.trace_replay.time_scale);
   }
   // fast_path / batching / capture_timeline excluded by design: the
   // equivalence gates guarantee they cannot change the result.

@@ -187,6 +187,19 @@ TEST(ParseHelpers, NameTheOffendingFlag) {
   }
 }
 
+TEST(ParseHelpers, RejectSignsAndWhitespace) {
+  // Regression: std::stoull accepts "-1" (wrapping to 2^64-1), "+1", and
+  // leading whitespace.  parse_u64_arg must take plain digits only.
+  EXPECT_EQ(runner::parse_u64_arg("0", "--seeds"), 0u);
+  EXPECT_EQ(runner::parse_u64_arg("18446744073709551615", "--seeds"),
+            18446744073709551615ull);
+  for (const char* bad : {"-1", "+1", " 1", "1 ", "\t7", "", "0x10"}) {
+    EXPECT_THROW((void)runner::parse_u64_arg(bad, "--seeds"),
+                 std::invalid_argument)
+        << "input: '" << bad << "'";
+  }
+}
+
 TEST(ScenarioSuggestions, TyposAndPrefixesResolveToNearMisses) {
   const auto& reg = analysis::ScenarioRegistry::built_in();
   {

@@ -1,5 +1,7 @@
-// Tests for the DBC-subset matrix format and candump trace I/O.
+// Tests for the DBC-subset matrix format and candump/CSV trace I/O.
 #include <gtest/gtest.h>
+
+#include <clocale>
 
 #include "can/bus.hpp"
 #include "can/periodic.hpp"
@@ -174,6 +176,136 @@ TEST(Candump, ReplayTimeScaleDilatesTrace) {
   // 0.01 s * 10 = 0.1 s apart on the slow bus.
   EXPECT_NEAR(rec.trace()[1].t_seconds - rec.trace()[0].t_seconds, 0.1,
               0.01);
+}
+
+TEST(Candump, MalformedTimestampsThrow) {
+  // std::from_chars-based parsing: no leading sign, whitespace, or
+  // trailing junk inside the parentheses.
+  EXPECT_THROW((void)parse_candump("(-1.0) can0 173#00\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_candump("(+1.0) can0 173#00\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_candump("(1.0x) can0 173#00\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_candump("(abc) can0 173#00\n"),
+               std::runtime_error);
+}
+
+TEST(Candump, ParsingIsLocaleIndependent) {
+  // Regression: std::stod honors LC_NUMERIC, so a comma-decimal locale
+  // mis-parsed "(1436509052.249713)" as 1436509052.  Skip (rather than
+  // fail) when no comma-decimal locale is installed in the environment.
+  const char* previous = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string saved = previous != nullptr ? previous : "C";
+  const char* applied = std::setlocale(LC_NUMERIC, "de_DE.UTF-8");
+  if (applied == nullptr) applied = std::setlocale(LC_NUMERIC, "de_DE");
+  if (applied == nullptr) {
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+  const auto trace = parse_candump("(1436509052.249713) can0 173#00\n");
+  const auto line = to_candump_line(trace.at(0));
+  std::setlocale(LC_NUMERIC, saved.c_str());
+  EXPECT_DOUBLE_EQ(trace.at(0).t_seconds, 1436509052.249713);
+  // Output is locale-independent too (no printf("%f")).
+  EXPECT_EQ(line, "(1436509052.249713) can0 173#00");
+}
+
+TEST(Candump, ReplayKeepsEqualTimestampsInTraceOrder) {
+  // Regression: std::sort on t_seconds could reorder equal timestamps
+  // across stdlibs; std::stable_sort pins the original trace order.
+  std::vector<CandumpEntry> trace;
+  trace.push_back({0.001, "can0", can::CanFrame::make(0x300, {0x0A})});
+  for (std::uint8_t i = 0; i < 4; ++i) {
+    trace.push_back({0.0, "can0", can::CanFrame::make(0x200, {i})});
+  }
+
+  can::WiredAndBus bus{sim::BusSpeed{500'000}};
+  can::BitController player{"player"};
+  player.attach_to(bus);
+  attach_candump_replay(player, trace, bus.speed());
+  CandumpRecorder rec;
+  rec.attach_to(bus);
+  bus.run(2000);
+  ASSERT_EQ(rec.trace().size(), 5u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(rec.trace()[i].frame,
+              can::CanFrame::make(0x200, {static_cast<std::uint8_t>(i)}))
+        << "frame " << i;
+  }
+  EXPECT_EQ(rec.trace()[4].frame.id, 0x300u);
+}
+
+TEST(Candump, ReplayReportsEnqueuedFrames) {
+  std::vector<CandumpEntry> trace;
+  trace.push_back({0.0, "can0", can::CanFrame::make(0x100, {0x01})});
+  trace.push_back({0.001, "can0", can::CanFrame::make(0x101, {0x02})});
+
+  can::WiredAndBus bus{sim::BusSpeed{500'000}};
+  can::BitController player{"player"};
+  player.attach_to(bus);
+  std::vector<can::CanId> seen;
+  attach_candump_replay(player, trace, bus.speed(), 1.0,
+                        [&seen](const can::CanFrame& f) {
+                          seen.push_back(f.id);
+                        });
+  bus.run(1500);
+  EXPECT_EQ(seen, (std::vector<can::CanId>{0x100, 0x101}));
+}
+
+TEST(CsvTrace, ParseAndRoundTrip) {
+  const char* text =
+      "timestamp,id,dlc,data\n"
+      "0.000100,064,8,0011223344556677\n"
+      "0.000350,00000042,1,AB\n"
+      "0.000600,173,0,R\n";
+  const auto trace = parse_csv_trace(text);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace[0].t_seconds, 0.0001);
+  EXPECT_EQ(trace[0].frame.id, 0x64u);
+  EXPECT_EQ(trace[0].frame.dlc, 8);
+  EXPECT_FALSE(trace[0].frame.extended);
+  EXPECT_TRUE(trace[1].frame.extended);
+  EXPECT_TRUE(trace[2].frame.rtr);
+  EXPECT_EQ(to_csv(trace), text);
+}
+
+TEST(CsvTrace, ToolkitConventionsAccepted) {
+  // 0x prefix, a >0x7FF value promoting to extended, no header row.
+  const auto trace = parse_csv_trace(
+      "0.5,0x1F334455,4,DEADBEEF\n"
+      "1.0,7FF1,2,AABB\n");
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_TRUE(trace[0].frame.extended);
+  EXPECT_EQ(trace[0].frame.id, 0x1F334455u);
+  EXPECT_TRUE(trace[1].frame.extended);
+}
+
+TEST(CsvTrace, MalformedLinesThrow) {
+  EXPECT_THROW((void)parse_csv_trace("0.1,064,8\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_csv_trace("0.1,064,9,00\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_csv_trace("0.1,064,2,ABC\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_csv_trace("0.1,064,1,0011\n"),  // dlc mismatch
+               std::runtime_error);
+  EXPECT_THROW((void)parse_csv_trace("0.1,zzz,1,00\n"), std::runtime_error);
+  // A malformed first line is absorbed by the header-skip heuristic, so the
+  // negative timestamp must sit on a later record to be diagnosed.
+  EXPECT_THROW((void)parse_csv_trace("0.1,064,1,00\n-0.2,064,1,00\n"),
+               std::runtime_error);
+  // A second non-numeric row is not a header.
+  EXPECT_THROW((void)parse_csv_trace("0.1,064,1,00\nts,id,dlc,data\n"),
+               std::runtime_error);
+}
+
+TEST(CsvTrace, SniffsFormatFromFirstLine) {
+  EXPECT_EQ(sniff_trace_format("(1.0) can0 173#00\n"), TraceFormat::Candump);
+  EXPECT_EQ(sniff_trace_format("\n  \n(1.0) can0 173#00\n"),
+            TraceFormat::Candump);
+  EXPECT_EQ(sniff_trace_format("timestamp,id,dlc,data\n"), TraceFormat::Csv);
+  EXPECT_EQ(sniff_trace_format("0.1,064,1,00\n"), TraceFormat::Csv);
+  const char* csv = "0.25,100,1,7F\n";
+  const auto trace = parse_trace(csv, sniff_trace_format(csv));
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].frame.id, 0x100u);
 }
 
 }  // namespace

@@ -203,6 +203,24 @@ TEST(EngineEquivalence, RegistrySweepCoversMultiBusTopologies) {
       << "expected gateway-bridged (buses > 1) scenarios in the registry";
 }
 
+// Likewise the sweep only exercises the toolkit attack profiles (flood /
+// fuzz / replay, plus the rest-bus trace-replay path) if the registry keeps
+// its atk-* rows; pin them so they stay under the equivalence gate.
+TEST(EngineEquivalence, RegistrySweepCoversAttackProfiles) {
+  const auto& reg = analysis::ScenarioRegistry::built_in();
+  std::size_t atk = 0;
+  for (const auto& s : reg.all()) {
+    if (s.name.rfind("atk-", 0) == 0) ++atk;
+  }
+  EXPECT_GE(atk, 6u) << "expected the atk-* attack-profile scenarios";
+  for (const char* name : {"atk-flood-dos", "atk-fuzz-std", "atk-fuzz-ext",
+                           "atk-replay-spoof", "atk-replay-csv"}) {
+    EXPECT_NE(reg.find(name), nullptr) << name;
+  }
+  EXPECT_FALSE(reg.make("atk-replay-csv").trace_replay.text.empty())
+      << "atk-replay-csv must exercise the rest-bus trace-replay path";
+}
+
 // Cross-bus wakeups with a latency that never aligns with 64-bit batch
 // words: gateway release times fall mid-word, so both the quiescence skip
 // and the batched engine must chunk around them without losing an edge.
